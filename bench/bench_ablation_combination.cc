@@ -1,0 +1,48 @@
+// Ablation (DESIGN.md §4): is combining matchers + learning actually
+// load-bearing? Trains Q with (a) metadata matcher only, (b) MAD only,
+// (c) both, at Y=2 with 10 queries x 2 replays, and reports recall of
+// the installed graph and best precision at full installed recall.
+// Paper context: Sec. 5.2.2 concludes "the simple act of combining
+// scores from different matchers is not enough"; learning over the
+// combination is what wins.
+#include "bench_common.h"
+
+int main() {
+  q::bench::PrintHeader(
+      "Ablation — matcher combination under feedback",
+      "design-choice ablation (not a paper figure); cf. Sec. 5.2.2");
+
+  struct Config {
+    const char* name;
+    bool metadata;
+    bool mad;
+  };
+  std::printf("%-18s %8s %18s %22s\n", "matchers", "edges",
+              "graph recall (%)", "best P @ full recall (%)");
+  for (const Config& c : {Config{"metadata only", true, false},
+                          Config{"mad only", false, true},
+                          Config{"metadata + mad", true, true}}) {
+    auto env = q::bench::BootstrapQuality(2, c.metadata, c.mad);
+    q::bench::TrainWithFeedback(&env, 10, 2);
+    auto pr = q::learn::EvaluateGraphAssociations(
+        env.q->search_graph(), env.q->weights(), env.dataset.gold_edges,
+        std::numeric_limits<double>::infinity());
+    auto curve = q::learn::GraphPrCurve(env.q->search_graph(),
+                                        env.q->weights(),
+                                        env.dataset.gold_edges);
+    // Best precision at the maximum recall the graph supports.
+    double max_recall = 0.0;
+    for (const auto& p : curve) max_recall = std::max(max_recall, p.recall);
+    double best_p = 0.0;
+    for (const auto& p : curve) {
+      if (p.recall >= max_recall - 1e-9) best_p = std::max(best_p, p.precision);
+    }
+    std::printf("%-18s %8zu %18.1f %22.1f\n", c.name, pr.predicted,
+                100 * pr.recall(), 100 * best_p);
+  }
+  std::printf(
+      "\nexpected: each matcher alone misses alignments (recall < 100%%) "
+      "or drowns them in noise;\nonly the learned combination reaches "
+      "full recall with usable precision.\n");
+  return 0;
+}

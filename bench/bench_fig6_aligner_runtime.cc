@@ -1,0 +1,62 @@
+// Figure 6: running times when aligning a new source to the set of
+// existing sources, with the metadata (COMA++-style) matcher as base
+// matcher, averaged over the introduction of 40 sources across the 16
+// GBCO trials. Paper shape: ViewBasedAligner and PreferentialAligner
+// significantly (~60%) cheaper than Exhaustive.
+#include "bench_common.h"
+
+int main() {
+  q::bench::PrintHeader(
+      "Fig. 6 — aligner running times (metadata matcher as base matcher)",
+      "SIGMOD'10 Fig. 6, GBCO dataset, avg over intro of 40 sources");
+
+  auto dataset = q::data::BuildGbco();
+  struct StrategyRow {
+    const char* name;
+    std::unique_ptr<q::align::Aligner> aligner;
+    q::util::SummaryStats wall_ms;
+    q::util::SummaryStats comparisons;
+  };
+  std::vector<StrategyRow> rows;
+  rows.push_back({"Exhaustive",
+                  std::make_unique<q::align::ExhaustiveAligner>(), {}, {}});
+  rows.push_back({"ViewBasedAligner",
+                  std::make_unique<q::align::ViewBasedAligner>(), {}, {}});
+  rows.push_back({"PreferentialAligner",
+                  std::make_unique<q::align::PreferentialAligner>(), {}, {}});
+
+  for (auto& row : rows) {
+    for (const auto& trial : dataset.trials) {
+      auto env = q::bench::MakeTrialEnv(dataset, trial);
+      if (env == nullptr) continue;
+      q::bench::CalibrateTrialEnv(env.get(), trial);
+      q::match::MetadataMatcher matcher;
+      auto stats =
+          q::bench::RunTrialAlignment(env.get(), row.aligner.get(), &matcher);
+      // Per-source averages (the paper averages over 40 introductions).
+      double per_source =
+          stats.wall_ms / static_cast<double>(env->new_sources.size());
+      double cmp_per_source =
+          static_cast<double>(stats.attribute_comparisons) /
+          static_cast<double>(env->new_sources.size());
+      for (std::size_t i = 0; i < env->new_sources.size(); ++i) {
+        row.wall_ms.Add(per_source);
+        row.comparisons.Add(cmp_per_source);
+      }
+    }
+  }
+
+  std::printf("%-22s %14s %14s %16s\n", "strategy", "avg ms/source",
+              "stddev", "avg comparisons");
+  for (const auto& row : rows) {
+    std::printf("%-22s %14.3f %14.3f %16.1f\n", row.name,
+                row.wall_ms.mean(), row.wall_ms.stddev(),
+                row.comparisons.mean());
+  }
+  const double exhaustive = rows[0].wall_ms.mean();
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    std::printf("%s vs Exhaustive: %.1f%% of the runtime\n", rows[i].name,
+                100.0 * rows[i].wall_ms.mean() / exhaustive);
+  }
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels behind the
+// paper's experiments: top-k Steiner search, MAD propagation, query-graph
+// expansion, conjunctive-query execution, and alpha-neighborhood
+// Dijkstra. Not tied to a specific paper table; used to track regressions.
+#include <benchmark/benchmark.h>
+
+#include "data/interpro_go.h"
+#include "graph/graph_builder.h"
+#include "match/mad_matcher.h"
+#include "query/conjunctive_query.h"
+#include "query/executor.h"
+#include "query/query_graph.h"
+#include "steiner/top_k.h"
+#include "text/text_index.h"
+
+namespace {
+
+struct Fixture {
+  q::data::InterProGoDataset dataset;
+  q::graph::FeatureSpace space;
+  std::unique_ptr<q::graph::CostModel> model;
+  q::graph::SearchGraph graph;
+  std::unique_ptr<q::graph::WeightVector> weights;
+  q::text::TextIndex index;
+
+  Fixture() {
+    q::data::InterProGoConfig config;
+    config.declare_foreign_keys = true;
+    dataset = q::data::BuildInterProGo(config);
+    model = std::make_unique<q::graph::CostModel>(&space,
+                                                  q::graph::CostModelConfig{});
+    graph = q::graph::BuildSearchGraph(dataset.catalog, model.get());
+    weights = std::make_unique<q::graph::WeightVector>(&space);
+    index.IndexCatalog(dataset.catalog);
+  }
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = new Fixture;
+  return *fixture;
+}
+
+void BM_QueryGraphExpansion(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    auto qg = q::query::BuildQueryGraph(
+        f.graph, f.index, {"plasma membrane", "pub title"}, f.model.get(),
+        *f.weights, q::query::QueryGraphOptions{});
+    benchmark::DoNotOptimize(qg);
+  }
+}
+BENCHMARK(BM_QueryGraphExpansion);
+
+void BM_TopKSteiner(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  auto qg = q::query::BuildQueryGraph(
+      f.graph, f.index, {"plasma membrane", "pub title"}, f.model.get(),
+      *f.weights, q::query::QueryGraphOptions{});
+  Q_CHECK_OK(qg.status());
+  q::steiner::TopKConfig config;
+  config.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto trees = q::steiner::TopKSteinerTrees(qg->graph, *f.weights,
+                                              qg->keyword_nodes, config);
+    benchmark::DoNotOptimize(trees);
+  }
+}
+BENCHMARK(BM_TopKSteiner)->Arg(1)->Arg(5)->Arg(10);
+
+void BM_AlphaNeighborhoodDijkstra(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  auto rel = f.graph.FindRelationNode("interpro.pub");
+  Q_CHECK(rel.has_value());
+  for (auto _ : state) {
+    auto dist = f.graph.Dijkstra({{*rel, 0.0}}, *f.weights, 3.0);
+    benchmark::DoNotOptimize(dist);
+  }
+}
+BENCHMARK(BM_AlphaNeighborhoodDijkstra);
+
+void BM_MadPropagation(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  std::vector<const q::relational::Table*> tables;
+  for (const auto& t : f.dataset.catalog.AllTables()) {
+    tables.push_back(t.get());
+  }
+  for (auto _ : state) {
+    q::match::MadMatcher matcher;
+    auto result = matcher.InduceAlignments(tables, 2);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MadPropagation);
+
+void BM_ConjunctiveQueryExecution(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  q::query::ConjunctiveQuery cq;
+  cq.atoms = {"go.go_term", "interpro.interpro2go", "interpro.entry"};
+  cq.joins = {
+      {q::relational::AttributeId{"go", "go_term", "acc"},
+       q::relational::AttributeId{"interpro", "interpro2go", "go_id"}},
+      {q::relational::AttributeId{"interpro", "interpro2go", "entry_ac"},
+       q::relational::AttributeId{"interpro", "entry", "entry_ac"}}};
+  cq.select_list = {
+      {q::relational::AttributeId{"go", "go_term", "name"}, "name"},
+      {q::relational::AttributeId{"interpro", "entry", "name"},
+       "entry_name"}};
+  q::query::Executor executor(&f.dataset.catalog);
+  for (auto _ : state) {
+    auto rows = executor.Execute(cq);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_ConjunctiveQueryExecution);
+
+void BM_TextIndexSearch(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  for (auto _ : state) {
+    auto results = f.index.Search("plasma membrane kinase", 0.1, 16);
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_TextIndexSearch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Table 2: number of feedback steps required to first reach precision 1
+// at each recall level in the schema graph. Paper shape: 1-2 steps
+// suffice at every recall level (each step is on a different query, so
+// later steps can temporarily disturb earlier gains — hence "first
+// reach").
+#include "bench_common.h"
+
+int main() {
+  q::bench::PrintHeader(
+      "Table 2 — feedback steps to first reach precision 1 per recall",
+      "SIGMOD'10 Table 2, InterPro-GO");
+
+  const std::vector<double> levels{12.5, 25.0, 37.5, 50.0,
+                                   62.5, 75.0, 87.5, 100.0};
+  std::vector<int> first_step(levels.size(), -1);
+
+  auto env = q::bench::BootstrapQuality(/*top_y=*/2);
+  auto record = [&](std::size_t step) {
+    auto curve = q::learn::GraphPrCurve(env.q->search_graph(),
+                                        env.q->weights(),
+                                        env.dataset.gold_edges);
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      if (first_step[i] >= 0) continue;
+      for (const auto& p : curve) {
+        if (p.precision >= 1.0 - 1e-9 &&
+            p.recall * 100.0 >= levels[i] - 1e-9) {
+          first_step[i] = static_cast<int>(step);
+          break;
+        }
+      }
+    }
+  };
+  // Step 0: unlearned combination.
+  record(0);
+  q::bench::TrainWithFeedback(&env, 10, 4, record);
+
+  std::printf("%-14s", "Recall level");
+  for (double l : levels) std::printf(" %7.1f", l);
+  std::printf("\n%-14s", "Feedback steps");
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (first_step[i] < 0) {
+      std::printf(" %7s", "-");
+    } else {
+      std::printf(" %7d", first_step[i]);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Feedback-driven alignment repair (Sec. 4): the matchers bootstrap a
+// search graph that mixes good and bad alignments; a domain expert
+// endorses correct answers; the MIRA learner reprices association edges
+// until the gold alignments dominate. Prints the gold/non-gold average
+// cost gap after every feedback step (the Fig. 12 signal) and the final
+// precision/recall sweep.
+//
+//   build/examples/feedback_repair
+#include <iostream>
+
+#include "core/q_system.h"
+#include "data/interpro_go.h"
+#include "learn/evaluation.h"
+#include "util/string_util.h"
+
+int main() {
+  auto dataset = q::data::BuildInterProGo();
+  q::core::QSystem q;
+  for (const auto& source : dataset.catalog.sources()) {
+    Q_CHECK_OK(q.RegisterSource(source));
+  }
+  Q_CHECK_OK(q.RunInitialAlignment());
+
+  auto initial = q::learn::EvaluateGraphAssociations(
+      q.search_graph(), q.weights(), dataset.gold_edges,
+      std::numeric_limits<double>::infinity());
+  std::cout << "matcher bootstrap: " << initial.predicted
+            << " association edges, precision "
+            << q::util::FormatDouble(100 * initial.precision(), 1)
+            << "%, recall "
+            << q::util::FormatDouble(100 * initial.recall(), 1) << "%\n\n";
+
+  q::feedback::SimulatedUser expert(dataset.gold_edges);
+  std::cout << "step  query                                   "
+            << "gold-cost  non-gold-cost  gap\n";
+  int step = 0;
+  for (int replay = 0; replay < 2; ++replay) {
+    for (const auto& keywords : dataset.keyword_queries) {
+      auto view_id = q.CreateView(keywords);
+      if (!view_id.ok()) continue;
+      auto applied = q.ApplyGoldFeedback(*view_id, expert);
+      Q_CHECK_OK(applied.status());
+      if (!*applied) continue;
+      auto gap = q::learn::MeasureGoldCostGap(q.search_graph(), q.weights(),
+                                              dataset.gold_edges);
+      std::string label = keywords[0] + " / " + keywords[1];
+      label.resize(38, ' ');
+      std::cout << "  " << ++step << (step < 10 ? "   " : "  ") << label
+                << "  " << q::util::FormatDouble(gap.gold_mean, 3)
+                << "      " << q::util::FormatDouble(gap.non_gold_mean, 3)
+                << "          "
+                << q::util::FormatDouble(
+                       gap.non_gold_mean - gap.gold_mean, 3)
+                << "\n";
+    }
+  }
+
+  std::cout << "\nprecision/recall sweep over the learned edge costs:\n";
+  auto curve = q::learn::GraphPrCurve(q.search_graph(), q.weights(),
+                                      dataset.gold_edges);
+  for (const auto& p : curve) {
+    std::cout << "  threshold " << q::util::FormatDouble(p.threshold, 3)
+              << ": precision "
+              << q::util::FormatDouble(100 * p.precision, 1)
+              << "%  recall " << q::util::FormatDouble(100 * p.recall, 1)
+              << "%\n";
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// New-source discovery (the paper's headline scenario, Sec. 3): a user
+// has a live keyword-search view; a previously unknown source is
+// registered; Q aligns it against the view's alpha-cost neighborhood
+// only, installs the discovered associations, and refreshes the view —
+// new answers appear without any manual mapping work.
+//
+//   build/examples/new_source_discovery
+#include <iostream>
+#include <memory>
+
+#include "core/q_system.h"
+#include "data/interpro_go.h"
+
+namespace {
+
+// Re-homes one interpro table into a standalone source, simulating an
+// external database discovered later.
+std::shared_ptr<q::relational::DataSource> ExtractJournalSource(
+    const q::relational::Catalog& catalog) {
+  auto table = catalog.FindTable("interpro.journal");
+  Q_CHECK(table != nullptr);
+  auto source = std::make_shared<q::relational::DataSource>("jrnldb");
+  auto copy = std::make_shared<q::relational::Table>(
+      q::relational::RelationSchema("jrnldb", "journal",
+                                    table->schema().attributes()));
+  for (const auto& row : table->rows()) Q_CHECK_OK(copy->AppendRow(row));
+  Q_CHECK_OK(source->AddTable(copy));
+  return source;
+}
+
+}  // namespace
+
+int main() {
+  auto dataset = q::data::BuildInterProGo();
+  auto journal_db = ExtractJournalSource(dataset.catalog);
+
+  // Start Q with everything except the journal database.
+  q::core::QSystemConfig config;
+  config.strategy = q::core::AlignStrategy::kViewBased;
+  q::core::QSystem q(config);
+  for (const auto& source : dataset.catalog.sources()) {
+    if (source->name() == "go") {
+      Q_CHECK_OK(q.RegisterSource(source));
+      continue;
+    }
+    auto partial = std::make_shared<q::relational::DataSource>("interpro");
+    for (const auto& t : source->tables()) {
+      if (t->schema().relation() != "journal") {
+        Q_CHECK_OK(partial->AddTable(t));
+      }
+    }
+    Q_CHECK_OK(q.RegisterSource(partial));
+  }
+  // No foreign keys were declared, so Q bootstraps associations with its
+  // two matchers (COMA++-style metadata + MAD label propagation).
+  Q_CHECK_OK(q.RunInitialAlignment());
+
+  auto view_id = q.CreateView({"pub title", "entry name"});
+  Q_CHECK_OK(view_id.status());
+  const auto& view = q.view(*view_id);
+  std::cout << "view over " << q.catalog().num_relations()
+            << " relations: " << view.trees().size()
+            << " queries, alpha (k-th tree cost) = " << view.Alpha()
+            << "\n";
+  std::cout << "association edges before discovery: "
+            << q.search_graph()
+                   .EdgesOfKind(q::graph::EdgeKind::kAssociation)
+                   .size()
+            << "\n\n";
+
+  std::cout << "registering new source 'jrnldb' (journal database)...\n";
+  auto stats = q.RegisterAndAlignSource(journal_db);
+  Q_CHECK_OK(stats.status());
+  std::cout << "  aligner considered " << stats->relations_considered
+            << " existing relations (view-based pruning)\n"
+            << "  base matcher calls:   " << stats->matcher_calls << "\n"
+            << "  attribute comparisons: " << stats->attribute_comparisons
+            << "\n"
+            << "  wall time: " << stats->wall_ms << " ms\n";
+  std::cout << "association edges after discovery: "
+            << q.search_graph()
+                   .EdgesOfKind(q::graph::EdgeKind::kAssociation)
+                   .size()
+            << "\n\n";
+
+  std::cout << "new associations touching jrnldb:\n";
+  for (q::graph::EdgeId e :
+       q.search_graph().EdgesOfKind(q::graph::EdgeKind::kAssociation)) {
+    const auto& edge = q.search_graph().edge(e);
+    const auto& la = q.search_graph().node(edge.u).label;
+    const auto& lb = q.search_graph().node(edge.v).label;
+    if (la.rfind("jrnldb", 0) == 0 || lb.rfind("jrnldb", 0) == 0) {
+      std::cout << "  " << la << " <-> " << lb << "  (cost "
+                << q.search_graph().EdgeCost(e, q.weights()) << ",";
+      for (const auto& p : edge.provenance) {
+        std::cout << " " << p.matcher << "=" << p.confidence;
+      }
+      std::cout << ")\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "align/aligner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/timer.h"
+
+namespace q::align {
+namespace {
+
+// Runs the base matcher between every table of the new source and the
+// given existing relations (by graph node), aggregating stats.
+util::Result<std::vector<match::AlignmentCandidate>> MatchAgainstRelations(
+    const graph::SearchGraph& graph, const relational::Catalog& catalog,
+    const relational::DataSource& new_source,
+    const std::vector<graph::NodeId>& relations, int top_y,
+    match::Matcher* matcher, AlignerStats* stats) {
+  util::WallTimer timer;
+  std::size_t comparisons_before = matcher->stats().attribute_comparisons;
+  std::size_t calls_before = matcher->stats().pair_alignments;
+
+  std::vector<match::AlignmentCandidate> all;
+  for (graph::NodeId rel : relations) {
+    const std::string& qualified = graph.node(rel).label;
+    auto existing = catalog.FindTable(qualified);
+    if (existing == nullptr) continue;
+    // Skip the new source's own relations.
+    if (existing->schema().source() == new_source.name()) continue;
+    ++stats->relations_considered;
+    for (const auto& incoming : new_source.tables()) {
+      Q_ASSIGN_OR_RETURN(
+          std::vector<match::AlignmentCandidate> candidates,
+          matcher->AlignPair(*existing, *incoming, top_y));
+      for (auto& c : candidates) all.push_back(std::move(c));
+    }
+  }
+  stats->attribute_comparisons +=
+      matcher->stats().attribute_comparisons - comparisons_before;
+  stats->matcher_calls += matcher->stats().pair_alignments - calls_before;
+  stats->wall_ms += timer.ElapsedMillis();
+  return match::TopYPerAttribute(std::move(all), top_y);
+}
+
+std::vector<graph::NodeId> AllRelationNodes(const graph::SearchGraph& graph) {
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (graph.node(n).kind == graph::NodeKind::kRelation) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<std::vector<match::AlignmentCandidate>> ExhaustiveAligner::Align(
+    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+    const relational::Catalog& catalog,
+    const relational::DataSource& new_source, const AlignContext& context,
+    match::Matcher* matcher, AlignerStats* stats) {
+  (void)weights;
+  return MatchAgainstRelations(graph, catalog, new_source,
+                               AllRelationNodes(graph), context.top_y,
+                               matcher, stats);
+}
+
+std::vector<graph::NodeId> ViewBasedAligner::CostNeighborhoodRelations(
+    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+    const AlignContext& context) {
+  std::vector<double> dist =
+      graph.Dijkstra(context.keyword_seeds, weights, context.alpha);
+  std::vector<graph::NodeId> relations;
+  for (graph::NodeId n = 0; n < graph.num_nodes(); ++n) {
+    if (dist[n] > context.alpha) continue;  // unreachable or too far
+    auto rel = graph.OwningRelation(n);
+    if (!rel.has_value()) continue;
+    relations.push_back(*rel);
+  }
+  std::sort(relations.begin(), relations.end());
+  relations.erase(std::unique(relations.begin(), relations.end()),
+                  relations.end());
+  return relations;
+}
+
+util::Result<std::vector<match::AlignmentCandidate>> ViewBasedAligner::Align(
+    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+    const relational::Catalog& catalog,
+    const relational::DataSource& new_source, const AlignContext& context,
+    match::Matcher* matcher, AlignerStats* stats) {
+  std::vector<graph::NodeId> relations =
+      CostNeighborhoodRelations(graph, weights, context);
+  return MatchAgainstRelations(graph, catalog, new_source, relations,
+                               context.top_y, matcher, stats);
+}
+
+util::Result<std::vector<match::AlignmentCandidate>> PreferentialAligner::Align(
+    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+    const relational::Catalog& catalog,
+    const relational::DataSource& new_source, const AlignContext& context,
+    match::Matcher* matcher, AlignerStats* stats) {
+  (void)weights;
+  std::unordered_map<graph::NodeId, double> prior;
+  for (const auto& [node, p] : context.vertex_prior) prior[node] = p;
+  std::vector<graph::NodeId> relations = AllRelationNodes(graph);
+  std::stable_sort(relations.begin(), relations.end(),
+                   [&](graph::NodeId a, graph::NodeId b) {
+                     auto ia = prior.find(a);
+                     auto ib = prior.find(b);
+                     double pa = ia == prior.end() ? 0.0 : ia->second;
+                     double pb = ib == prior.end() ? 0.0 : ib->second;
+                     return pa > pb;
+                   });
+  if (context.max_relations > 0 &&
+      relations.size() > context.max_relations) {
+    relations.resize(context.max_relations);
+  }
+  return MatchAgainstRelations(graph, catalog, new_source, relations,
+                               context.top_y, matcher, stats);
+}
+
+}  // namespace q::align

@@ -1,0 +1,102 @@
+#ifndef Q_ALIGN_ALIGNER_H_
+#define Q_ALIGN_ALIGNER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/search_graph.h"
+#include "match/matcher.h"
+#include "relational/catalog.h"
+#include "util/result.h"
+
+namespace q::align {
+
+// Per-run accounting for the scalability experiments (Figs. 6-8).
+struct AlignerStats {
+  std::size_t attribute_comparisons = 0;
+  std::size_t matcher_calls = 0;  // BASEMATCHER invocations (relation pairs)
+  std::size_t relations_considered = 0;
+  double wall_ms = 0.0;
+};
+
+// Context shared by the alignment-search strategies.
+struct AlignContext {
+  // The live view's keyword anchors: (node, initial cost) seeds for the
+  // alpha-neighborhood. Each keyword contributes its match edges' costs as
+  // seed distances (the keyword nodes themselves live in query graphs, not
+  // the search graph).
+  std::vector<std::pair<graph::NodeId, double>> keyword_seeds;
+  // Cost of the k-th best answer of the view (Algorithm 2's alpha).
+  double alpha = 0.0;
+  // Vertex prior for PreferentialAligner (higher = try earlier). Missing
+  // relations default to 0.
+  std::vector<std::pair<graph::NodeId, double>> vertex_prior;
+  // PreferentialAligner budget: stop after this many existing relations
+  // (0 = all, which degenerates to exhaustive order).
+  std::size_t max_relations = 0;
+  // Candidates requested per attribute.
+  int top_y = 2;
+};
+
+// Strategy interface (Sec. 3.3): decide which existing relations the new
+// source must be matched against, and run the base matcher on those.
+class Aligner {
+ public:
+  virtual ~Aligner() = default;
+  virtual std::string_view name() const = 0;
+
+  // Aligns every table of `new_source` against the selected existing
+  // relations of `graph`/`catalog`. Returns candidate associations; fills
+  // `stats`.
+  virtual util::Result<std::vector<match::AlignmentCandidate>> Align(
+      const graph::SearchGraph& graph, const graph::WeightVector& weights,
+      const relational::Catalog& catalog,
+      const relational::DataSource& new_source, const AlignContext& context,
+      match::Matcher* matcher, AlignerStats* stats) = 0;
+};
+
+// EXHAUSTIVE (Sec. 3.3): every existing relation.
+class ExhaustiveAligner final : public Aligner {
+ public:
+  std::string_view name() const override { return "exhaustive"; }
+  util::Result<std::vector<match::AlignmentCandidate>> Align(
+      const graph::SearchGraph& graph, const graph::WeightVector& weights,
+      const relational::Catalog& catalog,
+      const relational::DataSource& new_source, const AlignContext& context,
+      match::Matcher* matcher, AlignerStats* stats) override;
+};
+
+// VIEWBASEDALIGNER (Algorithm 2): only relations inside the alpha-cost
+// neighborhood of the view's keywords. Guaranteed to produce the same
+// top-k view updates as EXHAUSTIVE (non-negative edge costs).
+class ViewBasedAligner final : public Aligner {
+ public:
+  std::string_view name() const override { return "view_based"; }
+  util::Result<std::vector<match::AlignmentCandidate>> Align(
+      const graph::SearchGraph& graph, const graph::WeightVector& weights,
+      const relational::Catalog& catalog,
+      const relational::DataSource& new_source, const AlignContext& context,
+      match::Matcher* matcher, AlignerStats* stats) override;
+
+  // The relations inside the alpha neighborhood (exposed for tests).
+  static std::vector<graph::NodeId> CostNeighborhoodRelations(
+      const graph::SearchGraph& graph, const graph::WeightVector& weights,
+      const AlignContext& context);
+};
+
+// PREFERENTIALALIGNER (Algorithm 3): existing relations in prior order,
+// up to the context's budget.
+class PreferentialAligner final : public Aligner {
+ public:
+  std::string_view name() const override { return "preferential"; }
+  util::Result<std::vector<match::AlignmentCandidate>> Align(
+      const graph::SearchGraph& graph, const graph::WeightVector& weights,
+      const relational::Catalog& catalog,
+      const relational::DataSource& new_source, const AlignContext& context,
+      match::Matcher* matcher, AlignerStats* stats) override;
+};
+
+}  // namespace q::align
+
+#endif  // Q_ALIGN_ALIGNER_H_

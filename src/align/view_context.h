@@ -1,0 +1,23 @@
+#ifndef Q_ALIGN_VIEW_CONTEXT_H_
+#define Q_ALIGN_VIEW_CONTEXT_H_
+
+#include "align/aligner.h"
+#include "query/view.h"
+
+namespace q::align {
+
+// Derives the alignment context of a live view (Sec. 3.3): alpha is the
+// cost of the view's k-th best answer; the keyword seeds are the view's
+// keyword-match edges mapped back onto search-graph nodes, with the match
+// cost as initial distance (value nodes map to their owning attribute —
+// the membership hop is free, so distances are identical). The vertex
+// prior is read off the learned per-relation authoritativeness weights.
+AlignContext ContextFromView(const query::TopKView& view,
+                             const graph::SearchGraph& search_graph,
+                             const graph::FeatureSpace& space,
+                             const graph::WeightVector& weights, int top_y,
+                             std::size_t preferential_budget);
+
+}  // namespace q::align
+
+#endif  // Q_ALIGN_VIEW_CONTEXT_H_

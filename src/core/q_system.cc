@@ -1,0 +1,310 @@
+#include "core/q_system.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace q::core {
+
+QSystem::QSystem(QSystemConfig config)
+    : config_(config),
+      model_(&space_, config.cost),
+      weights_(&space_),
+      learner_(config.mira) {
+  metadata_matcher_ =
+      std::make_unique<match::MetadataMatcher>(config_.metadata);
+  mad_matcher_ = std::make_unique<match::MadMatcher>(config_.mad);
+  switch (config_.strategy) {
+    case AlignStrategy::kExhaustive:
+      aligner_ = std::make_unique<align::ExhaustiveAligner>();
+      break;
+    case AlignStrategy::kViewBased:
+      aligner_ = std::make_unique<align::ViewBasedAligner>();
+      break;
+    case AlignStrategy::kPreferential:
+      aligner_ = std::make_unique<align::PreferentialAligner>();
+      break;
+  }
+  if (config_.use_value_overlap_filter) {
+    auto filter = [this](const relational::AttributeId& a,
+                         const relational::AttributeId& b) {
+      return overlap_.CanJoin(a, b, config_.value_overlap_min);
+    };
+    metadata_matcher_->set_pair_filter(filter);
+  }
+}
+
+std::vector<match::Matcher*> QSystem::EnabledMatchers() {
+  std::vector<match::Matcher*> matchers;
+  if (config_.use_metadata_matcher) matchers.push_back(metadata_matcher_.get());
+  if (config_.use_mad_matcher) matchers.push_back(mad_matcher_.get());
+  return matchers;
+}
+
+util::Status QSystem::RegisterSource(
+    std::shared_ptr<relational::DataSource> source) {
+  Q_RETURN_NOT_OK(catalog_.AddSource(source));
+  for (const auto& table : source->tables()) {
+    index_.IndexTable(*table);
+    if (config_.use_value_overlap_filter) overlap_.IndexTable(*table);
+  }
+  graph::AddSourceToGraph(*source, &model_, &graph_);
+  return util::Status::OK();
+}
+
+util::Status QSystem::AddAssociations(
+    const std::vector<match::AlignmentCandidate>& candidates) {
+  for (const match::AlignmentCandidate& c : candidates) {
+    auto na = graph_.FindAttributeNode(c.a);
+    auto nb = graph_.FindAttributeNode(c.b);
+    if (!na.has_value() || !nb.has_value()) {
+      return util::Status::NotFound("alignment endpoints missing from graph: " +
+                                    c.a.ToString() + " / " + c.b.ToString());
+    }
+    if (*na == *nb) continue;
+    // AddAssociationEdge merges into an existing edge: only the new
+    // matcher's confidence feature should be added then, so pass the bin
+    // feature alone when the edge already exists.
+    auto existing = graph_.FindAssociation(*na, *nb);
+    if (existing.has_value()) {
+      graph_.AddAssociationEdge(
+          *na, *nb, model_.MatcherConfidenceFeature(c.matcher, c.confidence),
+          graph::MatcherScore{c.matcher, c.confidence});
+    } else {
+      graph::FeatureVec features = model_.AssociationFeatures(
+          c.matcher, c.confidence, c.a.RelationQualifiedName(),
+          c.b.RelationQualifiedName(), c.PairKey());
+      graph_.AddAssociationEdge(*na, *nb, std::move(features),
+                                graph::MatcherScore{c.matcher, c.confidence});
+    }
+  }
+  ReconcileMissingMatcherFeatures();
+  return util::Status::OK();
+}
+
+void QSystem::ReconcileMissingMatcherFeatures() {
+  // Sec. 3.4: each edge carries "a feature for the confidence value of
+  // each schema matcher". An edge a matcher stayed silent about gets that
+  // matcher's missing-penalty feature instead — otherwise silence would
+  // read as free (maximum) confidence and single-matcher junk would
+  // undercut alignments both matchers agree on.
+  std::vector<std::string> matcher_names;
+  if (config_.use_metadata_matcher) {
+    matcher_names.emplace_back(metadata_matcher_->name());
+  }
+  if (config_.use_mad_matcher) {
+    matcher_names.emplace_back(mad_matcher_->name());
+  }
+  for (graph::EdgeId e :
+       graph_.EdgesOfKind(graph::EdgeKind::kAssociation)) {
+    graph::Edge& edge = graph_.mutable_edge(e);
+    for (const std::string& name : matcher_names) {
+      bool voted = false;
+      for (const auto& p : edge.provenance) {
+        if (p.matcher == name) voted = true;
+      }
+      graph::FeatureId missing = model_.MatcherMissingFeature(name);
+      if (voted) {
+        edge.features.Remove(missing);
+      } else if (edge.features.ValueOf(missing) == 0.0) {
+        edge.features.Add(missing, 1.0);
+      }
+    }
+  }
+}
+
+util::Status QSystem::RunInitialAlignment() {
+  std::vector<const relational::Table*> tables;
+  for (const auto& t : catalog_.AllTables()) tables.push_back(t.get());
+  for (match::Matcher* matcher : EnabledMatchers()) {
+    Q_ASSIGN_OR_RETURN(std::vector<match::AlignmentCandidate> candidates,
+                       matcher->InduceAlignments(tables, config_.top_y));
+    Q_RETURN_NOT_OK(AddAssociations(candidates));
+  }
+  return RefreshAllViews();
+}
+
+align::AlignContext QSystem::ContextFromView(
+    const query::TopKView& view) const {
+  return align::ContextFromView(view, graph_, space_, weights_,
+                                config_.top_y, config_.preferential_budget);
+}
+
+util::Result<align::AlignerStats> QSystem::AlignAgainstViews(
+    const relational::DataSource& source) {
+  align::AlignerStats stats;
+  std::vector<match::AlignmentCandidate> all;
+
+  bool any_view = false;
+  for (const auto& view : views_) {
+    if (!view->refreshed()) continue;
+    any_view = true;
+    align::AlignContext ctx = ContextFromView(*view);
+    for (match::Matcher* matcher : EnabledMatchers()) {
+      Q_ASSIGN_OR_RETURN(
+          std::vector<match::AlignmentCandidate> candidates,
+          aligner_->Align(graph_, weights_, catalog_, source, ctx, matcher,
+                          &stats));
+      for (auto& c : candidates) all.push_back(std::move(c));
+    }
+  }
+  if (!any_view && config_.align_without_views) {
+    align::ExhaustiveAligner fallback;
+    align::AlignContext ctx;
+    ctx.top_y = config_.top_y;
+    for (match::Matcher* matcher : EnabledMatchers()) {
+      Q_ASSIGN_OR_RETURN(
+          std::vector<match::AlignmentCandidate> candidates,
+          fallback.Align(graph_, weights_, catalog_, source, ctx, matcher,
+                         &stats));
+      for (auto& c : candidates) all.push_back(std::move(c));
+    }
+  }
+  Q_RETURN_NOT_OK(
+      AddAssociations(match::TopYPerAttribute(std::move(all), config_.top_y)));
+  return stats;
+}
+
+util::Result<align::AlignerStats> QSystem::RegisterAndAlignSource(
+    std::shared_ptr<relational::DataSource> source) {
+  Q_RETURN_NOT_OK(RegisterSource(source));
+  Q_ASSIGN_OR_RETURN(align::AlignerStats stats, AlignAgainstViews(*source));
+  Q_RETURN_NOT_OK(RefreshAllViews());
+  return stats;
+}
+
+util::Result<std::size_t> QSystem::CreateView(
+    std::vector<std::string> keywords) {
+  auto view = std::make_unique<query::TopKView>(std::move(keywords),
+                                                config_.view);
+  Q_RETURN_NOT_OK(
+      view->Refresh(graph_, catalog_, index_, &model_, weights_));
+  views_.push_back(std::move(view));
+  return views_.size() - 1;
+}
+
+util::Status QSystem::RefreshAllViews() {
+  for (const auto& view : views_) {
+    Q_RETURN_NOT_OK(
+        view->Refresh(graph_, catalog_, index_, &model_, weights_));
+  }
+  return util::Status::OK();
+}
+
+util::Status QSystem::ApplyFeedback(std::size_t view_id,
+                                    const steiner::SteinerTree& endorsed) {
+  if (view_id >= views_.size()) {
+    return util::Status::InvalidArgument("no such view");
+  }
+  query::TopKView& v = *views_[view_id];
+  auto info = learner_.Update(v.query_graph().graph,
+                              v.query_graph().keyword_nodes, endorsed,
+                              &weights_);
+  Q_RETURN_NOT_OK(info.status());
+  log_.Record(feedback::FeedbackEvent{v.keywords()});
+  return RefreshAllViews();
+}
+
+util::Status QSystem::ApplyInvalidFeedback(std::size_t view_id,
+                                           std::size_t row_index) {
+  if (view_id >= views_.size()) {
+    return util::Status::InvalidArgument("no such view");
+  }
+  query::TopKView& v = *views_[view_id];
+  if (row_index >= v.results().rows.size()) {
+    return util::Status::OutOfRange("no such result row");
+  }
+  // Generalize the tuple to its originating query tree via provenance.
+  std::size_t bad_query = v.results().rows[row_index].query_index;
+  const steiner::SteinerTree& bad_tree = v.queries()[bad_query].tree;
+  // Target: the cheapest tree that is not the invalid one; the MIRA
+  // margin then pushes the invalid tree's cost above it.
+  const steiner::SteinerTree* target = nullptr;
+  for (const auto& tree : v.trees()) {
+    if (!(tree == bad_tree)) {
+      target = &tree;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    return util::Status::NotFound(
+        "no alternative query to prefer over the invalid result");
+  }
+  auto info = learner_.UpdateAgainst(v.query_graph().graph, {bad_tree},
+                                     *target, &weights_);
+  Q_RETURN_NOT_OK(info.status());
+  log_.Record(feedback::FeedbackEvent{v.keywords()});
+  return RefreshAllViews();
+}
+
+util::Status QSystem::ApplyRankingFeedback(std::size_t view_id,
+                                           std::size_t better_row,
+                                           std::size_t worse_row) {
+  if (view_id >= views_.size()) {
+    return util::Status::InvalidArgument("no such view");
+  }
+  query::TopKView& v = *views_[view_id];
+  const auto& rows = v.results().rows;
+  if (better_row >= rows.size() || worse_row >= rows.size()) {
+    return util::Status::OutOfRange("no such result row");
+  }
+  const steiner::SteinerTree& better =
+      v.queries()[rows[better_row].query_index].tree;
+  const steiner::SteinerTree& worse =
+      v.queries()[rows[worse_row].query_index].tree;
+  if (better == worse) {
+    return util::Status::InvalidArgument(
+        "both rows come from the same query; ranking constraint is vacuous");
+  }
+  auto info = learner_.UpdateAgainst(v.query_graph().graph, {worse}, better,
+                                     &weights_);
+  Q_RETURN_NOT_OK(info.status());
+  log_.Record(feedback::FeedbackEvent{v.keywords()});
+  return RefreshAllViews();
+}
+
+util::Result<bool> QSystem::ApplyGoldFeedback(
+    std::size_t view_id, const feedback::SimulatedUser& user) {
+  if (view_id >= views_.size()) {
+    return util::Status::InvalidArgument("no such view");
+  }
+  query::TopKView& v = *views_[view_id];
+  auto endorsed =
+      user.EndorseForLearning(v.query_graph(), v.trees(), weights_);
+  if (!endorsed.has_value()) return false;
+  // Sec. 4: the user "may notice a few results that seem either clearly
+  // correct or clearly implausible". The expert marks the endorsed answer
+  // valid and the non-gold answers in the visible list invalid; other
+  // gold-consistent answers (e.g. roundabout joins over correct edges)
+  // are also correct, so they are not used as counter-examples —
+  // otherwise feedback on one query would penalize alignments another
+  // query endorses.
+  std::vector<steiner::SteinerTree> implausible;
+  std::vector<steiner::SteinerTree> valid;
+  for (const steiner::SteinerTree& t : v.trees()) {
+    if (user.IsGoldConsistent(v.query_graph(), t)) {
+      valid.push_back(t);
+    } else {
+      implausible.push_back(t);
+    }
+  }
+  // One update per valid answer the user marked ("annotating each query
+  // answer"): any gold edge shared between a valid tree and an
+  // implausible one cancels out of the constraint difference, so only the
+  // implausible tree's distinguishing (junk) edges are pushed up.
+  auto info = learner_.UpdateAgainst(v.query_graph().graph, implausible,
+                                     *endorsed, &weights_);
+  Q_RETURN_NOT_OK(info.status());
+  for (const steiner::SteinerTree& t : valid) {
+    if (t == *endorsed) continue;
+    auto extra =
+        learner_.UpdateAgainst(v.query_graph().graph, implausible, t,
+                               &weights_);
+    Q_RETURN_NOT_OK(extra.status());
+  }
+  log_.Record(feedback::FeedbackEvent{v.keywords()});
+  Q_RETURN_NOT_OK(RefreshAllViews());
+  return true;
+}
+
+}  // namespace q::core

@@ -1,0 +1,165 @@
+#ifndef Q_CORE_Q_SYSTEM_H_
+#define Q_CORE_Q_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/aligner.h"
+#include "align/view_context.h"
+#include "feedback/feedback_log.h"
+#include "feedback/simulated_user.h"
+#include "graph/cost_model.h"
+#include "graph/graph_builder.h"
+#include "graph/search_graph.h"
+#include "learn/mira.h"
+#include "match/mad_matcher.h"
+#include "match/matcher.h"
+#include "match/metadata_matcher.h"
+#include "match/value_overlap.h"
+#include "query/view.h"
+#include "relational/catalog.h"
+#include "text/text_index.h"
+#include "util/result.h"
+
+namespace q::core {
+
+enum class AlignStrategy { kExhaustive, kViewBased, kPreferential };
+
+struct QSystemConfig {
+  graph::CostModelConfig cost;
+  query::ViewConfig view;
+  learn::MiraConfig mira;
+  match::MetadataMatcherConfig metadata;
+  match::MadMatcherConfig mad;
+  // Candidate alignments requested per attribute (the paper's Y).
+  int top_y = 2;
+  // Which matchers participate in alignment.
+  bool use_metadata_matcher = true;
+  bool use_mad_matcher = true;
+  // Alignment-search strategy for new-source registration.
+  AlignStrategy strategy = AlignStrategy::kViewBased;
+  // PreferentialAligner budget (existing relations tried, 0 = all).
+  std::size_t preferential_budget = 6;
+  // When no view exists yet, fall back to exhaustive alignment on
+  // registration (otherwise the source is added without associations).
+  bool align_without_views = true;
+  // Keep a value-overlap content index and use it as a pair filter.
+  bool use_value_overlap_filter = false;
+  std::size_t value_overlap_min = 1;
+};
+
+// The Q system facade (Fig. 1): owns the catalog, text index, search
+// graph, feature space/weights, matchers, aligners, learner, and views.
+//
+// Typical lifecycle:
+//   QSystem q;
+//   q.RegisterSource(src1); q.RegisterSource(src2);   // initial sources
+//   q.RunInitialAlignment();                          // matcher bootstrap
+//   auto view = q.CreateView({"plasma membrane", "pub title"});
+//   q.RegisterAndAlignSource(new_src);                // maintenance mode
+//   q.ApplyFeedback(*view, endorsed_tree);            // learning
+class QSystem {
+ public:
+  explicit QSystem(QSystemConfig config = QSystemConfig());
+
+  // --- sources ------------------------------------------------------------
+  // Adds a source to the catalog, index, and search graph without running
+  // any alignment (startup-time registration, Sec. 2.1).
+  util::Status RegisterSource(std::shared_ptr<relational::DataSource> source);
+
+  // Maintenance-mode registration (Sec. 3): adds the source, searches for
+  // associations against live views using the configured strategy and
+  // matchers, installs surviving alignments as association edges, and
+  // refreshes all views. Returns aligner stats.
+  util::Result<align::AlignerStats> RegisterAndAlignSource(
+      std::shared_ptr<relational::DataSource> source);
+
+  // Runs the enabled matchers globally over the current catalog and
+  // installs top-Y alignments (the Sec. 5.2 bootstrap).
+  util::Status RunInitialAlignment();
+
+  // Installs externally computed candidates as association edges.
+  util::Status AddAssociations(
+      const std::vector<match::AlignmentCandidate>& candidates);
+
+  // --- views ----------------------------------------------------------------
+  // Creates and refreshes a persistent top-k view for a keyword query.
+  util::Result<std::size_t> CreateView(std::vector<std::string> keywords);
+
+  query::TopKView& view(std::size_t id) { return *views_[id]; }
+  const query::TopKView& view(std::size_t id) const { return *views_[id]; }
+  std::size_t num_views() const { return views_.size(); }
+
+  util::Status RefreshAllViews();
+
+  // --- feedback -------------------------------------------------------------
+  // The user endorsed the answer produced by `endorsed` in view
+  // `view_id`: runs one MIRA update and refreshes views (Sec. 4 — "a
+  // query that produces correct results is constrained to have a cost at
+  // least as low as the top-ranked query result").
+  util::Status ApplyFeedback(std::size_t view_id,
+                             const steiner::SteinerTree& endorsed);
+
+  // The user marked result row `row_index` of the view invalid: its
+  // originating query must cost more than the best other query (Sec. 4
+  // generalizes tuple feedback to the query tree via provenance).
+  util::Status ApplyInvalidFeedback(std::size_t view_id,
+                                    std::size_t row_index);
+
+  // Ranking constraint: row `better_row` should be scored higher than
+  // `worse_row` ("tuple t_x should be scored higher than t_y").
+  util::Status ApplyRankingFeedback(std::size_t view_id,
+                                    std::size_t better_row,
+                                    std::size_t worse_row);
+
+  // Simulated-expert convenience: endorse the cheapest gold-consistent
+  // tree for the view (solving for one if the top-k has none). Returns
+  // false if no gold-consistent tree exists at all.
+  util::Result<bool> ApplyGoldFeedback(std::size_t view_id,
+                                       const feedback::SimulatedUser& user);
+
+  // --- accessors --------------------------------------------------------------
+  const relational::Catalog& catalog() const { return catalog_; }
+  const graph::SearchGraph& search_graph() const { return graph_; }
+  graph::SearchGraph& mutable_search_graph() { return graph_; }
+  const graph::WeightVector& weights() const { return weights_; }
+  graph::WeightVector& mutable_weights() { return weights_; }
+  graph::CostModel& cost_model() { return model_; }
+  graph::FeatureSpace& feature_space() { return space_; }
+  const text::TextIndex& text_index() const { return index_; }
+  const QSystemConfig& config() const { return config_; }
+  match::Matcher* metadata_matcher() { return metadata_matcher_.get(); }
+  match::Matcher* mad_matcher() { return mad_matcher_.get(); }
+  const feedback::FeedbackLog& feedback_log() const { return log_; }
+
+ private:
+  util::Result<align::AlignerStats> AlignAgainstViews(
+      const relational::DataSource& source);
+  // Adds/removes per-matcher missing-vote penalty features so every
+  // association edge carries, for each enabled matcher, either its
+  // confidence bin or the missing penalty (see Sec. 3.4 discussion in
+  // cost_model.h).
+  void ReconcileMissingMatcherFeatures();
+  std::vector<match::Matcher*> EnabledMatchers();
+  align::AlignContext ContextFromView(const query::TopKView& view) const;
+
+  QSystemConfig config_;
+  graph::FeatureSpace space_;
+  graph::CostModel model_;
+  graph::WeightVector weights_;
+  relational::Catalog catalog_;
+  graph::SearchGraph graph_;
+  text::TextIndex index_;
+  match::ValueOverlapIndex overlap_;
+  std::unique_ptr<match::MetadataMatcher> metadata_matcher_;
+  std::unique_ptr<match::MadMatcher> mad_matcher_;
+  std::unique_ptr<align::Aligner> aligner_;
+  learn::MiraLearner learner_;
+  feedback::FeedbackLog log_;
+  std::vector<std::unique_ptr<query::TopKView>> views_;
+};
+
+}  // namespace q::core
+
+#endif  // Q_CORE_Q_SYSTEM_H_

@@ -1,0 +1,41 @@
+#ifndef Q_DATA_GBCO_H_
+#define Q_DATA_GBCO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/catalog.h"
+
+namespace q::data {
+
+// One Sec. 5.1 experiment trial, derived from a (base query, expanded
+// query) pair in the GBCO query log: the search graph initially contains
+// every source except `new_sources`; the keyword query reconstructs the
+// base query; then the new sources are registered and aligned.
+struct GbcoTrial {
+  std::vector<std::string> base_relations;  // qualified "source.relation"
+  std::vector<std::string> new_sources;     // source names to introduce
+  std::vector<std::string> keywords;
+};
+
+struct GbcoConfig {
+  std::uint64_t seed = 7;
+  // Rows generated per relation (scaled by relation arity).
+  std::size_t base_rows = 120;
+};
+
+struct GbcoDataset {
+  relational::Catalog catalog;  // 18 single-relation sources, 187 attrs
+  std::vector<GbcoTrial> trials;  // 16 trials, 40 introduced sources total
+};
+
+// Deterministic GBCO-like dataset (see DESIGN.md substitutions): matches
+// the published cardinalities — 18 relations modeled as separate sources,
+// 187 attributes, a query log yielding 16 trials that introduce 40 new
+// sources in aggregate.
+GbcoDataset BuildGbco(const GbcoConfig& config = GbcoConfig());
+
+}  // namespace q::data
+
+#endif  // Q_DATA_GBCO_H_

@@ -1,0 +1,295 @@
+#include "data/interpro_go.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace q::data {
+namespace {
+
+using relational::AttributeDef;
+using relational::AttributeId;
+using relational::DataSource;
+using relational::ForeignKey;
+using relational::RelationSchema;
+using relational::Row;
+using relational::Table;
+using relational::Value;
+using relational::ValueType;
+
+// Biological vocabulary for generated names/titles/definitions.
+constexpr const char* kBioWords[] = {
+    "plasma",     "membrane",  "kinase",     "binding",   "transport",
+    "receptor",   "signal",    "transduction", "protein", "domain",
+    "nuclear",    "transcription", "factor", "regulation", "apoptosis",
+    "mitochondrial", "ribosomal", "helicase", "polymerase", "oxidase",
+    "reductase",  "transferase", "hydrolase", "ligase",    "isomerase",
+    "phosphatase", "channel",  "calcium",    "zinc",       "finger",
+    "homeobox",   "immunoglobulin", "lectin", "collagen",  "fibronectin",
+    "growth",     "hormone",   "cytokine",   "chemokine",  "interleukin",
+    "tyrosine",   "serine",    "threonine",  "histidine",  "proline",
+    "glycine",    "repeat",    "motif",      "family",     "superfamily",
+    "activity",   "process",   "component",  "complex",    "assembly",
+    "pathway",    "cascade",   "response",   "stress",     "heat",
+    "shock",      "cell",      "cycle",      "division",   "adhesion",
+    "matrix",     "vesicle",   "endoplasmic", "reticulum", "golgi",
+    "lysosome",   "peroxisome", "cytoskeleton", "actin",   "tubulin",
+    "myosin",     "dynein",    "kinesin",    "chaperone",  "ubiquitin",
+};
+constexpr std::size_t kNumBioWords = sizeof(kBioWords) / sizeof(kBioWords[0]);
+
+constexpr const char* kJournalWords[] = {
+    "journal", "molecular", "biology", "nature", "structural", "cell",
+    "proteins", "nucleic", "acids", "research", "biochemistry",
+    "bioinformatics", "genome", "proteomics", "science", "reports",
+};
+constexpr std::size_t kNumJournalWords =
+    sizeof(kJournalWords) / sizeof(kJournalWords[0]);
+
+std::string PadNumber(std::size_t n, int width) {
+  std::string digits = std::to_string(n);
+  if (digits.size() < static_cast<std::size_t>(width)) {
+    digits.insert(0, static_cast<std::size_t>(width) - digits.size(), '0');
+  }
+  return digits;
+}
+
+std::string MakePhrase(util::Rng* rng, const char* const* words,
+                       std::size_t num_words, int min_len, int max_len) {
+  int len = static_cast<int>(rng->UniformInt(min_len, max_len));
+  std::string out;
+  for (int i = 0; i < len; ++i) {
+    if (i > 0) out += ' ';
+    out += words[rng->Uniform(num_words)];
+  }
+  return out;
+}
+
+std::shared_ptr<Table> MakeTable(const std::string& source,
+                                 const std::string& relation,
+                                 std::vector<AttributeDef> attrs) {
+  return std::make_shared<Table>(
+      RelationSchema(source, relation, std::move(attrs)));
+}
+
+}  // namespace
+
+InterProGoDataset BuildInterProGo(const InterProGoConfig& config) {
+  util::Rng rng(config.seed);
+  InterProGoDataset out;
+
+  // --- Identifier pools ---------------------------------------------------
+  std::vector<std::string> go_ids;
+  for (std::size_t i = 0; i < config.num_go_terms; ++i) {
+    go_ids.push_back("GO:" + PadNumber(1000 + i * 7, 7));
+  }
+  std::vector<std::string> entry_ids;
+  for (std::size_t i = 0; i < config.num_entries; ++i) {
+    entry_ids.push_back("IPR" + PadNumber(100 + i * 3, 6));
+  }
+  std::vector<std::string> pub_ids;
+  for (std::size_t i = 0; i < config.num_pubs; ++i) {
+    pub_ids.push_back("PUB" + PadNumber(10 + i * 11, 5));
+  }
+  std::vector<std::string> journal_ids;
+  for (std::size_t i = 0; i < config.num_journals; ++i) {
+    journal_ids.push_back("JNL" + PadNumber(1 + i * 5, 4));
+  }
+  std::vector<std::string> method_ids;
+  for (std::size_t i = 0; i < config.num_methods; ++i) {
+    method_ids.push_back("PF" + PadNumber(20 + i * 2, 5));
+  }
+
+  const char* kTermTypes[] = {"molecular_function", "biological_process",
+                              "cellular_component"};
+  const char* kEntryTypes[] = {"Domain", "Family", "Repeat", "Site"};
+  const char* kMethodTypes[] = {"pfam", "prosite", "prints", "smart"};
+
+  // --- go.go_term(acc, name, term_type, definition) ----------------------
+  auto go_term = MakeTable("go", "go_term",
+                           {{"acc", ValueType::kString},
+                            {"name", ValueType::kString},
+                            {"term_type", ValueType::kString},
+                            {"definition", ValueType::kString}});
+  std::vector<std::string> go_names;
+  for (std::size_t i = 0; i < config.num_go_terms; ++i) {
+    std::string name =
+        i == 0 ? "plasma membrane"
+               : MakePhrase(&rng, kBioWords, kNumBioWords, 2, 3);
+    go_names.push_back(name);
+    Q_CHECK_OK(go_term->AppendRow(
+        Row{Value(go_ids[i]), Value(name),
+            Value(std::string(kTermTypes[rng.Uniform(3)])),
+            Value(MakePhrase(&rng, kBioWords, kNumBioWords, 6, 12))}));
+  }
+
+  // --- interpro.entry(entry_ac, name, short_name, entry_type) ------------
+  auto entry = MakeTable("interpro", "entry",
+                         {{"entry_ac", ValueType::kString},
+                          {"name", ValueType::kString},
+                          {"short_name", ValueType::kString},
+                          {"entry_type", ValueType::kString},
+                          {"created", ValueType::kString}});
+  std::vector<std::string> entry_names;
+  for (std::size_t i = 0; i < config.num_entries; ++i) {
+    std::string name =
+        i == 0 ? "tyrosine kinase domain"
+               : MakePhrase(&rng, kBioWords, kNumBioWords, 2, 4);
+    entry_names.push_back(name);
+    std::string short_name = name.substr(0, name.find(' '));
+    std::string created = std::to_string(rng.UniformInt(1999, 2009)) + "-" +
+                          PadNumber(1 + rng.Uniform(12), 2) + "-" +
+                          PadNumber(1 + rng.Uniform(28), 2);
+    Q_CHECK_OK(entry->AppendRow(
+        Row{Value(entry_ids[i]), Value(name), Value(short_name),
+            Value(std::string(kEntryTypes[rng.Uniform(4)])),
+            Value(created)}));
+  }
+
+  // --- interpro.interpro2go(go_id, entry_ac) ------------------------------
+  auto interpro2go = MakeTable("interpro", "interpro2go",
+                               {{"go_id", ValueType::kString},
+                                {"entry_ac", ValueType::kString}});
+  for (std::size_t i = 0; i < config.interpro2go_links; ++i) {
+    Q_CHECK_OK(interpro2go->AppendRow(
+        Row{Value(rng.Pick(go_ids)), Value(rng.Pick(entry_ids))}));
+  }
+
+  // --- interpro.pub(pub_id, title, year, volume, journal_id) -------------
+  auto pub = MakeTable("interpro", "pub",
+                       {{"pub_id", ValueType::kString},
+                        {"title", ValueType::kString},
+                        {"year", ValueType::kInt64},
+                        {"volume", ValueType::kInt64},
+                        {"journal_id", ValueType::kString}});
+  for (std::size_t i = 0; i < config.num_pubs; ++i) {
+    std::string title =
+        i == 0 ? "structure of the plasma membrane receptor"
+               : MakePhrase(&rng, kBioWords, kNumBioWords, 4, 8);
+    Q_CHECK_OK(pub->AppendRow(Row{Value(pub_ids[i]), Value(title),
+                                  Value(rng.UniformInt(1985, 2009)),
+                                  Value(rng.UniformInt(1, 120)),
+                                  Value(rng.Pick(journal_ids))}));
+  }
+
+  // --- interpro.journal(journal_id, title, issn) --------------------------
+  auto journal = MakeTable("interpro", "journal",
+                           {{"journal_id", ValueType::kString},
+                            {"title", ValueType::kString},
+                            {"issn", ValueType::kString}});
+  for (std::size_t i = 0; i < config.num_journals; ++i) {
+    std::string issn = PadNumber(rng.Uniform(10000), 4) + "-" +
+                       PadNumber(rng.Uniform(10000), 4);
+    Q_CHECK_OK(journal->AppendRow(
+        Row{Value(journal_ids[i]),
+            Value(MakePhrase(&rng, kJournalWords, kNumJournalWords, 2, 4)),
+            Value(issn)}));
+  }
+
+  // --- interpro.entry2pub(entry_ac, pub_id) -------------------------------
+  auto entry2pub = MakeTable("interpro", "entry2pub",
+                             {{"entry_ac", ValueType::kString},
+                              {"pub_id", ValueType::kString}});
+  for (std::size_t i = 0; i < config.entry2pub_links; ++i) {
+    Q_CHECK_OK(entry2pub->AppendRow(
+        Row{Value(rng.Pick(entry_ids)), Value(rng.Pick(pub_ids))}));
+  }
+
+  // --- interpro.method(method_ac, name, method_type, entry_ac) -----------
+  auto method = MakeTable("interpro", "method",
+                          {{"method_ac", ValueType::kString},
+                           {"name", ValueType::kString},
+                           {"method_type", ValueType::kString},
+                           {"db_name", ValueType::kString},
+                           {"entry_ac", ValueType::kString}});
+  const char* kMethodDbs[] = {"PFAM", "PROSITE", "PRINTS", "SMART"};
+  for (std::size_t i = 0; i < config.num_methods; ++i) {
+    // A fraction of method names replicate entry names: the "wrong but
+    // useful" alignment of Sec. 5.2.1.
+    std::string name = rng.Bernoulli(config.method_entry_name_overlap)
+                           ? rng.Pick(entry_names)
+                           : MakePhrase(&rng, kBioWords, kNumBioWords, 2, 4);
+    std::size_t db = rng.Uniform(4);
+    Q_CHECK_OK(method->AppendRow(
+        Row{Value(method_ids[i]), Value(name),
+            Value(std::string(kMethodTypes[db])),
+            Value(std::string(kMethodDbs[db])),
+            Value(rng.Pick(entry_ids))}));
+  }
+
+  // --- interpro.method2pub(method_ac, pub_id) ----------------------------
+  auto method2pub = MakeTable("interpro", "method2pub",
+                              {{"method_ac", ValueType::kString},
+                               {"pub_id", ValueType::kString}});
+  for (std::size_t i = 0; i < config.method2pub_links; ++i) {
+    Q_CHECK_OK(method2pub->AppendRow(
+        Row{Value(rng.Pick(method_ids)), Value(rng.Pick(pub_ids))}));
+  }
+
+  // --- Optional foreign keys (stripped in the Sec. 5.2 experiments) ------
+  if (config.declare_foreign_keys) {
+    interpro2go->mutable_schema().AddForeignKey(
+        ForeignKey{"go_id", "go", "go_term", "acc"});
+    interpro2go->mutable_schema().AddForeignKey(
+        ForeignKey{"entry_ac", "interpro", "entry", "entry_ac"});
+    entry2pub->mutable_schema().AddForeignKey(
+        ForeignKey{"entry_ac", "interpro", "entry", "entry_ac"});
+    entry2pub->mutable_schema().AddForeignKey(
+        ForeignKey{"pub_id", "interpro", "pub", "pub_id"});
+    pub->mutable_schema().AddForeignKey(
+        ForeignKey{"journal_id", "interpro", "journal", "journal_id"});
+    method2pub->mutable_schema().AddForeignKey(
+        ForeignKey{"method_ac", "interpro", "method", "method_ac"});
+    method2pub->mutable_schema().AddForeignKey(
+        ForeignKey{"pub_id", "interpro", "pub", "pub_id"});
+    method->mutable_schema().AddForeignKey(
+        ForeignKey{"entry_ac", "interpro", "entry", "entry_ac"});
+  }
+
+  // --- Assemble catalog ----------------------------------------------------
+  auto go_source = std::make_shared<DataSource>("go");
+  Q_CHECK_OK(go_source->AddTable(go_term));
+  auto interpro_source = std::make_shared<DataSource>("interpro");
+  std::vector<std::shared_ptr<Table>> interpro_tables{
+      interpro2go, entry, entry2pub, pub, journal, method, method2pub};
+  for (auto& t : interpro_tables) {
+    Q_CHECK_OK(interpro_source->AddTable(t));
+  }
+  Q_CHECK_OK(out.catalog.AddSource(go_source));
+  Q_CHECK_OK(out.catalog.AddSource(interpro_source));
+
+  // --- Gold edges (Fig. 9) -------------------------------------------------
+  auto gold = [&](const char* sa, const char* ra, const char* aa,
+                  const char* sb, const char* rb, const char* ab) {
+    out.gold_edges.push_back(learn::GoldEdge{AttributeId{sa, ra, aa},
+                                             AttributeId{sb, rb, ab}});
+  };
+  gold("go", "go_term", "acc", "interpro", "interpro2go", "go_id");
+  gold("interpro", "interpro2go", "entry_ac", "interpro", "entry",
+       "entry_ac");
+  gold("interpro", "entry", "entry_ac", "interpro", "entry2pub", "entry_ac");
+  gold("interpro", "entry2pub", "pub_id", "interpro", "pub", "pub_id");
+  gold("interpro", "pub", "journal_id", "interpro", "journal", "journal_id");
+  gold("interpro", "method", "method_ac", "interpro", "method2pub",
+       "method_ac");
+  gold("interpro", "method2pub", "pub_id", "interpro", "pub", "pub_id");
+  gold("interpro", "method", "entry_ac", "interpro", "entry", "entry_ac");
+
+  // --- Keyword queries (usage patterns from the DB documentation) --------
+  out.keyword_queries = {
+      {"term name", "pub title"},
+      {"plasma membrane", "pub"},
+      {"entry name", "journal title"},
+      {"method name", "pub title"},
+      {"go term", "entry name"},
+      {"entry", "pub title"},
+      {"method", "entry name"},
+      {"journal", "method name"},
+      {"go term name", "method"},
+      {"tyrosine kinase domain", "pub"},
+  };
+  return out;
+}
+
+}  // namespace q::data

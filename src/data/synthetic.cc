@@ -1,0 +1,77 @@
+#include "data/synthetic.h"
+
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace q::data {
+
+using relational::AttributeDef;
+using relational::DataSource;
+using relational::RelationSchema;
+using relational::Row;
+using relational::Table;
+using relational::Value;
+using relational::ValueType;
+
+std::shared_ptr<DataSource> MakeSyntheticSource(const std::string& name,
+                                                std::size_t rows,
+                                                util::Rng* rng) {
+  auto table = std::make_shared<Table>(
+      RelationSchema(name, "rel",
+                     {AttributeDef{"key", ValueType::kString},
+                      AttributeDef{"val", ValueType::kString}}));
+  for (std::size_t r = 0; r < rows; ++r) {
+    Q_CHECK_OK(table->AppendRow(
+        Row{Value(name + "-k" + std::to_string(rng->Uniform(1000))),
+            Value(name + "-v" + std::to_string(rng->Uniform(1000)))}));
+  }
+  auto source = std::make_shared<DataSource>(name);
+  Q_CHECK_OK(source->AddTable(table));
+  return source;
+}
+
+util::Status GrowWithSyntheticSources(std::size_t count,
+                                      const SyntheticGrowthOptions& options,
+                                      util::Rng* rng,
+                                      relational::Catalog* catalog,
+                                      graph::CostModel* model,
+                                      graph::SearchGraph* graph) {
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name = "syn" + std::to_string(catalog->sources().size());
+    auto source = MakeSyntheticSource(name, options.rows_per_table, rng);
+    Q_RETURN_NOT_OK(catalog->AddSource(source));
+
+    // Snapshot existing attribute nodes before adding the new relation.
+    std::vector<graph::NodeId> existing_attrs;
+    for (graph::NodeId n = 0; n < graph->num_nodes(); ++n) {
+      if (graph->node(n).kind == graph::NodeKind::kAttribute) {
+        existing_attrs.push_back(n);
+      }
+    }
+    graph::AddSourceToGraph(*source, model, graph);
+    if (existing_attrs.empty()) continue;
+
+    // Wire the new source's two attributes to two random existing nodes.
+    const auto& schema = source->tables()[0]->schema();
+    for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+      auto attr_node = graph->FindAttributeNode(schema.IdOf(a));
+      Q_CHECK(attr_node.has_value());
+      graph::NodeId target = existing_attrs[rng->Uniform(
+          existing_attrs.size())];
+      std::string key = graph->node(*attr_node).label + "|" +
+                        graph->node(target).label;
+      graph::FeatureVec features = model->AssociationFeatures(
+          "synthetic", options.association_confidence,
+          schema.QualifiedName(),
+          graph->node(*graph->OwningRelation(target)).label, key);
+      graph->AddAssociationEdge(
+          *attr_node, target, std::move(features),
+          graph::MatcherScore{"synthetic",
+                              options.association_confidence});
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace q::data

@@ -1,0 +1,42 @@
+#ifndef Q_DATA_SYNTHETIC_H_
+#define Q_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/cost_model.h"
+#include "graph/search_graph.h"
+#include "relational/catalog.h"
+#include "util/random.h"
+
+namespace q::data {
+
+// Synthetic search-graph growth for the Sec. 5.1.2 scaling experiment:
+// "we randomly generated new sources with two attributes, and then
+// connected them to two random nodes in the search graph", with edge
+// costs set to the average cost of the calibrated original graph.
+struct SyntheticGrowthOptions {
+  std::size_t rows_per_table = 5;
+  // Confidence recorded on the synthetic association edges; the caller's
+  // cost model maps it near the calibrated average cost.
+  double association_confidence = 0.5;
+};
+
+// Adds `count` two-attribute single-table sources to the catalog and wires
+// each into the graph with association edges to two random existing
+// attribute nodes. Source names are "syn<N>" with N unique.
+util::Status GrowWithSyntheticSources(std::size_t count,
+                                      const SyntheticGrowthOptions& options,
+                                      util::Rng* rng,
+                                      relational::Catalog* catalog,
+                                      graph::CostModel* model,
+                                      graph::SearchGraph* graph);
+
+// Builds (but does not wire) one synthetic two-attribute source.
+std::shared_ptr<relational::DataSource> MakeSyntheticSource(
+    const std::string& name, std::size_t rows, util::Rng* rng);
+
+}  // namespace q::data
+
+#endif  // Q_DATA_SYNTHETIC_H_

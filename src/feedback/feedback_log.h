@@ -1,0 +1,46 @@
+#ifndef Q_FEEDBACK_FEEDBACK_LOG_H_
+#define Q_FEEDBACK_FEEDBACK_LOG_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace q::feedback {
+
+// One recorded feedback interaction: the keyword query it was given on.
+// (The endorsed tree is re-derived at replay time because weight updates
+// in between can change the query graph's edge ids and the k-best list —
+// Sec. 5.2.2 replays "a log of the most recent feedback steps".)
+struct FeedbackEvent {
+  std::vector<std::string> keywords;
+};
+
+// Sliding-window feedback log with a size bound (Sec. 5.2.2).
+class FeedbackLog {
+ public:
+  explicit FeedbackLog(std::size_t max_size = 64) : max_size_(max_size) {}
+
+  void Record(FeedbackEvent event) {
+    events_.push_back(std::move(event));
+    while (events_.size() > max_size_) events_.pop_front();
+  }
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  // Events oldest-first.
+  std::vector<FeedbackEvent> Snapshot() const {
+    return std::vector<FeedbackEvent>(events_.begin(), events_.end());
+  }
+
+  void Clear() { events_.clear(); }
+
+ private:
+  std::size_t max_size_;
+  std::deque<FeedbackEvent> events_;
+};
+
+}  // namespace q::feedback
+
+#endif  // Q_FEEDBACK_FEEDBACK_LOG_H_

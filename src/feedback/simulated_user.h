@@ -1,0 +1,76 @@
+#ifndef Q_FEEDBACK_SIMULATED_USER_H_
+#define Q_FEEDBACK_SIMULATED_USER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "learn/evaluation.h"
+#include "query/query_graph.h"
+#include "steiner/steiner_tree.h"
+
+namespace q::feedback {
+
+// The paper's evaluation protocol (Sec. 5.2): "for each query, we generate
+// one feedback response, marking one answer that only makes use of edges
+// in the gold standard. Since the gold standard alignments are known
+// during evaluation, this feedback response step can be simulated on
+// behalf of a user." A tree is gold-consistent when every association edge
+// it uses is a gold alignment (membership, FK, and keyword-match edges are
+// always acceptable).
+class SimulatedUser {
+ public:
+  explicit SimulatedUser(std::vector<learn::GoldEdge> gold);
+
+  bool IsGoldConsistent(const query::QueryGraph& qg,
+                        const steiner::SteinerTree& tree) const;
+
+  // The lowest-cost gold-consistent tree among `trees` (which must be
+  // cost-ascending), or nullopt.
+  std::optional<steiner::SteinerTree> PickEndorsedTree(
+      const query::QueryGraph& qg,
+      const std::vector<steiner::SteinerTree>& trees) const;
+
+  // Finds a gold-consistent tree even when none is in the current top-k:
+  // re-solves the Steiner problem with all non-gold association edges
+  // banned. This is the answer a domain expert "knows" to be right.
+  std::optional<steiner::SteinerTree> SolveEndorsedTree(
+      const query::QueryGraph& qg, const graph::WeightVector& weights) const;
+
+  // Like SolveEndorsedTree, but insists the endorsed answer be a genuine
+  // *integration* answer: the cheapest gold-consistent proper tree that
+  // uses at least one (gold) association edge. A domain expert asking
+  // "GO term ... publication titles" endorses the joined answer, not a
+  // coincidental single-table match. Returns nullopt when no gold
+  // association can participate in any proper tree.
+  std::optional<steiner::SteinerTree> SolveEndorsedJoinTree(
+      const query::QueryGraph& qg, const graph::WeightVector& weights) const;
+
+  // The answer matching the query's *intent*: every keyword is pinned to
+  // its best (cheapest) match and the relations those matches live in are
+  // connected through gold edges only. This is what a domain expert
+  // endorses — "GO term name ... publication titles" means the GO term
+  // joined to its publications, not whichever partial match is cheapest.
+  std::optional<steiner::SteinerTree> SolveIntentTree(
+      const query::QueryGraph& qg, const graph::WeightVector& weights) const;
+
+  // Preference order an expert would use when marking an answer: the
+  // intent tree, else the cheapest gold-consistent top-k tree that uses
+  // an association edge, else a solved join tree, else any
+  // gold-consistent top-k tree.
+  std::optional<steiner::SteinerTree> EndorseForLearning(
+      const query::QueryGraph& qg,
+      const std::vector<steiner::SteinerTree>& trees,
+      const graph::WeightVector& weights) const;
+
+  const std::vector<learn::GoldEdge>& gold() const { return gold_; }
+
+ private:
+  std::vector<learn::GoldEdge> gold_;
+  std::unordered_set<std::string> gold_keys_;
+};
+
+}  // namespace q::feedback
+
+#endif  // Q_FEEDBACK_SIMULATED_USER_H_

@@ -1,0 +1,85 @@
+#include "graph/cost_model.h"
+
+#include <cmath>
+
+namespace q::graph {
+
+CostModel::CostModel(FeatureSpace* space, CostModelConfig config)
+    : space_(space), config_(config) {
+  // The FeatureSpace pre-creates "default" (id 0) with weight 0; pin its
+  // initial weight to the configured uniform offset.
+  space_->SetInitialWeight(FeatureSpace::kDefaultFeature,
+                           config_.default_cost);
+}
+
+FeatureVec CostModel::MatcherConfidenceFeature(std::string_view matcher_name,
+                                               double confidence) {
+  FeatureVec f;
+  int bin = BinIndex(confidence, config_.num_bins);
+  std::string name = "matcher:";
+  name += matcher_name;
+  name += ":bin";
+  name += std::to_string(bin);
+  double init =
+      config_.matcher_scale * (1.0 - BinCenter(bin, config_.num_bins));
+  f.Add(space_->Intern(name, init), 1.0);
+  return f;
+}
+
+FeatureId CostModel::MatcherMissingFeature(std::string_view matcher_name) {
+  std::string name = "matcher:";
+  name += matcher_name;
+  name += ":missing";
+  return space_->Intern(name, config_.matcher_scale);
+}
+
+FeatureId CostModel::RelationFeature(std::string_view qualified_relation) {
+  std::string name = "rel:";
+  name += qualified_relation;
+  double init = -std::log(config_.default_authoritativeness);
+  return space_->Intern(name, init);
+}
+
+FeatureVec CostModel::AssociationFeatures(std::string_view matcher_name,
+                                          double confidence,
+                                          std::string_view relation_a,
+                                          std::string_view relation_b,
+                                          std::string_view edge_key) {
+  FeatureVec f;
+  f.Add(space_->Intern("default", config_.default_cost), 1.0);
+  f.AddScaled(MatcherConfidenceFeature(matcher_name, confidence), 1.0);
+  f.Add(RelationFeature(relation_a), 1.0);
+  if (relation_a != relation_b) f.Add(RelationFeature(relation_b), 1.0);
+  std::string edge_name = "edge:";
+  edge_name += edge_key;
+  f.Add(space_->Intern(edge_name, 0.0), 1.0);
+  return f;
+}
+
+FeatureVec CostModel::ForeignKeyFeatures(std::string_view edge_key) {
+  FeatureVec f;
+  f.Add(space_->Intern("default", config_.default_cost), 1.0);
+  f.Add(space_->Intern("fk", config_.foreign_key_cost), 1.0);
+  std::string edge_name = "edge:";
+  edge_name += edge_key;
+  f.Add(space_->Intern(edge_name, 0.0), 1.0);
+  return f;
+}
+
+FeatureVec CostModel::KeywordMatchFeatures(double mismatch_cost,
+                                           std::string_view relation,
+                                           std::string_view edge_key) {
+  FeatureVec f;
+  f.Add(space_->Intern("default", config_.default_cost), 1.0);
+  int bin = BinIndex(mismatch_cost, config_.num_bins);
+  std::string bin_name = "kwmatch:bin" + std::to_string(bin);
+  double init = config_.keyword_scale * BinCenter(bin, config_.num_bins);
+  f.Add(space_->Intern(bin_name, init), 1.0);
+  if (!relation.empty()) f.Add(RelationFeature(relation), 1.0);
+  std::string edge_name = "kwedge:";
+  edge_name += edge_key;
+  f.Add(space_->Intern(edge_name, 0.0), 1.0);
+  return f;
+}
+
+}  // namespace q::graph

@@ -1,0 +1,86 @@
+#ifndef Q_GRAPH_COST_MODEL_H_
+#define Q_GRAPH_COST_MODEL_H_
+
+#include <string>
+#include <string_view>
+
+#include "graph/feature.h"
+
+namespace q::graph {
+
+// Knobs for how edge features are constructed and initially weighted
+// (Sec. 3.4). All "costs" here are *initial weights*; MIRA re-learns them
+// from feedback.
+struct CostModelConfig {
+  // Initial weight of the shared default feature (a uniform offset added
+  // to every learnable edge, also MIRA's positivity lever).
+  double default_cost = 0.1;
+  // Initial weight of the foreign-key kind feature (the paper's default
+  // foreign key cost c_d, modulo the shared default offset).
+  double foreign_key_cost = 1.0;
+  // Scale of matcher-confidence bin weights: a confidence c contributes
+  // about matcher_scale * (1 - c) to the initial edge cost.
+  double matcher_scale = 2.0;
+  // Scale of keyword mismatch-cost bin weights: a mismatch s contributes
+  // about keyword_scale * s.
+  double keyword_scale = 1.0;
+  // Number of equal-width bins for real-valued features (Sec. 4).
+  int num_bins = 10;
+  // Default relation authoritativeness; the per-relation feature weight is
+  // initialized to -log(authoritativeness) (0 for 1.0).
+  double default_authoritativeness = 1.0;
+};
+
+// Builds feature vectors for each edge kind against a shared FeatureSpace.
+// The same feature names always map to the same ids, so edges created at
+// different times share learnable weights (e.g. all edges proposed by the
+// MAD matcher with confidence in the same bin).
+class CostModel {
+ public:
+  CostModel(FeatureSpace* space, CostModelConfig config);
+
+  const CostModelConfig& config() const { return config_; }
+  FeatureSpace* space() { return space_; }
+
+  // Association edge features: default + matcher confidence bin +
+  // both relation authoritativeness features + a per-edge feature
+  // (edge_key should be canonical for the attribute pair).
+  FeatureVec AssociationFeatures(std::string_view matcher_name,
+                                 double confidence,
+                                 std::string_view relation_a,
+                                 std::string_view relation_b,
+                                 std::string_view edge_key);
+
+  // Only the matcher-confidence bin indicator, used when merging a second
+  // matcher's vote into an existing association edge.
+  FeatureVec MatcherConfidenceFeature(std::string_view matcher_name,
+                                      double confidence);
+
+  // Penalty feature carried by association edges a given matcher did NOT
+  // propose ("matcher m is silent about this pair"). Without it, an edge
+  // proposed by one matcher would read as maximally confident for every
+  // other matcher, making single-matcher junk cheaper than alignments
+  // both matchers agree on. Initial weight: one matcher_scale (worse than
+  // any real vote).
+  FeatureId MatcherMissingFeature(std::string_view matcher_name);
+
+  // Foreign-key edge features: default + fk-kind + per-edge.
+  FeatureVec ForeignKeyFeatures(std::string_view edge_key);
+
+  // Keyword-match edge features: default + mismatch-cost bin + owning
+  // relation feature + per-edge.
+  FeatureVec KeywordMatchFeatures(double mismatch_cost,
+                                  std::string_view relation,
+                                  std::string_view edge_key);
+
+  // Interns (or finds) the per-relation authoritativeness feature.
+  FeatureId RelationFeature(std::string_view qualified_relation);
+
+ private:
+  FeatureSpace* space_;
+  CostModelConfig config_;
+};
+
+}  // namespace q::graph
+
+#endif  // Q_GRAPH_COST_MODEL_H_

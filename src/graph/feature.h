@@ -1,0 +1,134 @@
+#ifndef Q_GRAPH_FEATURE_H_
+#define Q_GRAPH_FEATURE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace q::graph {
+
+using FeatureId = std::uint32_t;
+
+// Interns feature names to dense ids and remembers each feature's initial
+// weight (Sec. 3.4: an edge's cost is a learned-weight / feature-value dot
+// product; initial weights encode default costs, matcher confidence
+// scaling, relation authoritativeness, and per-edge offsets).
+//
+// Feature id 0 is always the shared "default" feature present on every
+// learnable edge; its weight acts as the uniform positive offset MIRA uses
+// to keep all edge costs positive (Sec. 4).
+class FeatureSpace {
+ public:
+  FeatureSpace();
+
+  // Returns the id for `name`, creating it with `initial_weight` if new
+  // (the initial weight of an existing feature is left unchanged).
+  FeatureId Intern(std::string_view name, double initial_weight);
+
+  // Lookup without creating; returns false if absent.
+  bool Find(std::string_view name, FeatureId* id) const;
+
+  // Overrides a feature's initial weight (used by CostModel to pin the
+  // default feature's offset). Only affects WeightVector reads that have
+  // not yet materialized the id.
+  void SetInitialWeight(FeatureId id, double w) { initial_weights_[id] = w; }
+
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(FeatureId id) const { return names_[id]; }
+  double initial_weight(FeatureId id) const { return initial_weights_[id]; }
+
+  static constexpr FeatureId kDefaultFeature = 0;
+
+ private:
+  std::unordered_map<std::string, FeatureId> ids_;
+  std::vector<std::string> names_;
+  std::vector<double> initial_weights_;
+};
+
+// Sparse feature vector: sorted unique (id, value) pairs.
+class FeatureVec {
+ public:
+  FeatureVec() = default;
+
+  // Adds `value` to feature `id` (merging duplicates).
+  void Add(FeatureId id, double value);
+
+  const std::vector<std::pair<FeatureId, double>>& entries() const {
+    return entries_;
+  }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  double ValueOf(FeatureId id) const;
+
+  // Drops the entry for `id` if present; returns whether it was present.
+  bool Remove(FeatureId id);
+
+  // this += other * scale
+  void AddScaled(const FeatureVec& other, double scale);
+
+  bool operator==(const FeatureVec& other) const {
+    return entries_ == other.entries_;
+  }
+
+ private:
+  std::vector<std::pair<FeatureId, double>> entries_;
+};
+
+// Dense weight vector aligned with a FeatureSpace. Unseen ids read as
+// their initial weight.
+class WeightVector {
+ public:
+  explicit WeightVector(const FeatureSpace* space) : space_(space) {}
+
+  double At(FeatureId id) const {
+    return id < values_.size() ? values_[id] : space_->initial_weight(id);
+  }
+
+  void Set(FeatureId id, double w) {
+    EnsureSize(id + 1);
+    values_[id] = w;
+  }
+
+  void Nudge(FeatureId id, double delta) { Set(id, At(id) + delta); }
+
+  // w · f
+  double Dot(const FeatureVec& f) const {
+    double sum = 0.0;
+    for (const auto& [id, value] : f.entries()) sum += At(id) * value;
+    return sum;
+  }
+
+  // Resets every weight to its initial value.
+  void ResetToInitial() { values_.clear(); }
+
+  const FeatureSpace* space() const { return space_; }
+
+ private:
+  void EnsureSize(std::size_t n) {
+    while (values_.size() < n) {
+      values_.push_back(space_->initial_weight(
+          static_cast<FeatureId>(values_.size())));
+    }
+  }
+
+  const FeatureSpace* space_;
+  std::vector<double> values_;
+};
+
+// Maps a real value in [0,1] to one of `num_bins` equal-width bins
+// (Sec. 4: real-valued features are replaced by bin-membership
+// indicators before MIRA learning).
+int BinIndex(double value, int num_bins);
+
+// Center of bin `bin` out of `num_bins` over [0,1].
+double BinCenter(int bin, int num_bins);
+
+}  // namespace q::graph
+
+#endif  // Q_GRAPH_FEATURE_H_

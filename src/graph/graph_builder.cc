@@ -1,0 +1,70 @@
+#include "graph/graph_builder.h"
+
+namespace q::graph {
+namespace {
+
+void AddForeignKeyEdges(const relational::RelationSchema& schema,
+                        CostModel* model, SearchGraph* graph) {
+  auto rel = graph->FindRelationNode(schema.QualifiedName());
+  if (!rel.has_value()) return;
+  for (const relational::ForeignKey& fk : schema.foreign_keys()) {
+    std::string ref_qualified = fk.ref_source + "." + fk.ref_relation;
+    auto ref = graph->FindRelationNode(ref_qualified);
+    if (!ref.has_value()) continue;  // target source not registered yet
+    relational::AttributeId local{schema.source(), schema.relation(),
+                                  fk.local_attribute};
+    relational::AttributeId remote{fk.ref_source, fk.ref_relation,
+                                   fk.ref_attribute};
+    // Skip if this FK edge already exists.
+    bool exists = false;
+    for (EdgeId eid : graph->edges_of(*rel)) {
+      const Edge& e = graph->edge(eid);
+      if (e.kind == EdgeKind::kForeignKey && e.Other(*rel) == *ref &&
+          e.join_a == local && e.join_b == remote) {
+        exists = true;
+        break;
+      }
+    }
+    if (exists) continue;
+    Edge edge;
+    edge.u = *rel;
+    edge.v = *ref;
+    edge.kind = EdgeKind::kForeignKey;
+    edge.join_a = local;
+    edge.join_b = remote;
+    std::string key = "fk:" + local.ToString() + "|" + remote.ToString();
+    edge.features = model->ForeignKeyFeatures(key);
+    graph->AddEdge(std::move(edge));
+  }
+}
+
+}  // namespace
+
+void AddSourceToGraph(const relational::DataSource& source, CostModel* model,
+                      SearchGraph* graph) {
+  for (const auto& table : source.tables()) {
+    graph->AddRelation(table->schema());
+  }
+  // Second pass so FKs within the source resolve regardless of order.
+  for (const auto& table : source.tables()) {
+    AddForeignKeyEdges(table->schema(), model, graph);
+  }
+}
+
+SearchGraph BuildSearchGraph(const relational::Catalog& catalog,
+                             CostModel* model) {
+  SearchGraph graph;
+  for (const auto& source : catalog.sources()) {
+    for (const auto& table : source->tables()) {
+      graph.AddRelation(table->schema());
+    }
+  }
+  for (const auto& source : catalog.sources()) {
+    for (const auto& table : source->tables()) {
+      AddForeignKeyEdges(table->schema(), model, &graph);
+    }
+  }
+  return graph;
+}
+
+}  // namespace q::graph

@@ -1,0 +1,23 @@
+#ifndef Q_GRAPH_GRAPH_BUILDER_H_
+#define Q_GRAPH_GRAPH_BUILDER_H_
+
+#include "graph/cost_model.h"
+#include "graph/search_graph.h"
+#include "relational/catalog.h"
+
+namespace q::graph {
+
+// Adds one data source's relations (relation + attribute nodes with
+// zero-cost membership edges) and its declared key-foreign-key edges to
+// the graph (Sec. 2.1). Foreign keys referencing relations that are not
+// (yet) in the graph are skipped. Idempotent per relation.
+void AddSourceToGraph(const relational::DataSource& source, CostModel* model,
+                      SearchGraph* graph);
+
+// Initial search graph construction from everything in the catalog.
+SearchGraph BuildSearchGraph(const relational::Catalog& catalog,
+                             CostModel* model);
+
+}  // namespace q::graph
+
+#endif  // Q_GRAPH_GRAPH_BUILDER_H_

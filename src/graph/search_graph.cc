@@ -1,0 +1,201 @@
+#include "graph/search_graph.h"
+
+#include <queue>
+
+namespace q::graph {
+
+std::string_view NodeKindToString(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kRelation:
+      return "relation";
+    case NodeKind::kAttribute:
+      return "attribute";
+    case NodeKind::kValue:
+      return "value";
+    case NodeKind::kKeyword:
+      return "keyword";
+  }
+  return "?";
+}
+
+std::string_view EdgeKindToString(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kMembership:
+      return "membership";
+    case EdgeKind::kForeignKey:
+      return "foreign_key";
+    case EdgeKind::kAssociation:
+      return "association";
+    case EdgeKind::kKeywordMatch:
+      return "keyword_match";
+    case EdgeKind::kValueMembership:
+      return "value_membership";
+  }
+  return "?";
+}
+
+std::string SearchGraph::IndexKey(NodeKind kind, std::string_view label) {
+  std::string key;
+  key += static_cast<char>('0' + static_cast<int>(kind));
+  key += '\x1f';
+  key += label;
+  return key;
+}
+
+std::uint64_t SearchGraph::PairKey(NodeId a, NodeId b) {
+  NodeId lo = a < b ? a : b;
+  NodeId hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+NodeId SearchGraph::AddNode(NodeKind kind, std::string label,
+                            relational::AttributeId attr) {
+  std::string key = IndexKey(kind, label);
+  auto it = node_index_.find(key);
+  if (it != node_index_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{kind, std::move(label), std::move(attr)});
+  adjacency_.emplace_back();
+  node_index_.emplace(std::move(key), id);
+  return id;
+}
+
+NodeId SearchGraph::AddRelation(const relational::RelationSchema& schema) {
+  NodeId rel = AddNode(
+      NodeKind::kRelation, schema.QualifiedName(),
+      relational::AttributeId{schema.source(), schema.relation(), ""});
+  for (std::size_t i = 0; i < schema.num_attributes(); ++i) {
+    relational::AttributeId attr_id = schema.IdOf(i);
+    std::string label = attr_id.ToString();
+    bool existed = FindNode(NodeKind::kAttribute, label).has_value();
+    NodeId attr = AddNode(NodeKind::kAttribute, std::move(label),
+                          std::move(attr_id));
+    if (!existed) {
+      Edge membership;
+      membership.u = rel;
+      membership.v = attr;
+      membership.kind = EdgeKind::kMembership;
+      membership.fixed_zero = true;
+      AddEdge(std::move(membership));
+    }
+  }
+  return rel;
+}
+
+EdgeId SearchGraph::AddEdge(Edge edge) {
+  Q_CHECK(edge.u < nodes_.size() && edge.v < nodes_.size());
+  Q_CHECK(edge.u != edge.v);
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  adjacency_[edge.u].push_back(id);
+  adjacency_[edge.v].push_back(id);
+  if (edge.kind == EdgeKind::kAssociation) {
+    association_index_.emplace(PairKey(edge.u, edge.v), id);
+  }
+  edges_.push_back(std::move(edge));
+  return id;
+}
+
+EdgeId SearchGraph::AddAssociationEdge(NodeId a, NodeId b,
+                                       FeatureVec features,
+                                       MatcherScore score) {
+  Q_CHECK(nodes_[a].kind == NodeKind::kAttribute);
+  Q_CHECK(nodes_[b].kind == NodeKind::kAttribute);
+  auto existing = FindAssociation(a, b);
+  if (existing.has_value()) {
+    Edge& e = edges_[*existing];
+    // Merge the new matcher's features (its confidence-bin indicator) into
+    // the edge and record the vote.
+    e.features.AddScaled(features, 1.0);
+    // Deduplicate votes from the same matcher: keep the max confidence.
+    for (auto& p : e.provenance) {
+      if (p.matcher == score.matcher) {
+        p.confidence = std::max(p.confidence, score.confidence);
+        return *existing;
+      }
+    }
+    e.provenance.push_back(std::move(score));
+    return *existing;
+  }
+  Edge edge;
+  edge.u = a;
+  edge.v = b;
+  edge.kind = EdgeKind::kAssociation;
+  edge.features = std::move(features);
+  edge.provenance.push_back(std::move(score));
+  return AddEdge(std::move(edge));
+}
+
+std::optional<NodeId> SearchGraph::FindNode(NodeKind kind,
+                                            std::string_view label) const {
+  auto it = node_index_.find(IndexKey(kind, label));
+  if (it == node_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<EdgeId> SearchGraph::FindAssociation(NodeId a, NodeId b) const {
+  auto it = association_index_.find(PairKey(a, b));
+  if (it == association_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<NodeId> SearchGraph::OwningRelation(NodeId id) const {
+  const Node& n = nodes_[id];
+  if (n.kind == NodeKind::kRelation) return id;
+  if (n.kind == NodeKind::kAttribute) {
+    for (EdgeId eid : adjacency_[id]) {
+      const Edge& e = edges_[eid];
+      if (e.kind != EdgeKind::kMembership) continue;
+      NodeId other = e.Other(id);
+      if (nodes_[other].kind == NodeKind::kRelation) return other;
+    }
+    return std::nullopt;
+  }
+  if (n.kind == NodeKind::kValue) {
+    for (EdgeId eid : adjacency_[id]) {
+      const Edge& e = edges_[eid];
+      if (e.kind != EdgeKind::kValueMembership) continue;
+      return OwningRelation(e.Other(id));
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<EdgeId> SearchGraph::EdgesOfKind(EdgeKind kind) const {
+  std::vector<EdgeId> out;
+  for (EdgeId i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].kind == kind) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<double> SearchGraph::Dijkstra(
+    const std::vector<std::pair<NodeId, double>>& seeds,
+    const WeightVector& weights, double max_cost) const {
+  std::vector<double> dist(nodes_.size(),
+                           std::numeric_limits<double>::infinity());
+  using Item = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+  for (const auto& [node, cost] : seeds) {
+    if (cost <= max_cost && cost < dist[node]) {
+      dist[node] = cost;
+      frontier.emplace(cost, node);
+    }
+  }
+  while (!frontier.empty()) {
+    auto [d, n] = frontier.top();
+    frontier.pop();
+    if (d > dist[n]) continue;
+    for (EdgeId eid : adjacency_[n]) {
+      const Edge& e = edges_[eid];
+      double next = d + EdgeCost(eid, weights);
+      NodeId m = e.Other(n);
+      if (next <= max_cost && next < dist[m]) {
+        dist[m] = next;
+        frontier.emplace(next, m);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace q::graph

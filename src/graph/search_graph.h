@@ -1,0 +1,175 @@
+#ifndef Q_GRAPH_SEARCH_GRAPH_H_
+#define Q_GRAPH_SEARCH_GRAPH_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/feature.h"
+#include "relational/schema.h"
+#include "util/result.h"
+
+namespace q::graph {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+// Guard so Dijkstra/Steiner costs stay strictly positive even mid-learning.
+inline constexpr double kMinEdgeCost = 1e-9;
+
+enum class NodeKind {
+  kRelation = 0,
+  kAttribute = 1,
+  kValue = 2,    // lazily materialized data value (query graphs only)
+  kKeyword = 3,  // query keyword (query graphs only)
+};
+
+std::string_view NodeKindToString(NodeKind kind);
+
+struct Node {
+  NodeKind kind;
+  // Canonical label: qualified relation/attribute name, "<attr>=<text>"
+  // for value nodes, or the keyword string.
+  std::string label;
+  // For kAttribute and kValue nodes: the owning attribute.
+  relational::AttributeId attr;
+  // For kValue nodes: the raw value text (used as a selection predicate).
+  std::string value_text;
+};
+
+enum class EdgeKind {
+  kMembership = 0,   // attribute <-> its relation (always cost 0)
+  kForeignKey = 1,   // relation <-> relation via declared FK
+  kAssociation = 2,  // attribute <-> attribute (alignment)
+  kKeywordMatch = 3, // keyword <-> relation/attribute/value node
+  kValueMembership = 4,  // value <-> its attribute (always cost 0)
+};
+
+std::string_view EdgeKindToString(EdgeKind kind);
+
+// Record of one matcher's vote for an association edge.
+struct MatcherScore {
+  std::string matcher;
+  double confidence;  // in [0, 1]
+};
+
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  EdgeKind kind = EdgeKind::kAssociation;
+  // Empty + fixed_zero for the structurally-zero-cost edges (the MIRA
+  // zero-cost constraint set A is enforced by giving those edges no
+  // features at all).
+  FeatureVec features;
+  bool fixed_zero = false;
+  // Matcher votes that created/confirmed this association edge.
+  std::vector<MatcherScore> provenance;
+  // For kForeignKey edges (which connect relation nodes, per Fig. 2): the
+  // joining attribute pair. For kAssociation edges u/v are the attribute
+  // nodes themselves, so this is left empty.
+  relational::AttributeId join_a;
+  relational::AttributeId join_b;
+
+  NodeId Other(NodeId n) const { return n == u ? v : u; }
+};
+
+// The search graph of Sec. 2.1/3.1: relations, attributes (and in query
+// graphs, values and keywords) connected by undirected weighted edges.
+// Edge costs are not stored; they are computed per query as w · f(e)
+// against a WeightVector, so learning updates reprice the whole graph.
+class SearchGraph {
+ public:
+  SearchGraph() = default;
+
+  // --- construction -------------------------------------------------------
+  NodeId AddNode(NodeKind kind, std::string label,
+                 relational::AttributeId attr = {});
+
+  // Adds (or finds) the relation node for a schema and one attribute node
+  // per attribute, with zero-cost membership edges.
+  NodeId AddRelation(const relational::RelationSchema& schema);
+
+  EdgeId AddEdge(Edge edge);
+
+  // Adds an association edge between two attribute nodes, merging the
+  // matcher score into an existing association edge for the same pair if
+  // present (returns that edge). `features` are only applied when the edge
+  // is new; use RebuildAssociationFeatures-style helpers to refresh.
+  EdgeId AddAssociationEdge(NodeId a, NodeId b, FeatureVec features,
+                            MatcherScore score);
+
+  // --- lookup -------------------------------------------------------------
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Node& mutable_node(NodeId id) { return nodes_[id]; }
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+  Edge& mutable_edge(EdgeId id) { return edges_[id]; }
+
+  const std::vector<EdgeId>& edges_of(NodeId id) const {
+    return adjacency_[id];
+  }
+
+  // Node of given kind with the given label, if any.
+  std::optional<NodeId> FindNode(NodeKind kind, std::string_view label) const;
+
+  std::optional<NodeId> FindRelationNode(
+      std::string_view qualified_name) const {
+    return FindNode(NodeKind::kRelation, qualified_name);
+  }
+  std::optional<NodeId> FindAttributeNode(
+      const relational::AttributeId& id) const {
+    return FindNode(NodeKind::kAttribute, id.ToString());
+  }
+
+  // Existing association edge between the two nodes, if any.
+  std::optional<EdgeId> FindAssociation(NodeId a, NodeId b) const;
+
+  // The relation node an attribute/value node belongs to (via membership
+  // edges); for relation nodes, the node itself.
+  std::optional<NodeId> OwningRelation(NodeId id) const;
+
+  // All edge ids of a given kind.
+  std::vector<EdgeId> EdgesOfKind(EdgeKind kind) const;
+
+  // --- costs --------------------------------------------------------------
+  double EdgeCost(EdgeId id, const WeightVector& weights) const {
+    const Edge& e = edges_[id];
+    if (e.fixed_zero) return 0.0;
+    double c = weights.Dot(e.features);
+    return c < kMinEdgeCost ? kMinEdgeCost : c;
+  }
+
+  // Multi-source Dijkstra: starts from (node, initial cost) seeds and
+  // explores until `max_cost` (inclusive); returns distances for reached
+  // nodes (infinity elsewhere). Used for the alpha-cost neighborhood of
+  // Algorithm 2 and for the metric closure in Steiner solvers.
+  std::vector<double> Dijkstra(
+      const std::vector<std::pair<NodeId, double>>& seeds,
+      const WeightVector& weights,
+      double max_cost = std::numeric_limits<double>::infinity()) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+  // (kind, label) -> node
+  std::unordered_map<std::string, NodeId> node_index_;
+  // min(u,v) << 32 | max(u,v) -> association edge
+  std::unordered_map<std::uint64_t, EdgeId> association_index_;
+
+  static std::string IndexKey(NodeKind kind, std::string_view label);
+  static std::uint64_t PairKey(NodeId a, NodeId b);
+};
+
+}  // namespace q::graph
+
+#endif  // Q_GRAPH_SEARCH_GRAPH_H_

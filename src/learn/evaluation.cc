@@ -1,0 +1,165 @@
+#include "learn/evaluation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace q::learn {
+namespace {
+
+std::unordered_set<std::string> GoldKeys(const std::vector<GoldEdge>& gold) {
+  std::unordered_set<std::string> keys;
+  for (const GoldEdge& g : gold) keys.insert(g.PairKey());
+  return keys;
+}
+
+std::string AssociationKey(const graph::SearchGraph& graph,
+                           const graph::Edge& e) {
+  std::string sa = graph.node(e.u).label;
+  std::string sb = graph.node(e.v).label;
+  return sa < sb ? sa + "|" + sb : sb + "|" + sa;
+}
+
+}  // namespace
+
+util::PrecisionRecall EvaluateCandidates(
+    const std::vector<match::AlignmentCandidate>& candidates,
+    const std::vector<GoldEdge>& gold) {
+  auto gold_keys = GoldKeys(gold);
+  util::PrecisionRecall pr;
+  pr.gold = gold.size();
+  std::set<std::string> seen;
+  for (const auto& c : candidates) {
+    if (!seen.insert(c.PairKey()).second) continue;
+    ++pr.predicted;
+    if (gold_keys.count(c.PairKey()) > 0) ++pr.true_positives;
+  }
+  return pr;
+}
+
+util::PrecisionRecall EvaluateGraphAssociations(
+    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+    const std::vector<GoldEdge>& gold, double cost_threshold) {
+  auto gold_keys = GoldKeys(gold);
+  util::PrecisionRecall pr;
+  pr.gold = gold.size();
+  std::set<std::string> seen;
+  for (graph::EdgeId e : graph.EdgesOfKind(graph::EdgeKind::kAssociation)) {
+    if (graph.EdgeCost(e, weights) > cost_threshold) continue;
+    std::string key = AssociationKey(graph, graph.edge(e));
+    if (!seen.insert(key).second) continue;
+    ++pr.predicted;
+    if (gold_keys.count(key) > 0) ++pr.true_positives;
+  }
+  return pr;
+}
+
+std::vector<PrPoint> GraphPrCurve(const graph::SearchGraph& graph,
+                                  const graph::WeightVector& weights,
+                                  const std::vector<GoldEdge>& gold) {
+  auto gold_keys = GoldKeys(gold);
+  struct Entry {
+    double cost;
+    std::string key;
+  };
+  std::vector<Entry> entries;
+  std::set<std::string> dedupe;
+  for (graph::EdgeId e : graph.EdgesOfKind(graph::EdgeKind::kAssociation)) {
+    std::string key = AssociationKey(graph, graph.edge(e));
+    if (!dedupe.insert(key).second) continue;
+    entries.push_back(Entry{graph.EdgeCost(e, weights), std::move(key)});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.key < b.key;
+  });
+  std::vector<PrPoint> curve;
+  std::size_t tp = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (gold_keys.count(entries[i].key) > 0) ++tp;
+    // Emit a point after each group of equal costs.
+    if (i + 1 < entries.size() && entries[i + 1].cost == entries[i].cost) {
+      continue;
+    }
+    PrPoint p;
+    p.threshold = entries[i].cost;
+    p.precision = static_cast<double>(tp) / static_cast<double>(i + 1);
+    p.recall = gold.empty() ? 0.0
+                            : static_cast<double>(tp) /
+                                  static_cast<double>(gold.size());
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+std::vector<PrPoint> CandidatePrCurve(
+    const std::vector<match::AlignmentCandidate>& candidates,
+    const std::vector<GoldEdge>& gold) {
+  auto gold_keys = GoldKeys(gold);
+  // Deduplicate pairs keeping max confidence.
+  std::map<std::string, double> by_pair;
+  for (const auto& c : candidates) {
+    auto [it, inserted] = by_pair.emplace(c.PairKey(), c.confidence);
+    if (!inserted) it->second = std::max(it->second, c.confidence);
+  }
+  struct Entry {
+    double confidence;
+    std::string key;
+  };
+  std::vector<Entry> entries;
+  for (const auto& [key, conf] : by_pair) {
+    entries.push_back(Entry{conf, key});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    return a.key < b.key;
+  });
+  std::vector<PrPoint> curve;
+  std::size_t tp = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (gold_keys.count(entries[i].key) > 0) ++tp;
+    if (i + 1 < entries.size() &&
+        entries[i + 1].confidence == entries[i].confidence) {
+      continue;
+    }
+    PrPoint p;
+    p.threshold = entries[i].confidence;
+    p.precision = static_cast<double>(tp) / static_cast<double>(i + 1);
+    p.recall = gold.empty() ? 0.0
+                            : static_cast<double>(tp) /
+                                  static_cast<double>(gold.size());
+    curve.push_back(p);
+  }
+  return curve;
+}
+
+GoldCostGap MeasureGoldCostGap(const graph::SearchGraph& graph,
+                               const graph::WeightVector& weights,
+                               const std::vector<GoldEdge>& gold) {
+  auto gold_keys = GoldKeys(gold);
+  GoldCostGap gap;
+  double gold_sum = 0.0;
+  double other_sum = 0.0;
+  for (graph::EdgeId e : graph.EdgesOfKind(graph::EdgeKind::kAssociation)) {
+    double cost = graph.EdgeCost(e, weights);
+    if (gold_keys.count(AssociationKey(graph, graph.edge(e))) > 0) {
+      gold_sum += cost;
+      ++gap.gold_edges;
+    } else {
+      other_sum += cost;
+      ++gap.non_gold_edges;
+    }
+  }
+  if (gap.gold_edges > 0) {
+    gap.gold_mean = gold_sum / static_cast<double>(gap.gold_edges);
+  }
+  if (gap.non_gold_edges > 0) {
+    gap.non_gold_mean = other_sum / static_cast<double>(gap.non_gold_edges);
+  }
+  return gap;
+}
+
+}  // namespace q::learn

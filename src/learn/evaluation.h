@@ -1,0 +1,71 @@
+#ifndef Q_LEARN_EVALUATION_H_
+#define Q_LEARN_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/search_graph.h"
+#include "match/alignment.h"
+#include "relational/schema.h"
+#include "util/stats.h"
+
+namespace q::learn {
+
+// One undirected gold-standard alignment edge (Fig. 9's semantically
+// meaningful join/alignment edges).
+struct GoldEdge {
+  relational::AttributeId a;
+  relational::AttributeId b;
+
+  std::string PairKey() const {
+    std::string sa = a.ToString();
+    std::string sb = b.ToString();
+    return sa < sb ? sa + "|" + sb : sb + "|" + sa;
+  }
+};
+
+struct PrPoint {
+  double threshold = 0.0;  // cost (edges <= threshold kept) or confidence
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+// P/R/F of a candidate set against gold (Table 1's strict definition:
+// a candidate is correct iff its unordered pair is in the gold set).
+util::PrecisionRecall EvaluateCandidates(
+    const std::vector<match::AlignmentCandidate>& candidates,
+    const std::vector<GoldEdge>& gold);
+
+// P/R of the search graph's association edges kept under a cost
+// threshold.
+util::PrecisionRecall EvaluateGraphAssociations(
+    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+    const std::vector<GoldEdge>& gold, double cost_threshold);
+
+// Precision-recall curve over the graph's association edges, sweeping the
+// cost threshold through every distinct edge cost (ascending), as in
+// Figs. 10-11.
+std::vector<PrPoint> GraphPrCurve(const graph::SearchGraph& graph,
+                                  const graph::WeightVector& weights,
+                                  const std::vector<GoldEdge>& gold);
+
+// Precision-recall curve over matcher candidates, sweeping confidence
+// descending.
+std::vector<PrPoint> CandidatePrCurve(
+    const std::vector<match::AlignmentCandidate>& candidates,
+    const std::vector<GoldEdge>& gold);
+
+// Average cost of gold vs non-gold association edges (Fig. 12 series).
+struct GoldCostGap {
+  double gold_mean = 0.0;
+  double non_gold_mean = 0.0;
+  std::size_t gold_edges = 0;
+  std::size_t non_gold_edges = 0;
+};
+GoldCostGap MeasureGoldCostGap(const graph::SearchGraph& graph,
+                               const graph::WeightVector& weights,
+                               const std::vector<GoldEdge>& gold);
+
+}  // namespace q::learn
+
+#endif  // Q_LEARN_EVALUATION_H_

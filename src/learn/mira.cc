@@ -1,0 +1,100 @@
+#include "learn/mira.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace q::learn {
+namespace {
+
+struct Constraint {
+  graph::FeatureVec x;  // f(T) - f(T_r): require w . x >= loss
+  double loss = 0.0;
+  double x_norm_sq = 0.0;
+  double tau = 0.0;  // dual variable
+};
+
+}  // namespace
+
+util::Result<MiraUpdateInfo> MiraLearner::Update(
+    const graph::SearchGraph& query_graph,
+    const std::vector<graph::NodeId>& terminals,
+    const steiner::SteinerTree& target, graph::WeightVector* weights) {
+  steiner::TopKConfig topk = config_.top_k;
+  topk.k = config_.k;
+  std::vector<steiner::SteinerTree> best =
+      steiner::TopKSteinerTrees(query_graph, *weights, terminals, topk);
+  return UpdateAgainst(query_graph, best, target, weights);
+}
+
+util::Result<MiraUpdateInfo> MiraLearner::UpdateAgainst(
+    const graph::SearchGraph& query_graph,
+    const std::vector<steiner::SteinerTree>& alternatives,
+    const steiner::SteinerTree& target, graph::WeightVector* weights) {
+  MiraUpdateInfo info;
+  graph::FeatureVec target_features =
+      steiner::TreeFeatures(query_graph, target);
+
+  std::vector<Constraint> constraints;
+  for (const steiner::SteinerTree& tree : alternatives) {
+    double loss = steiner::SymmetricEdgeLoss(target, tree);
+    if (loss == 0.0) continue;  // T_r itself: trivially satisfied
+    Constraint c;
+    c.x = steiner::TreeFeatures(query_graph, tree);
+    c.x.AddScaled(target_features, -1.0);
+    if (config_.freeze_default_feature) {
+      c.x.Remove(graph::FeatureSpace::kDefaultFeature);
+    }
+    c.loss = loss;
+    for (const auto& [id, v] : c.x.entries()) c.x_norm_sq += v * v;
+    if (c.x_norm_sq <= 0.0) continue;  // identical feature vectors
+    constraints.push_back(std::move(c));
+  }
+  info.constraints = constraints.size();
+  for (const Constraint& c : constraints) {
+    if (weights->Dot(c.x) < c.loss) ++info.violated_before;
+  }
+
+  // Hildreth's algorithm: cyclic dual coordinate ascent. w is kept
+  // implicitly via the weight vector itself (w = w_prev + sum tau_i x_i).
+  for (int pass = 0; pass < config_.max_hildreth_passes; ++pass) {
+    double max_adjust = 0.0;
+    for (Constraint& c : constraints) {
+      double violation = c.loss - weights->Dot(c.x);
+      double delta = violation / c.x_norm_sq;
+      double new_tau = std::max(0.0, c.tau + delta);
+      double applied = new_tau - c.tau;
+      if (applied != 0.0) {
+        for (const auto& [id, v] : c.x.entries()) {
+          weights->Nudge(id, applied * v);
+        }
+        c.tau = new_tau;
+        max_adjust = std::max(max_adjust, std::fabs(applied));
+      }
+    }
+    if (max_adjust < config_.hildreth_tolerance) break;
+  }
+
+  for (const Constraint& c : constraints) {
+    if (weights->Dot(c.x) < c.loss - 1e-6) ++info.violated_after;
+  }
+
+  // Positivity: every learnable edge cost must stay positive, enforced by
+  // raising the shared default feature (value 1 on all learnable edges).
+  if (config_.enforce_positivity) {
+    double min_cost = std::numeric_limits<double>::infinity();
+    for (graph::EdgeId e = 0; e < query_graph.num_edges(); ++e) {
+      const graph::Edge& edge = query_graph.edge(e);
+      if (edge.fixed_zero) continue;
+      min_cost = std::min(min_cost, weights->Dot(edge.features));
+    }
+    if (min_cost < config_.positivity_epsilon &&
+        min_cost != std::numeric_limits<double>::infinity()) {
+      double bump = config_.positivity_epsilon - min_cost;
+      weights->Nudge(graph::FeatureSpace::kDefaultFeature, bump);
+      info.default_weight_bump = bump;
+    }
+  }
+  return info;
+}
+
+}  // namespace q::learn

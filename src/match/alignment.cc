@@ -1,0 +1,47 @@
+#include "match/alignment.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace q::match {
+
+std::vector<AlignmentCandidate> TopYPerAttribute(
+    std::vector<AlignmentCandidate> candidates, int top_y) {
+  if (top_y <= 0) return {};
+  // Deduplicate pairs first (max confidence wins).
+  std::map<std::string, AlignmentCandidate> by_pair;
+  for (auto& c : candidates) {
+    std::string key = c.PairKey();
+    auto it = by_pair.find(key);
+    if (it == by_pair.end() || c.confidence > it->second.confidence) {
+      by_pair[key] = std::move(c);
+    }
+  }
+  // Bucket by endpoint.
+  std::map<std::string, std::vector<const AlignmentCandidate*>> per_attr;
+  for (const auto& [key, c] : by_pair) {
+    per_attr[c.a.ToString()].push_back(&c);
+    per_attr[c.b.ToString()].push_back(&c);
+  }
+  std::map<std::string, const AlignmentCandidate*> kept;
+  for (auto& [attr, list] : per_attr) {
+    std::sort(list.begin(), list.end(),
+              [](const AlignmentCandidate* x, const AlignmentCandidate* y) {
+                if (x->confidence != y->confidence) {
+                  return x->confidence > y->confidence;
+                }
+                return x->PairKey() < y->PairKey();
+              });
+    for (std::size_t i = 0;
+         i < list.size() && i < static_cast<std::size_t>(top_y); ++i) {
+      kept.emplace(list[i]->PairKey(), list[i]);
+    }
+  }
+  std::vector<AlignmentCandidate> out;
+  out.reserve(kept.size());
+  for (const auto& [key, c] : kept) out.push_back(*c);
+  return out;
+}
+
+}  // namespace q::match

@@ -1,0 +1,36 @@
+#ifndef Q_MATCH_ALIGNMENT_H_
+#define Q_MATCH_ALIGNMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace q::match {
+
+// One proposed attribute alignment with the proposing matcher's
+// confidence in [0, 1]. Undirected: (a, b) == (b, a).
+struct AlignmentCandidate {
+  relational::AttributeId a;
+  relational::AttributeId b;
+  double confidence = 0.0;
+  std::string matcher;
+
+  // Canonical "<lesser-id>|<greater-id>" key for dedup across directions.
+  std::string PairKey() const {
+    std::string sa = a.ToString();
+    std::string sb = b.ToString();
+    return sa < sb ? sa + "|" + sb : sb + "|" + sa;
+  }
+};
+
+// Keeps, for every attribute mentioned by `candidates`, its top-Y
+// candidates by confidence (an edge survives if it is in the top-Y list of
+// either endpoint, matching Sec. 5.2's "top-Y edges per node"), then
+// deduplicates pairs keeping max confidence. Deterministic tie-breaking.
+std::vector<AlignmentCandidate> TopYPerAttribute(
+    std::vector<AlignmentCandidate> candidates, int top_y);
+
+}  // namespace q::match
+
+#endif  // Q_MATCH_ALIGNMENT_H_

@@ -1,0 +1,170 @@
+#include "match/mad.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace q::match {
+namespace {
+
+// Sparse vector helpers. Distributions are sorted by label id.
+
+void AddScaled(LabelDist* into, const LabelDist& from, double scale) {
+  if (scale == 0.0 || from.empty()) return;
+  LabelDist merged;
+  merged.reserve(into->size() + from.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < into->size() || j < from.size()) {
+    if (j == from.size() ||
+        (i < into->size() && (*into)[i].first < from[j].first)) {
+      merged.push_back((*into)[i++]);
+    } else if (i == into->size() || from[j].first < (*into)[i].first) {
+      merged.emplace_back(from[j].first, from[j].second * scale);
+      ++j;
+    } else {
+      merged.emplace_back((*into)[i].first,
+                          (*into)[i].second + from[j].second * scale);
+      ++i;
+      ++j;
+    }
+  }
+  *into = std::move(merged);
+}
+
+void Truncate(LabelDist* dist, std::size_t max_labels) {
+  if (dist->size() <= max_labels) return;
+  // Keep the highest-scoring labels; restore label order afterwards.
+  std::sort(dist->begin(), dist->end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  dist->resize(max_labels);
+  std::sort(dist->begin(), dist->end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+double MaxAbsDiff(const LabelDist& a, const LabelDist& b) {
+  double max_diff = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].first < b[j].first)) {
+      max_diff = std::max(max_diff, std::fabs(a[i++].second));
+    } else if (i == a.size() || b[j].first < a[i].first) {
+      max_diff = std::max(max_diff, std::fabs(b[j++].second));
+    } else {
+      max_diff = std::max(max_diff, std::fabs(a[i].second - b[j].second));
+      ++i;
+      ++j;
+    }
+  }
+  return max_diff;
+}
+
+}  // namespace
+
+std::uint32_t LabelPropGraph::GetOrAddNode(const std::string& key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  std::uint32_t id = static_cast<std::uint32_t>(adjacency_.size());
+  index_.emplace(key, id);
+  adjacency_.emplace_back();
+  seed_.push_back(kNoSeed);
+  return id;
+}
+
+void LabelPropGraph::AddEdge(std::uint32_t a, std::uint32_t b,
+                             double weight) {
+  Q_CHECK(a < adjacency_.size() && b < adjacency_.size() && a != b);
+  adjacency_[a].emplace_back(b, weight);
+  adjacency_[b].emplace_back(a, weight);
+  ++edge_count_;
+}
+
+void LabelPropGraph::SetSeed(std::uint32_t n, MadLabel l) {
+  Q_CHECK(n < seed_.size());
+  seed_[n] = l;
+}
+
+MadResult RunMad(const LabelPropGraph& graph, const MadConfig& config) {
+  const std::size_t n = graph.num_nodes();
+  MadResult result;
+  result.labels.assign(n, {});
+  if (n == 0) return result;
+
+  // --- Random-walk probabilities via the entropy heuristic --------------
+  std::vector<double> p_inj(n, 0.0);
+  std::vector<double> p_cont(n, 0.0);
+  std::vector<double> p_abnd(n, 0.0);
+  std::vector<double> weight_sum(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    double total = 0.0;
+    for (const auto& [u, w] : graph.neighbors(v)) total += w;
+    weight_sum[v] = total;
+    double entropy = 0.0;
+    if (total > 0.0) {
+      for (const auto& [u, w] : graph.neighbors(v)) {
+        double p = w / total;
+        if (p > 0.0) entropy -= p * std::log(p);
+      }
+    }
+    double c = std::log(config.beta) /
+               std::log(config.beta + std::exp(entropy));
+    double d = graph.IsSeeded(v) ? (1.0 - c) * std::sqrt(entropy) : 0.0;
+    double z = std::max(c + d, 1.0);
+    p_cont[v] = c / z;
+    p_inj[v] = d / z;
+    p_abnd[v] = std::max(0.0, 1.0 - p_cont[v] - p_inj[v]);
+  }
+
+  // --- Seeds and priors ---------------------------------------------------
+  std::vector<LabelDist> seeds(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (graph.IsSeeded(v)) {
+      seeds[v] = LabelDist{{graph.SeedOf(v), 1.0}};
+    }
+    result.labels[v] = seeds[v];  // L_v <- I_v (Algorithm 1 line 1)
+  }
+  // R_v: single peak on the dummy label.
+  const LabelDist dummy_prior{{kDummyLabel, 1.0}};
+
+  // --- M_vv (Algorithm 1 line 2) -----------------------------------------
+  std::vector<double> m(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    m[v] = config.mu1 * p_inj[v] + config.mu2 * p_cont[v] * weight_sum[v] +
+           config.mu3;
+  }
+
+  // --- Fixpoint iterations ------------------------------------------------
+  std::vector<LabelDist> next(n);
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    double max_change = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      LabelDist d_v;
+      for (const auto& [u, w] : graph.neighbors(v)) {
+        double coeff = p_cont[v] * w + p_cont[u] * w;
+        AddScaled(&d_v, result.labels[u], coeff);
+      }
+      LabelDist updated;
+      AddScaled(&updated, seeds[v], config.mu1 * p_inj[v]);
+      AddScaled(&updated, d_v, config.mu2);
+      AddScaled(&updated, dummy_prior, config.mu3 * p_abnd[v]);
+      if (m[v] > 0.0) {
+        for (auto& [label, score] : updated) score /= m[v];
+      }
+      Truncate(&updated, config.max_labels_per_node);
+      max_change = std::max(max_change, MaxAbsDiff(updated, result.labels[v]));
+      next[v] = std::move(updated);
+    }
+    result.labels.swap(next);
+    result.iterations_run = iter + 1;
+    result.final_max_change = max_change;
+    if (config.tolerance > 0.0 && max_change < config.tolerance) break;
+  }
+  return result;
+}
+
+}  // namespace q::match

@@ -1,0 +1,111 @@
+#include "match/mad_matcher.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace q::match {
+namespace {
+
+struct AttributeEntry {
+  relational::AttributeId id;
+  const relational::Table* table;
+  std::size_t column;
+};
+
+}  // namespace
+
+util::Result<std::vector<AlignmentCandidate>> MadMatcher::InduceAlignments(
+    const std::vector<const relational::Table*>& tables, int top_y) {
+  // --- Collect attributes (one MAD label each) ---------------------------
+  std::vector<AttributeEntry> attrs;
+  for (const relational::Table* t : tables) {
+    for (std::size_t c = 0; c < t->schema().num_attributes(); ++c) {
+      attrs.push_back(AttributeEntry{t->schema().IdOf(c), t, c});
+    }
+  }
+
+  // --- Gather distinct value texts per attribute -------------------------
+  // value text -> set of attribute indices containing it
+  std::unordered_map<std::string, std::vector<std::size_t>> value_attrs;
+  for (std::size_t a = 0; a < attrs.size(); ++a) {
+    std::unordered_set<std::string> seen;
+    for (const auto& row : attrs[a].table->rows()) {
+      const relational::Value& v = row[attrs[a].column];
+      if (v.is_null()) continue;
+      std::string text = v.ToText();
+      if (text.empty()) continue;
+      if (config_.drop_numeric_values && util::IsNumericLiteral(text)) {
+        continue;
+      }
+      if (!seen.insert(text).second) continue;
+      if (config_.max_values_per_attribute > 0 &&
+          seen.size() > config_.max_values_per_attribute) {
+        break;
+      }
+      value_attrs[text].push_back(a);
+    }
+  }
+
+  // --- Build the column-value graph --------------------------------------
+  LabelPropGraph graph;
+  std::vector<std::uint32_t> attr_node(attrs.size());
+  for (std::size_t a = 0; a < attrs.size(); ++a) {
+    attr_node[a] = graph.GetOrAddNode("a:" + attrs[a].id.ToString());
+    // Label id = attribute index + 1 (0 is the dummy label).
+    graph.SetSeed(attr_node[a], static_cast<MadLabel>(a + 1));
+  }
+  for (const auto& [text, owners] : value_attrs) {
+    if (config_.prune_degree_one && owners.size() < 2) continue;
+    std::uint32_t vnode = graph.GetOrAddNode("v:" + text);
+    for (std::size_t a : owners) {
+      graph.AddEdge(attr_node[a], vnode, 1.0);
+    }
+  }
+
+  // --- Propagate ----------------------------------------------------------
+  MadResult mad = RunMad(graph, config_.mad);
+  last_run_.graph_nodes = graph.num_nodes();
+  last_run_.graph_edges = graph.num_edges();
+  last_run_.iterations = mad.iterations_run;
+
+  // --- Read alignments off attribute nodes --------------------------------
+  std::vector<AlignmentCandidate> candidates;
+  for (std::size_t a = 0; a < attrs.size(); ++a) {
+    const LabelDist& dist = mad.labels[attr_node[a]];
+    for (const auto& [label, score] : dist) {
+      if (label == kDummyLabel) continue;
+      std::size_t other = static_cast<std::size_t>(label) - 1;
+      if (other == a) continue;
+      if (score < config_.min_confidence) continue;
+      double confidence = std::clamp(score, 0.0, 1.0);
+      candidates.push_back(AlignmentCandidate{
+          attrs[a].id, attrs[other].id, confidence, std::string(name())});
+    }
+  }
+  return TopYPerAttribute(std::move(candidates), top_y);
+}
+
+util::Result<std::vector<AlignmentCandidate>> MadMatcher::AlignPair(
+    const relational::Table& existing, const relational::Table& incoming,
+    int top_y) {
+  CountPairAlignment();
+  // MAD needs no pairwise attribute comparisons (Sec. 3.2.2), so no
+  // comparison counting here: the propagation is global over both tables.
+  std::vector<const relational::Table*> pair{&existing, &incoming};
+  Q_ASSIGN_OR_RETURN(std::vector<AlignmentCandidate> all,
+                     InduceAlignments(pair, top_y));
+  // Keep only cross-relation alignments in pairwise mode.
+  std::vector<AlignmentCandidate> out;
+  for (auto& c : all) {
+    if (c.a.RelationQualifiedName() != c.b.RelationQualifiedName()) {
+      out.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace q::match

@@ -1,0 +1,34 @@
+#include "match/matcher.h"
+
+namespace q::match {
+
+util::Result<std::vector<AlignmentCandidate>> Matcher::InduceAlignments(
+    const std::vector<const relational::Table*>& tables, int top_y) {
+  std::vector<AlignmentCandidate> all;
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    for (std::size_t j = i + 1; j < tables.size(); ++j) {
+      Q_ASSIGN_OR_RETURN(std::vector<AlignmentCandidate> pair_result,
+                         AlignPair(*tables[i], *tables[j], top_y));
+      for (auto& c : pair_result) all.push_back(std::move(c));
+    }
+  }
+  return TopYPerAttribute(std::move(all), top_y);
+}
+
+util::Result<std::vector<AlignmentCandidate>> CountingMatcher::AlignPair(
+    const relational::Table& existing, const relational::Table& incoming,
+    int top_y) {
+  (void)top_y;
+  CountPairAlignment();
+  const auto& sa = existing.schema();
+  const auto& sb = incoming.schema();
+  for (std::size_t i = 0; i < sa.num_attributes(); ++i) {
+    for (std::size_t j = 0; j < sb.num_attributes(); ++j) {
+      if (!PassesFilter(sa.IdOf(i), sb.IdOf(j))) continue;
+      CountComparison();
+    }
+  }
+  return std::vector<AlignmentCandidate>{};
+}
+
+}  // namespace q::match

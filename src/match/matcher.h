@@ -1,0 +1,84 @@
+#ifndef Q_MATCH_MATCHER_H_
+#define Q_MATCH_MATCHER_H_
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "match/alignment.h"
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace q::match {
+
+// Optional predicate applied before scoring an attribute pair; the
+// value-overlap filter of Sec. 5.1 plugs in here. Pairs failing the filter
+// are neither scored nor counted as comparisons.
+using PairFilter = std::function<bool(const relational::AttributeId&,
+                                      const relational::AttributeId&)>;
+
+struct MatcherStats {
+  // Attribute pairs actually scored (the paper's "pairwise attribute /
+  // column comparisons", Figs. 7-8).
+  std::size_t attribute_comparisons = 0;
+  // AlignPair invocations (relation pairs).
+  std::size_t pair_alignments = 0;
+};
+
+// The paper's pluggable "black box" alignment primitive (Sec. 3.2): given
+// relations, propose attribute alignments with confidences in [0, 1]. Q
+// never looks inside a matcher; it only consumes (pair, confidence) plus
+// comparison counts.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Pairwise mode (how COMA++ is driven in Sec. 3.2.3): aligns attributes
+  // of `existing` and `incoming`, returning up to top_y candidates per
+  // attribute of either relation.
+  virtual util::Result<std::vector<AlignmentCandidate>> AlignPair(
+      const relational::Table& existing, const relational::Table& incoming,
+      int top_y) = 0;
+
+  // Global mode (how MAD runs in Sec. 3.2.2): induce top-Y candidate
+  // alignments per attribute across the whole table set. The default runs
+  // AlignPair over every unordered relation pair.
+  virtual util::Result<std::vector<AlignmentCandidate>> InduceAlignments(
+      const std::vector<const relational::Table*>& tables, int top_y);
+
+  void set_pair_filter(PairFilter filter) { filter_ = std::move(filter); }
+
+  const MatcherStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MatcherStats{}; }
+
+ protected:
+  bool PassesFilter(const relational::AttributeId& a,
+                    const relational::AttributeId& b) const {
+    return !filter_ || filter_(a, b);
+  }
+  void CountComparison() { ++stats_.attribute_comparisons; }
+  void CountPairAlignment() { ++stats_.pair_alignments; }
+
+ private:
+  PairFilter filter_;
+  MatcherStats stats_;
+};
+
+// A matcher that scores nothing and proposes nothing but counts the
+// attribute comparisons a real pairwise matcher would perform. Used by the
+// scaling experiments (Fig. 8), where the paper likewise reports
+// comparison counts instead of running COMA++ on synthetic relations.
+class CountingMatcher final : public Matcher {
+ public:
+  std::string_view name() const override { return "counting"; }
+
+  util::Result<std::vector<AlignmentCandidate>> AlignPair(
+      const relational::Table& existing, const relational::Table& incoming,
+      int top_y) override;
+};
+
+}  // namespace q::match
+
+#endif  // Q_MATCH_MATCHER_H_

@@ -1,0 +1,68 @@
+#include "match/metadata_matcher.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace q::match {
+namespace {
+
+double NameSimilarity(const SynonymDictionary& dict, std::string_view a,
+                      std::string_view b) {
+  auto ta = dict.Normalize(util::TokenizeIdentifier(a));
+  auto tb = dict.Normalize(util::TokenizeIdentifier(b));
+  std::string ja = util::Join(ta, " ");
+  std::string jb = util::Join(tb, " ");
+  double token = util::TokenJaccard(ta, tb);
+  double edit = util::EditSimilarity(ja, jb);
+  double trigram = util::TrigramSimilarity(ja, jb);
+  return std::max({token, edit, trigram});
+}
+
+}  // namespace
+
+double MetadataMatcher::ScorePair(const relational::RelationSchema& schema_a,
+                                  std::size_t attr_a,
+                                  const relational::RelationSchema& schema_b,
+                                  std::size_t attr_b) const {
+  const auto& def_a = schema_a.attributes()[attr_a];
+  const auto& def_b = schema_b.attributes()[attr_b];
+
+  double name = NameSimilarity(synonyms_, def_a.name, def_b.name);
+  double substring = util::SubstringSimilarity(def_a.name, def_b.name);
+  double structure =
+      NameSimilarity(synonyms_, schema_a.relation(), schema_b.relation());
+  double type = def_a.type == def_b.type ? 1.0 : 0.2;
+
+  double score = config_.name_weight * name +
+                 config_.substring_weight * substring +
+                 config_.structure_weight * structure +
+                 config_.type_weight * type;
+  double total = config_.name_weight + config_.substring_weight +
+                 config_.structure_weight + config_.type_weight;
+  return total > 0 ? score / total : 0.0;
+}
+
+util::Result<std::vector<AlignmentCandidate>> MetadataMatcher::AlignPair(
+    const relational::Table& existing, const relational::Table& incoming,
+    int top_y) {
+  CountPairAlignment();
+  const auto& sa = existing.schema();
+  const auto& sb = incoming.schema();
+  std::vector<AlignmentCandidate> all;
+  for (std::size_t i = 0; i < sa.num_attributes(); ++i) {
+    for (std::size_t j = 0; j < sb.num_attributes(); ++j) {
+      relational::AttributeId ida = sa.IdOf(i);
+      relational::AttributeId idb = sb.IdOf(j);
+      if (!PassesFilter(ida, idb)) continue;
+      CountComparison();
+      double score = ScorePair(sa, i, sb, j);
+      if (score < config_.min_confidence) continue;
+      all.push_back(AlignmentCandidate{std::move(ida), std::move(idb), score,
+                                       std::string(name())});
+    }
+  }
+  return TopYPerAttribute(std::move(all), top_y);
+}
+
+}  // namespace q::match

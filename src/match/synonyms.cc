@@ -1,0 +1,51 @@
+#include "match/synonyms.h"
+
+namespace q::match {
+
+SynonymDictionary SynonymDictionary::Default() {
+  SynonymDictionary dict;
+  // Database-schema abbreviations common in bioinformatics sources.
+  dict.Add("pub", "publication");
+  dict.Add("acc", "accession");
+  dict.Add("ac", "accession");
+  dict.Add("id", "identifier");
+  dict.Add("num", "number");
+  dict.Add("no", "number");
+  dict.Add("desc", "description");
+  dict.Add("defn", "definition");
+  dict.Add("def", "definition");
+  dict.Add("ref", "reference");
+  dict.Add("db", "database");
+  dict.Add("seq", "sequence");
+  dict.Add("expr", "expression");
+  dict.Add("exp", "experiment");
+  dict.Add("abbrev", "abbreviation");
+  dict.Add("vol", "volume");
+  dict.Add("jrnl", "journal");
+  dict.Add("auth", "author");
+  dict.Add("org", "organism");
+  dict.Add("chrom", "chromosome");
+  dict.Add("pos", "position");
+  dict.Add("val", "value");
+  dict.Add("qty", "quantity");
+  dict.Add("meas", "measurement");
+  return dict;
+}
+
+void SynonymDictionary::Add(std::string abbreviation, std::string canonical) {
+  map_[std::move(abbreviation)] = std::move(canonical);
+}
+
+const std::string& SynonymDictionary::Canonical(
+    const std::string& token) const {
+  auto it = map_.find(token);
+  return it == map_.end() ? token : it->second;
+}
+
+std::vector<std::string> SynonymDictionary::Normalize(
+    std::vector<std::string> tokens) const {
+  for (auto& t : tokens) t = Canonical(t);
+  return tokens;
+}
+
+}  // namespace q::match

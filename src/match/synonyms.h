@@ -1,0 +1,39 @@
+#ifndef Q_MATCH_SYNONYMS_H_
+#define Q_MATCH_SYNONYMS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace q::match {
+
+// Abbreviation/synonym dictionary mapping short identifier tokens to a
+// canonical long form (the paper's "Standard abbrevs" table in Fig. 2,
+// e.g. pub -> publication). Used by the metadata matcher to normalize
+// tokens before comparison.
+class SynonymDictionary {
+ public:
+  // Loaded with the built-in bioinformatics/database abbreviations.
+  static SynonymDictionary Default();
+
+  // Empty dictionary.
+  SynonymDictionary() = default;
+
+  void Add(std::string abbreviation, std::string canonical);
+
+  // Canonical form of a token (the token itself when unmapped).
+  const std::string& Canonical(const std::string& token) const;
+
+  // Canonicalizes every token in place.
+  std::vector<std::string> Normalize(std::vector<std::string> tokens) const;
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::string> map_;
+};
+
+}  // namespace q::match
+
+#endif  // Q_MATCH_SYNONYMS_H_

@@ -1,0 +1,50 @@
+#include "match/top_y_reveal.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace q::match {
+
+util::Result<std::vector<AlignmentCandidate>> RevealTopYAlignments(
+    Matcher* matcher, const relational::Table& existing,
+    const relational::Table& incoming, const TopYRevealOptions& options) {
+  // Top-1 alignments as the black box reports them.
+  Q_ASSIGN_OR_RETURN(std::vector<AlignmentCandidate> top,
+                     matcher->AlignPair(existing, incoming, 1));
+
+  std::vector<AlignmentCandidate> all = top;
+  for (const AlignmentCandidate& pair : top) {
+    if (pair.confidence >= options.high_confidence) continue;
+    // Probe for the next-best partner of each endpoint by suppressing the
+    // other endpoint and re-running the pairwise alignment.
+    for (int side = 0; side < 2; ++side) {
+      const relational::AttributeId& suppressed =
+          side == 0 ? pair.a : pair.b;
+      const relational::AttributeId& kept = side == 0 ? pair.b : pair.a;
+      std::string suppressed_key = suppressed.ToString();
+      std::string kept_key = kept.ToString();
+      matcher->set_pair_filter(
+          [&suppressed_key, &kept_key](const relational::AttributeId& x,
+                                       const relational::AttributeId& y) {
+            // Remove the suppressed attribute entirely, and only look at
+            // pairs involving the kept endpoint (we want *its* next-best).
+            if (x.ToString() == suppressed_key ||
+                y.ToString() == suppressed_key) {
+              return false;
+            }
+            return x.ToString() == kept_key || y.ToString() == kept_key;
+          });
+      auto rerun = matcher->AlignPair(existing, incoming, 1);
+      matcher->set_pair_filter(nullptr);
+      Q_RETURN_NOT_OK(rerun.status());
+      for (auto& alt : *rerun) all.push_back(std::move(alt));
+      if (static_cast<int>(all.size()) >
+          options.top_y * static_cast<int>(top.size()) * 2) {
+        break;  // plenty of alternatives collected
+      }
+    }
+  }
+  return TopYPerAttribute(std::move(all), options.top_y);
+}
+
+}  // namespace q::match

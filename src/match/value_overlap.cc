@@ -1,0 +1,39 @@
+#include "match/value_overlap.h"
+
+namespace q::match {
+
+void ValueOverlapIndex::IndexTable(const relational::Table& table) {
+  const auto& schema = table.schema();
+  for (std::size_t c = 0; c < schema.num_attributes(); ++c) {
+    auto& set = values_[schema.IdOf(c).ToString()];
+    for (const auto& row : table.rows()) {
+      if (row[c].is_null()) continue;
+      std::string text = row[c].ToText();
+      if (!text.empty()) set.insert(std::move(text));
+    }
+  }
+}
+
+std::size_t ValueOverlapIndex::Overlap(const relational::AttributeId& a,
+                                       const relational::AttributeId& b) const {
+  auto ia = values_.find(a.ToString());
+  auto ib = values_.find(b.ToString());
+  if (ia == values_.end() || ib == values_.end()) return 0;
+  const auto* small = &ia->second;
+  const auto* large = &ib->second;
+  if (small->size() > large->size()) std::swap(small, large);
+  std::size_t n = 0;
+  for (const auto& v : *small) {
+    if (large->count(v) > 0) ++n;
+  }
+  return n;
+}
+
+PairFilter ValueOverlapIndex::MakeFilter(std::size_t min_overlap) const {
+  return [this, min_overlap](const relational::AttributeId& a,
+                             const relational::AttributeId& b) {
+    return CanJoin(a, b, min_overlap);
+  };
+}
+
+}  // namespace q::match

@@ -1,0 +1,44 @@
+#ifndef Q_MATCH_VALUE_OVERLAP_H_
+#define Q_MATCH_VALUE_OVERLAP_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "match/matcher.h"
+#include "relational/table.h"
+
+namespace q::match {
+
+// Content index over attribute value sets, backing the "Value Overlap
+// Filter" of Fig. 7: only attribute pairs that share at least
+// `min_overlap` distinct values are worth comparing (a join needs shared
+// values to produce results).
+class ValueOverlapIndex {
+ public:
+  void IndexTable(const relational::Table& table);
+
+  // Distinct shared non-null value texts between two indexed attributes;
+  // 0 when either is unindexed.
+  std::size_t Overlap(const relational::AttributeId& a,
+                      const relational::AttributeId& b) const;
+
+  bool CanJoin(const relational::AttributeId& a,
+               const relational::AttributeId& b,
+               std::size_t min_overlap = 1) const {
+    return Overlap(a, b) >= min_overlap;
+  }
+
+  // Adapter usable as Matcher::set_pair_filter.
+  PairFilter MakeFilter(std::size_t min_overlap = 1) const;
+
+  std::size_t num_attributes() const { return values_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::unordered_set<std::string>> values_;
+};
+
+}  // namespace q::match
+
+#endif  // Q_MATCH_VALUE_OVERLAP_H_

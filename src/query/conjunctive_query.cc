@@ -1,0 +1,144 @@
+#include "query/conjunctive_query.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace q::query {
+namespace {
+
+// Adds the relation atom owning graph node `n` (if resolvable).
+void AddAtomFor(const QueryGraph& qg, graph::NodeId n,
+                std::set<std::string>* atoms) {
+  auto rel = qg.graph.OwningRelation(n);
+  if (rel.has_value()) atoms->insert(qg.graph.node(*rel).label);
+}
+
+void AddOutputColumn(const relational::AttributeId& attr,
+                     std::vector<OutputColumn>* select_list) {
+  for (const OutputColumn& c : *select_list) {
+    if (c.attr == attr) return;
+  }
+  select_list->push_back(OutputColumn{attr, attr.attribute});
+}
+
+}  // namespace
+
+util::Result<ConjunctiveQuery> CompileTree(
+    const QueryGraph& qg, const steiner::SteinerTree& tree,
+    const graph::WeightVector& weights) {
+  ConjunctiveQuery cq;
+  cq.tree = tree;
+  cq.cost = steiner::TreeCost(qg.graph, weights, tree);
+
+  std::set<std::string> atoms;
+  std::unordered_set<graph::NodeId> keyword_set(qg.keyword_nodes.begin(),
+                                                qg.keyword_nodes.end());
+
+  for (graph::EdgeId eid : tree.edges) {
+    const graph::Edge& edge = qg.graph.edge(eid);
+    const graph::Node& nu = qg.graph.node(edge.u);
+    const graph::Node& nv = qg.graph.node(edge.v);
+    switch (edge.kind) {
+      case graph::EdgeKind::kMembership:
+      case graph::EdgeKind::kValueMembership:
+        AddAtomFor(qg, edge.u, &atoms);
+        AddAtomFor(qg, edge.v, &atoms);
+        break;
+      case graph::EdgeKind::kForeignKey:
+        atoms.insert(nu.label);
+        atoms.insert(nv.label);
+        cq.joins.push_back(JoinCondition{edge.join_a, edge.join_b});
+        break;
+      case graph::EdgeKind::kAssociation: {
+        if (nu.kind != graph::NodeKind::kAttribute ||
+            nv.kind != graph::NodeKind::kAttribute) {
+          return util::Status::Internal(
+              "association edge between non-attribute nodes: " + nu.label +
+              " -- " + nv.label);
+        }
+        AddAtomFor(qg, edge.u, &atoms);
+        AddAtomFor(qg, edge.v, &atoms);
+        cq.joins.push_back(JoinCondition{nu.attr, nv.attr});
+        break;
+      }
+      case graph::EdgeKind::kKeywordMatch: {
+        graph::NodeId kw = keyword_set.count(edge.u) > 0 ? edge.u : edge.v;
+        graph::NodeId target = edge.Other(kw);
+        const graph::Node& tn = qg.graph.node(target);
+        switch (tn.kind) {
+          case graph::NodeKind::kValue:
+            AddAtomFor(qg, target, &atoms);
+            cq.selections.push_back(
+                SelectionPredicate{tn.attr, tn.value_text});
+            AddOutputColumn(tn.attr, &cq.select_list);
+            break;
+          case graph::NodeKind::kAttribute:
+            AddAtomFor(qg, target, &atoms);
+            AddOutputColumn(tn.attr, &cq.select_list);
+            break;
+          case graph::NodeKind::kRelation: {
+            atoms.insert(tn.label);
+            // Represent a relation-level match by its first attribute.
+            for (graph::EdgeId me : qg.graph.edges_of(target)) {
+              const graph::Edge& m = qg.graph.edge(me);
+              if (m.kind != graph::EdgeKind::kMembership) continue;
+              AddOutputColumn(qg.graph.node(m.Other(target)).attr,
+                              &cq.select_list);
+              break;
+            }
+            break;
+          }
+          case graph::NodeKind::kKeyword:
+            return util::Status::Internal(
+                "keyword match edge targeting another keyword");
+        }
+        break;
+      }
+    }
+  }
+
+  cq.atoms.assign(atoms.begin(), atoms.end());
+  if (cq.atoms.empty()) {
+    return util::Status::Internal("tree compiled to zero relation atoms");
+  }
+  return cq;
+}
+
+std::string ConjunctiveQuery::ToSql() const {
+  std::map<std::string, std::string> alias;  // relation -> tN
+  for (const std::string& a : atoms) {
+    alias[a] = "t" + std::to_string(alias.size());
+  }
+  auto ref = [&](const relational::AttributeId& attr) {
+    return alias[attr.RelationQualifiedName()] + "." + attr.attribute;
+  };
+  std::ostringstream sql;
+  sql << "SELECT ";
+  for (std::size_t i = 0; i < select_list.size(); ++i) {
+    if (i > 0) sql << ", ";
+    sql << ref(select_list[i].attr) << " AS " << select_list[i].label;
+  }
+  if (select_list.empty()) sql << "*";
+  sql << " FROM ";
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) sql << ", ";
+    sql << atoms[i] << " " << alias[atoms[i]];
+  }
+  bool first = true;
+  for (const JoinCondition& j : joins) {
+    sql << (first ? " WHERE " : " AND ") << ref(j.left) << " = "
+        << ref(j.right);
+    first = false;
+  }
+  for (const SelectionPredicate& s : selections) {
+    sql << (first ? " WHERE " : " AND ") << ref(s.attr) << " = '"
+        << s.value_text << "'";
+    first = false;
+  }
+  return sql.str();
+}
+
+}  // namespace q::query

@@ -1,0 +1,56 @@
+#ifndef Q_QUERY_CONJUNCTIVE_QUERY_H_
+#define Q_QUERY_CONJUNCTIVE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query_graph.h"
+#include "relational/schema.h"
+#include "steiner/steiner_tree.h"
+#include "util/result.h"
+
+namespace q::query {
+
+// attr = 'text' (values are compared on their canonical text form, since
+// integrated sources may type the same identifier differently).
+struct SelectionPredicate {
+  relational::AttributeId attr;
+  std::string value_text;
+};
+
+// left = right equi-join.
+struct JoinCondition {
+  relational::AttributeId left;
+  relational::AttributeId right;
+};
+
+struct OutputColumn {
+  relational::AttributeId attr;
+  std::string label;  // initially the bare attribute name
+};
+
+// One conjunctive (select-project-join) query generated from a Steiner
+// tree of the query graph (Sec. 2.2): each relation node in the tree (or
+// reachable over zero-cost edges) is an atom; association/FK edges become
+// join conditions; keyword-value matches become selections.
+struct ConjunctiveQuery {
+  std::vector<std::string> atoms;  // qualified relation names, sorted
+  std::vector<JoinCondition> joins;
+  std::vector<SelectionPredicate> selections;
+  std::vector<OutputColumn> select_list;
+  double cost = 0.0;
+  steiner::SteinerTree tree;  // provenance
+
+  // Human-readable SQL rendering (the executor runs the structured form).
+  std::string ToSql() const;
+};
+
+// Compiles one Steiner tree into a conjunctive query, recomputing the
+// tree's cost under `weights`.
+util::Result<ConjunctiveQuery> CompileTree(const QueryGraph& qg,
+                                           const steiner::SteinerTree& tree,
+                                           const graph::WeightVector& weights);
+
+}  // namespace q::query
+
+#endif  // Q_QUERY_CONJUNCTIVE_QUERY_H_

@@ -1,0 +1,41 @@
+#ifndef Q_QUERY_EXECUTOR_H_
+#define Q_QUERY_EXECUTOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "query/conjunctive_query.h"
+#include "relational/catalog.h"
+#include "util/result.h"
+
+namespace q::query {
+
+struct ExecutorOptions {
+  // Hard cap on intermediate and output cardinality per query; guards
+  // degenerate cartesian products.
+  std::size_t max_rows = 100000;
+};
+
+// Evaluates conjunctive queries against the catalog: selections first,
+// then hash equi-joins in join-graph order (cartesian product only when a
+// tree legitimately has no join between two atoms), then projection onto
+// the select-list. Join keys compare on canonical value text so sources
+// that type shared identifiers differently still join.
+class Executor {
+ public:
+  explicit Executor(const relational::Catalog* catalog,
+                    ExecutorOptions options = ExecutorOptions())
+      : catalog_(catalog), options_(options) {}
+
+  // Rows in the query's own select-list schema.
+  util::Result<std::vector<relational::Row>> Execute(
+      const ConjunctiveQuery& query) const;
+
+ private:
+  const relational::Catalog* catalog_;
+  ExecutorOptions options_;
+};
+
+}  // namespace q::query
+
+#endif  // Q_QUERY_EXECUTOR_H_

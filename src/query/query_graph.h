@@ -1,0 +1,46 @@
+#ifndef Q_QUERY_QUERY_GRAPH_H_
+#define Q_QUERY_QUERY_GRAPH_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/cost_model.h"
+#include "graph/search_graph.h"
+#include "relational/catalog.h"
+#include "text/text_index.h"
+#include "util/result.h"
+
+namespace q::query {
+
+struct QueryGraphOptions {
+  // Keyword-to-node matches below this tf-idf similarity are dropped.
+  double min_similarity = 0.25;
+  // Cap on match edges added per keyword (metadata + value matches).
+  std::size_t max_matches_per_keyword = 12;
+  // Association edges whose current cost exceeds this threshold are left
+  // out of the query graph (the pruning threshold of Sec. 5.2.2).
+  double association_cost_threshold =
+      std::numeric_limits<double>::infinity();
+};
+
+// The dynamic expansion of the search graph for one keyword query
+// (Sec. 2.2 / Fig. 3): a copy of the search graph plus one keyword node
+// per query term, lazily-materialized value nodes for matching tuples,
+// and weighted keyword-match edges.
+struct QueryGraph {
+  graph::SearchGraph graph;
+  std::vector<std::string> keywords;
+  std::vector<graph::NodeId> keyword_nodes;  // parallel to `keywords`
+};
+
+// Builds the query graph. Fails with NotFound if any keyword matches
+// nothing at or above min_similarity.
+util::Result<QueryGraph> BuildQueryGraph(
+    const graph::SearchGraph& base, const text::TextIndex& index,
+    const std::vector<std::string>& keywords, graph::CostModel* model,
+    const graph::WeightVector& weights, const QueryGraphOptions& options);
+
+}  // namespace q::query
+
+#endif  // Q_QUERY_QUERY_GRAPH_H_

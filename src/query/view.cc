@@ -1,0 +1,54 @@
+#include "query/view.h"
+
+#include <limits>
+
+namespace q::query {
+
+util::Status TopKView::Refresh(const graph::SearchGraph& base,
+                               const relational::Catalog& catalog,
+                               const text::TextIndex& index,
+                               graph::CostModel* model,
+                               const graph::WeightVector& weights) {
+  Q_ASSIGN_OR_RETURN(query_graph_,
+                     BuildQueryGraph(base, index, keywords_, model, weights,
+                                     config_.query_graph));
+  trees_ = steiner::TopKSteinerTrees(query_graph_.graph, weights,
+                                     query_graph_.keyword_nodes,
+                                     config_.top_k);
+  queries_.clear();
+  std::vector<std::vector<relational::Row>> per_query_rows;
+  Executor executor(&catalog, config_.executor);
+  for (const steiner::SteinerTree& tree : trees_) {
+    Q_ASSIGN_OR_RETURN(ConjunctiveQuery cq,
+                       CompileTree(query_graph_, tree, weights));
+    auto rows = executor.Execute(cq);
+    if (!rows.ok()) {
+      // Row-limit overruns degrade gracefully to an empty branch; other
+      // errors propagate.
+      if (!rows.status().IsOutOfRange()) return rows.status();
+      per_query_rows.emplace_back();
+    } else {
+      per_query_rows.push_back(std::move(rows).value());
+    }
+    queries_.push_back(std::move(cq));
+  }
+  results_ = DisjointUnion(query_graph_, weights, queries_, per_query_rows,
+                           config_.union_similarity_threshold);
+  refreshed_ = true;
+  return util::Status::OK();
+}
+
+double TopKView::Alpha() const {
+  // Alpha is "the cost of the k-th top-scoring result for the user view"
+  // (Sec. 3.3) — the k-th ranked *answer*, not the k-th tree: a view with
+  // plenty of cheap answers is hard to break into. With fewer than k
+  // answers, any relevant new source could enter the top-k, so nothing
+  // may be pruned.
+  std::size_t k = static_cast<std::size_t>(config_.top_k.k);
+  if (!refreshed_ || results_.rows.size() < k) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return results_.rows[k - 1].cost;
+}
+
+}  // namespace q::query

@@ -1,0 +1,67 @@
+#ifndef Q_QUERY_VIEW_H_
+#define Q_QUERY_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "query/conjunctive_query.h"
+#include "query/executor.h"
+#include "query/query_graph.h"
+#include "query/ranked_union.h"
+#include "steiner/top_k.h"
+#include "util/status.h"
+
+namespace q::query {
+
+struct ViewConfig {
+  steiner::TopKConfig top_k;
+  QueryGraphOptions query_graph;
+  ExecutorOptions executor;
+  // Similarity-edge cost threshold for output-schema unification (t of
+  // Sec. 2.2).
+  double union_similarity_threshold = 2.0;
+};
+
+// A persistent keyword-query view (Sec. 2.3): the user's ongoing
+// information need. Holds the latest query graph, top-k trees, compiled
+// queries, and ranked results; Refresh() recomputes everything against
+// the current search graph and weights (called after feedback updates or
+// new-source registration).
+class TopKView {
+ public:
+  TopKView(std::vector<std::string> keywords, ViewConfig config)
+      : keywords_(std::move(keywords)), config_(config) {}
+
+  util::Status Refresh(const graph::SearchGraph& base,
+                       const relational::Catalog& catalog,
+                       const text::TextIndex& index,
+                       graph::CostModel* model,
+                       const graph::WeightVector& weights);
+
+  const std::vector<std::string>& keywords() const { return keywords_; }
+  const ViewConfig& config() const { return config_; }
+  const QueryGraph& query_graph() const { return query_graph_; }
+  const std::vector<steiner::SteinerTree>& trees() const { return trees_; }
+  const std::vector<ConjunctiveQuery>& queries() const { return queries_; }
+  const RankedResults& results() const { return results_; }
+  bool refreshed() const { return refreshed_; }
+
+  // Cost of the k-th top-scoring answer: the alpha bound driving
+  // Algorithm 2's neighborhood pruning. Infinity before the first refresh
+  // or when fewer than k answers exist (any alignment could then enter
+  // the top-k, so nothing may be pruned).
+  double Alpha() const;
+
+ private:
+  std::vector<std::string> keywords_;
+  ViewConfig config_;
+  QueryGraph query_graph_;
+  std::vector<steiner::SteinerTree> trees_;
+  std::vector<ConjunctiveQuery> queries_;
+  RankedResults results_;
+  bool refreshed_ = false;
+};
+
+}  // namespace q::query
+
+#endif  // Q_QUERY_VIEW_H_

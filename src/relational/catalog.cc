@@ -1,0 +1,104 @@
+#include "relational/catalog.h"
+
+namespace q::relational {
+
+util::Status DataSource::AddTable(std::shared_ptr<Table> table) {
+  if (table == nullptr) {
+    return util::Status::InvalidArgument("null table");
+  }
+  if (table->schema().source() != name_) {
+    return util::Status::InvalidArgument(
+        "table " + table->schema().QualifiedName() +
+        " does not belong to source " + name_);
+  }
+  const std::string& relation = table->schema().relation();
+  if (by_name_.count(relation) > 0) {
+    return util::Status::AlreadyExists("relation " + relation +
+                                       " already in source " + name_);
+  }
+  by_name_[relation] = tables_.size();
+  tables_.push_back(std::move(table));
+  return util::Status::OK();
+}
+
+std::shared_ptr<Table> DataSource::FindTable(
+    std::string_view relation) const {
+  auto it = by_name_.find(std::string(relation));
+  if (it == by_name_.end()) return nullptr;
+  return tables_[it->second];
+}
+
+std::size_t DataSource::num_attributes() const {
+  std::size_t n = 0;
+  for (const auto& t : tables_) n += t->schema().num_attributes();
+  return n;
+}
+
+util::Status Catalog::AddSource(std::shared_ptr<DataSource> source) {
+  if (source == nullptr) {
+    return util::Status::InvalidArgument("null source");
+  }
+  if (by_name_.count(source->name()) > 0) {
+    return util::Status::AlreadyExists("source " + source->name() +
+                                       " already registered");
+  }
+  by_name_[source->name()] = sources_.size();
+  sources_.push_back(std::move(source));
+  return util::Status::OK();
+}
+
+std::shared_ptr<DataSource> Catalog::FindSource(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return nullptr;
+  return sources_[it->second];
+}
+
+std::shared_ptr<Table> Catalog::FindTable(
+    std::string_view qualified_name) const {
+  auto dot = qualified_name.find('.');
+  if (dot == std::string_view::npos) return nullptr;
+  return FindTable(qualified_name.substr(0, dot),
+                   qualified_name.substr(dot + 1));
+}
+
+std::shared_ptr<Table> Catalog::FindTable(std::string_view source,
+                                          std::string_view relation) const {
+  auto src = FindSource(source);
+  if (src == nullptr) return nullptr;
+  return src->FindTable(relation);
+}
+
+util::Result<std::size_t> Catalog::ResolveAttribute(
+    const AttributeId& id) const {
+  auto table = FindTable(id.source, id.relation);
+  if (table == nullptr) {
+    return util::Status::NotFound("relation " + id.RelationQualifiedName());
+  }
+  auto idx = table->schema().AttributeIndex(id.attribute);
+  if (!idx.has_value()) {
+    return util::Status::NotFound("attribute " + id.ToString());
+  }
+  return *idx;
+}
+
+std::size_t Catalog::num_relations() const {
+  std::size_t n = 0;
+  for (const auto& s : sources_) n += s->tables().size();
+  return n;
+}
+
+std::size_t Catalog::num_attributes() const {
+  std::size_t n = 0;
+  for (const auto& s : sources_) n += s->num_attributes();
+  return n;
+}
+
+std::vector<std::shared_ptr<Table>> Catalog::AllTables() const {
+  std::vector<std::shared_ptr<Table>> out;
+  for (const auto& s : sources_) {
+    for (const auto& t : s->tables()) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace q::relational

@@ -1,0 +1,75 @@
+#ifndef Q_RELATIONAL_CATALOG_H_
+#define Q_RELATIONAL_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/table.h"
+#include "util/result.h"
+
+namespace q::relational {
+
+// A registered data source: a named collection of tables (the paper
+// models each source as one or more relations with metadata).
+class DataSource {
+ public:
+  explicit DataSource(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Takes ownership; relation names must be unique within the source and
+  // the table's schema source must match this source's name.
+  util::Status AddTable(std::shared_ptr<Table> table);
+
+  const std::vector<std::shared_ptr<Table>>& tables() const {
+    return tables_;
+  }
+
+  // Looks up by bare relation name.
+  std::shared_ptr<Table> FindTable(std::string_view relation) const;
+
+  std::size_t num_attributes() const;
+
+ private:
+  std::string name_;
+  std::vector<std::shared_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+};
+
+// The set of all registered sources; the substrate every other module
+// queries. Sources are identified by unique name.
+class Catalog {
+ public:
+  util::Status AddSource(std::shared_ptr<DataSource> source);
+
+  const std::vector<std::shared_ptr<DataSource>>& sources() const {
+    return sources_;
+  }
+
+  std::shared_ptr<DataSource> FindSource(std::string_view name) const;
+
+  // Looks up "source.relation".
+  std::shared_ptr<Table> FindTable(std::string_view qualified_name) const;
+  std::shared_ptr<Table> FindTable(std::string_view source,
+                                   std::string_view relation) const;
+
+  // Resolves a fully qualified attribute; error if missing.
+  util::Result<std::size_t> ResolveAttribute(const AttributeId& id) const;
+
+  std::size_t num_relations() const;
+  std::size_t num_attributes() const;
+
+  // All tables across all sources, in registration order.
+  std::vector<std::shared_ptr<Table>> AllTables() const;
+
+ private:
+  std::vector<std::shared_ptr<DataSource>> sources_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+};
+
+}  // namespace q::relational
+
+#endif  // Q_RELATIONAL_CATALOG_H_

@@ -1,0 +1,13 @@
+#include "relational/schema.h"
+
+namespace q::relational {
+
+std::optional<std::size_t> RelationSchema::AttributeIndex(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace q::relational

@@ -1,0 +1,104 @@
+#ifndef Q_RELATIONAL_SCHEMA_H_
+#define Q_RELATIONAL_SCHEMA_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/result.h"
+
+namespace q::relational {
+
+// Fully qualified attribute identity: source.relation.attribute.
+struct AttributeId {
+  std::string source;
+  std::string relation;
+  std::string attribute;
+
+  std::string ToString() const {
+    return source + "." + relation + "." + attribute;
+  }
+  std::string RelationQualifiedName() const {
+    return source + "." + relation;
+  }
+
+  bool operator==(const AttributeId& o) const {
+    return source == o.source && relation == o.relation &&
+           attribute == o.attribute;
+  }
+  bool operator<(const AttributeId& o) const {
+    if (source != o.source) return source < o.source;
+    if (relation != o.relation) return relation < o.relation;
+    return attribute < o.attribute;
+  }
+};
+
+struct AttributeIdHash {
+  std::size_t operator()(const AttributeId& a) const {
+    std::size_t h = std::hash<std::string>{}(a.source);
+    h = h * 31 + std::hash<std::string>{}(a.relation);
+    h = h * 31 + std::hash<std::string>{}(a.attribute);
+    return h;
+  }
+};
+
+// One column definition.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kString;
+};
+
+// Declared key-foreign-key relationship from one attribute of this
+// relation to an attribute of a (possibly different) relation.
+struct ForeignKey {
+  std::string local_attribute;
+  std::string ref_source;
+  std::string ref_relation;
+  std::string ref_attribute;
+};
+
+// Schema of one relation (table) inside a data source.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string source, std::string relation,
+                 std::vector<AttributeDef> attributes)
+      : source_(std::move(source)),
+        relation_(std::move(relation)),
+        attributes_(std::move(attributes)) {}
+
+  const std::string& source() const { return source_; }
+  const std::string& relation() const { return relation_; }
+  std::string QualifiedName() const { return source_ + "." + relation_; }
+
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  std::size_t num_attributes() const { return attributes_.size(); }
+
+  const std::vector<ForeignKey>& foreign_keys() const {
+    return foreign_keys_;
+  }
+  void AddForeignKey(ForeignKey fk) {
+    foreign_keys_.push_back(std::move(fk));
+  }
+
+  // Index of the named attribute, or nullopt.
+  std::optional<std::size_t> AttributeIndex(std::string_view name) const;
+
+  AttributeId IdOf(std::size_t index) const {
+    return AttributeId{source_, relation_, attributes_[index].name};
+  }
+
+ private:
+  std::string source_;
+  std::string relation_;
+  std::vector<AttributeDef> attributes_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace q::relational
+
+#endif  // Q_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,51 @@
+#include "relational/table.h"
+
+#include <utility>
+
+namespace q::relational {
+
+util::Status Table::AppendRow(Row row) {
+  if (row.size() != schema_.num_attributes()) {
+    return util::Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.num_attributes()) + " for relation " +
+        schema_.QualifiedName());
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != schema_.attributes()[i].type) {
+      return util::Status::InvalidArgument(
+          "type mismatch in column " + schema_.attributes()[i].name +
+          " of " + schema_.QualifiedName() + ": expected " +
+          std::string(ValueTypeToString(schema_.attributes()[i].type)) +
+          ", got " + std::string(ValueTypeToString(row[i].type())));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return util::Status::OK();
+}
+
+std::unordered_set<Value, ValueHash> Table::DistinctValues(
+    std::size_t col_index) const {
+  std::unordered_set<Value, ValueHash> out;
+  for (const Row& r : rows_) {
+    if (!r[col_index].is_null()) out.insert(r[col_index]);
+  }
+  return out;
+}
+
+std::size_t Table::ValueOverlap(std::size_t col_index, const Table& other,
+                                std::size_t other_col_index) const {
+  auto mine = DistinctValues(col_index);
+  std::size_t shared = 0;
+  std::unordered_set<Value, ValueHash> seen;
+  for (const Row& r : other.rows()) {
+    const Value& v = r[other_col_index];
+    if (v.is_null() || seen.count(v) > 0) continue;
+    seen.insert(v);
+    if (mine.count(v) > 0) ++shared;
+  }
+  return shared;
+}
+
+}  // namespace q::relational

@@ -1,0 +1,55 @@
+#ifndef Q_RELATIONAL_TABLE_H_
+#define Q_RELATIONAL_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace q::relational {
+
+using Row = std::vector<Value>;
+
+// In-memory row-store table. Rows are immutable once appended.
+class Table {
+ public:
+  explicit Table(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  // For post-construction metadata edits (e.g. declaring foreign keys).
+  RelationSchema& mutable_schema() { return schema_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_columns() const { return schema_.num_attributes(); }
+
+  // Appends after checking arity and per-column type (nulls always pass).
+  util::Status AppendRow(Row row);
+
+  const Row& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  const Value& At(std::size_t row_index, std::size_t col_index) const {
+    return rows_[row_index][col_index];
+  }
+
+  // Distinct non-null values in a column.
+  std::unordered_set<Value, ValueHash> DistinctValues(
+      std::size_t col_index) const;
+
+  // Count of distinct shared non-null values between a column of this
+  // table and a column of `other`.
+  std::size_t ValueOverlap(std::size_t col_index, const Table& other,
+                           std::size_t other_col_index) const;
+
+ private:
+  RelationSchema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace q::relational
+
+#endif  // Q_RELATIONAL_TABLE_H_

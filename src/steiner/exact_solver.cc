@@ -1,0 +1,122 @@
+#include "steiner/exact_solver.h"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "util/status.h"
+
+namespace q::steiner {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Backpointer for DP reconstruction.
+struct Back {
+  enum class Type : std::uint8_t { kNone, kBase, kMerge, kGrow };
+  Type type = Type::kNone;
+  std::uint32_t merge_subset = 0;   // for kMerge: S1 (other part is S\S1)
+  std::uint32_t grow_pred = 0;      // for kGrow: predecessor super node
+  graph::EdgeId grow_edge = graph::kInvalidEdge;
+};
+
+}  // namespace
+
+std::optional<SteinerTree> SolveExactSteiner(const SteinerProblem& problem) {
+  if (!problem.valid()) return std::nullopt;
+  const auto& terminals = problem.terminals();
+  const std::size_t n = problem.num_nodes();
+  const std::size_t t = terminals.size();
+
+  SteinerTree result;
+  result.edges = problem.forced();
+  result.cost = problem.base_cost();
+  if (t <= 1) {
+    // All terminals already coincide after contraction.
+    result.Canonicalize();
+    return result;
+  }
+
+  const std::uint32_t full = (1u << t) - 1;
+  std::vector<std::vector<double>> dp(full + 1,
+                                      std::vector<double>(n, kInf));
+  std::vector<std::vector<Back>> back(full + 1, std::vector<Back>(n));
+
+  for (std::size_t i = 0; i < t; ++i) {
+    dp[1u << i][terminals[i]] = 0.0;
+    back[1u << i][terminals[i]].type = Back::Type::kBase;
+  }
+
+  using Item = std::pair<double, std::uint32_t>;
+  for (std::uint32_t subset = 1; subset <= full; ++subset) {
+    // Merge step: combine two disjoint sub-forests rooted at the same node.
+    for (std::uint32_t part = (subset - 1) & subset; part > 0;
+         part = (part - 1) & subset) {
+      std::uint32_t other = subset ^ part;
+      if (part > other) continue;  // each unordered split once
+      for (std::uint32_t v = 0; v < n; ++v) {
+        if (dp[part][v] == kInf || dp[other][v] == kInf) continue;
+        double candidate = dp[part][v] + dp[other][v];
+        if (candidate < dp[subset][v]) {
+          dp[subset][v] = candidate;
+          back[subset][v].type = Back::Type::kMerge;
+          back[subset][v].merge_subset = part;
+        }
+      }
+    }
+    // Grow step: Dijkstra seeded with the merge results.
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (dp[subset][v] < kInf) queue.emplace(dp[subset][v], v);
+    }
+    while (!queue.empty()) {
+      auto [d, v] = queue.top();
+      queue.pop();
+      if (d > dp[subset][v]) continue;
+      for (const SteinerProblem::Arc& arc : problem.arcs(v)) {
+        double next = d + arc.cost;
+        if (next < dp[subset][arc.to]) {
+          dp[subset][arc.to] = next;
+          Back& b = back[subset][arc.to];
+          b.type = Back::Type::kGrow;
+          b.grow_pred = v;
+          b.grow_edge = arc.original;
+          queue.emplace(next, arc.to);
+        }
+      }
+    }
+  }
+
+  std::uint32_t root = terminals[0];
+  if (dp[full][root] == kInf) return std::nullopt;
+
+  // Reconstruct edges by unwinding backpointers.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;  // (S, v)
+  stack.emplace_back(full, root);
+  while (!stack.empty()) {
+    auto [subset, v] = stack.back();
+    stack.pop_back();
+    const Back& b = back[subset][v];
+    switch (b.type) {
+      case Back::Type::kNone:
+        Q_CHECK_MSG(false, "unreachable DP state in Steiner reconstruction");
+        break;
+      case Back::Type::kBase:
+        break;
+      case Back::Type::kGrow:
+        result.edges.push_back(b.grow_edge);
+        stack.emplace_back(subset, b.grow_pred);
+        break;
+      case Back::Type::kMerge:
+        stack.emplace_back(b.merge_subset, v);
+        stack.emplace_back(subset ^ b.merge_subset, v);
+        break;
+    }
+  }
+
+  result.cost += dp[full][root];
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace q::steiner

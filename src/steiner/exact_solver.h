@@ -1,0 +1,25 @@
+#ifndef Q_STEINER_EXACT_SOLVER_H_
+#define Q_STEINER_EXACT_SOLVER_H_
+
+#include <optional>
+
+#include "steiner/problem.h"
+#include "steiner/steiner_tree.h"
+
+namespace q::steiner {
+
+// Exact minimum Steiner tree via the Dreyfus–Wagner dynamic program with
+// Dijkstra-based "grow" steps (Erickson–Monma–Veinott formulation):
+//
+//   dp[S][v] = cost of the cheapest tree spanning terminal subset S plus v
+//   merge:  dp[S][v] <- dp[S1][v] + dp[S\S1][v]
+//   grow:   dp[S][v] <- min over paths u ~> v of dp[S][u] + dist(u, v)
+//
+// Exponential only in the number of terminals (the keyword count, small).
+// Returns std::nullopt when the terminals cannot be connected. The
+// returned tree includes the problem's forced edges and their cost.
+std::optional<SteinerTree> SolveExactSteiner(const SteinerProblem& problem);
+
+}  // namespace q::steiner
+
+#endif  // Q_STEINER_EXACT_SOLVER_H_

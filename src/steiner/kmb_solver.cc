@@ -1,0 +1,188 @@
+#include "steiner/kmb_solver.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace q::steiner {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ShortestPaths {
+  std::vector<double> dist;
+  std::vector<std::uint32_t> pred_node;
+  std::vector<graph::EdgeId> pred_edge;
+};
+
+ShortestPaths Dijkstra(const SteinerProblem& problem, std::uint32_t source) {
+  std::size_t n = problem.num_nodes();
+  ShortestPaths sp;
+  sp.dist.assign(n, kInf);
+  sp.pred_node.assign(n, 0);
+  sp.pred_edge.assign(n, graph::kInvalidEdge);
+  using Item = std::pair<double, std::uint32_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue;
+  sp.dist[source] = 0.0;
+  queue.emplace(0.0, source);
+  while (!queue.empty()) {
+    auto [d, v] = queue.top();
+    queue.pop();
+    if (d > sp.dist[v]) continue;
+    for (const SteinerProblem::Arc& arc : problem.arcs(v)) {
+      double next = d + arc.cost;
+      if (next < sp.dist[arc.to]) {
+        sp.dist[arc.to] = next;
+        sp.pred_node[arc.to] = v;
+        sp.pred_edge[arc.to] = arc.original;
+        queue.emplace(next, arc.to);
+      }
+    }
+  }
+  return sp;
+}
+
+}  // namespace
+
+std::optional<SteinerTree> SolveKmbSteiner(const SteinerProblem& problem) {
+  if (!problem.valid()) return std::nullopt;
+  const auto& terminals = problem.terminals();
+  SteinerTree result;
+  result.edges = problem.forced();
+  result.cost = problem.base_cost();
+  if (terminals.size() <= 1) {
+    result.Canonicalize();
+    return result;
+  }
+
+  // 1. Shortest paths from every terminal.
+  std::vector<ShortestPaths> sp;
+  sp.reserve(terminals.size());
+  for (std::uint32_t t : terminals) sp.push_back(Dijkstra(problem, t));
+
+  // 2. Prim MST over the terminal metric closure.
+  std::size_t t = terminals.size();
+  std::vector<bool> in_mst(t, false);
+  std::vector<double> best(t, kInf);
+  std::vector<std::size_t> best_from(t, 0);
+  best[0] = 0.0;
+  std::vector<std::pair<std::size_t, std::size_t>> closure_edges;
+  for (std::size_t round = 0; round < t; ++round) {
+    std::size_t pick = t;
+    for (std::size_t i = 0; i < t; ++i) {
+      if (!in_mst[i] && (pick == t || best[i] < best[pick])) pick = i;
+    }
+    if (pick == t || best[pick] == kInf) return std::nullopt;  // disconnected
+    in_mst[pick] = true;
+    if (pick != 0) closure_edges.emplace_back(best_from[pick], pick);
+    for (std::size_t i = 0; i < t; ++i) {
+      if (in_mst[i]) continue;
+      double d = sp[pick].dist[terminals[i]];
+      if (d < best[i]) {
+        best[i] = d;
+        best_from[i] = pick;
+      }
+    }
+  }
+
+  // 3. Expand closure edges into original-graph edges.
+  std::unordered_set<graph::EdgeId> subgraph_edges;
+  for (auto [a, b] : closure_edges) {
+    // Walk b's super node back to terminal a along a's shortest-path tree.
+    std::uint32_t v = terminals[b];
+    while (v != terminals[a]) {
+      graph::EdgeId e = sp[a].pred_edge[v];
+      if (e == graph::kInvalidEdge) break;
+      subgraph_edges.insert(e);
+      v = sp[a].pred_node[v];
+    }
+  }
+
+  // 4. MST of the induced subgraph (Kruskal), over super nodes.
+  std::vector<graph::EdgeId> edge_list(subgraph_edges.begin(),
+                                       subgraph_edges.end());
+  // Recover per-edge cost and endpoints from the problem arcs: build a map
+  // original edge -> (u, v, cost).
+  struct EdgeInfo {
+    std::uint32_t u, v;
+    double cost;
+  };
+  std::unordered_map<graph::EdgeId, EdgeInfo> info;
+  for (std::uint32_t v = 0; v < problem.num_nodes(); ++v) {
+    for (const SteinerProblem::Arc& arc : problem.arcs(v)) {
+      if (subgraph_edges.count(arc.original) > 0) {
+        info[arc.original] = EdgeInfo{v, arc.to, arc.cost};
+      }
+    }
+  }
+  std::sort(edge_list.begin(), edge_list.end(),
+            [&](graph::EdgeId a, graph::EdgeId b) {
+              if (info[a].cost != info[b].cost) {
+                return info[a].cost < info[b].cost;
+              }
+              return a < b;
+            });
+  std::unordered_map<std::uint32_t, std::uint32_t> parent;
+  std::function<std::uint32_t(std::uint32_t)> find =
+      [&](std::uint32_t x) -> std::uint32_t {
+    auto it = parent.find(x);
+    if (it == parent.end()) {
+      parent[x] = x;
+      return x;
+    }
+    if (it->second == x) return x;
+    std::uint32_t r = find(it->second);
+    parent[x] = r;
+    return r;
+  };
+  // Adjacency of the pruned tree for leaf pruning.
+  std::unordered_map<std::uint32_t, std::vector<graph::EdgeId>> adj;
+  std::vector<graph::EdgeId> mst;
+  for (graph::EdgeId e : edge_list) {
+    std::uint32_t ru = find(info[e].u);
+    std::uint32_t rv = find(info[e].v);
+    if (ru == rv) continue;
+    parent[ru] = rv;
+    mst.push_back(e);
+    adj[info[e].u].push_back(e);
+    adj[info[e].v].push_back(e);
+  }
+
+  // 5. Iteratively prune non-terminal leaves.
+  std::unordered_set<std::uint32_t> terminal_set(terminals.begin(),
+                                                 terminals.end());
+  std::unordered_set<graph::EdgeId> removed;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [node, edges] : adj) {
+      if (terminal_set.count(node) > 0) continue;
+      std::size_t live = 0;
+      graph::EdgeId last = graph::kInvalidEdge;
+      for (graph::EdgeId e : edges) {
+        if (removed.count(e) == 0) {
+          ++live;
+          last = e;
+        }
+      }
+      if (live == 1) {
+        removed.insert(last);
+        changed = true;
+      }
+    }
+  }
+
+  for (graph::EdgeId e : mst) {
+    if (removed.count(e) > 0) continue;
+    result.edges.push_back(e);
+    result.cost += info[e].cost;
+  }
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace q::steiner

@@ -1,0 +1,21 @@
+#ifndef Q_STEINER_KMB_SOLVER_H_
+#define Q_STEINER_KMB_SOLVER_H_
+
+#include <optional>
+
+#include "steiner/problem.h"
+#include "steiner/steiner_tree.h"
+
+namespace q::steiner {
+
+// Kou–Markowsky–Berman 2-approximation, used instead of the exact DP for
+// large query graphs (the paper's "approximation algorithm at larger
+// scales"): metric closure over the terminals, MST of the closure,
+// expansion of the closure paths, MST of the induced subgraph, then
+// iterative pruning of non-terminal leaves. Returns std::nullopt when the
+// terminals are disconnected.
+std::optional<SteinerTree> SolveKmbSteiner(const SteinerProblem& problem);
+
+}  // namespace q::steiner
+
+#endif  // Q_STEINER_KMB_SOLVER_H_

@@ -1,0 +1,75 @@
+#include "steiner/problem.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace q::steiner {
+
+SteinerProblem::SteinerProblem(const graph::SearchGraph& graph,
+                               const graph::WeightVector& weights,
+                               const std::vector<graph::NodeId>& terminals,
+                               const std::vector<graph::EdgeId>& forced,
+                               const std::vector<graph::EdgeId>& banned)
+    : forced_(forced) {
+  std::unordered_set<graph::EdgeId> banned_set(banned.begin(), banned.end());
+  std::unordered_set<graph::EdgeId> forced_set(forced.begin(), forced.end());
+  for (graph::EdgeId e : forced_) {
+    if (banned_set.count(e) > 0) {
+      valid_ = false;
+      return;
+    }
+  }
+
+  // Union-find over original node ids; contraction of forced edges.
+  std::vector<graph::NodeId> parent(graph.num_nodes());
+  for (graph::NodeId i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](graph::NodeId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (graph::EdgeId e : forced_) {
+    const graph::Edge& edge = graph.edge(e);
+    graph::NodeId ru = find(edge.u);
+    graph::NodeId rv = find(edge.v);
+    if (ru == rv) {
+      valid_ = false;  // forced edges form a cycle
+      return;
+    }
+    parent[ru] = rv;
+    base_cost_ += graph.EdgeCost(e, weights);
+  }
+
+  // Dense super-node ids.
+  super_of_.assign(graph.num_nodes(), 0);
+  std::vector<graph::NodeId> root_to_super(graph.num_nodes(),
+                                           graph::kInvalidNode);
+  std::uint32_t next = 0;
+  for (graph::NodeId i = 0; i < graph.num_nodes(); ++i) {
+    graph::NodeId r = find(i);
+    if (root_to_super[r] == graph::kInvalidNode) root_to_super[r] = next++;
+    super_of_[i] = root_to_super[r];
+  }
+  arcs_.resize(next);
+
+  for (graph::EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (banned_set.count(e) > 0 || forced_set.count(e) > 0) continue;
+    const graph::Edge& edge = graph.edge(e);
+    std::uint32_t su = super_of_[edge.u];
+    std::uint32_t sv = super_of_[edge.v];
+    if (su == sv) continue;  // self-loop after contraction
+    double cost = graph.EdgeCost(e, weights);
+    arcs_[su].push_back(Arc{sv, e, cost});
+    arcs_[sv].push_back(Arc{su, e, cost});
+  }
+
+  std::unordered_set<std::uint32_t> seen;
+  for (graph::NodeId t : terminals) {
+    std::uint32_t s = super_of_[t];
+    if (seen.insert(s).second) terminals_.push_back(s);
+  }
+}
+
+}  // namespace q::steiner

@@ -1,0 +1,62 @@
+#ifndef Q_STEINER_PROBLEM_H_
+#define Q_STEINER_PROBLEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/search_graph.h"
+
+namespace q::steiner {
+
+// A self-contained snapshot of a Steiner instance: edge costs frozen under
+// one WeightVector, `banned` edges removed, and `forced` edges contracted
+// (endpoint merging). Forced-edge contraction is what lets the Lawler
+// top-k scheme reuse any single-tree solver: a subproblem's optimum *must*
+// contain the forced edges, so we charge their cost up front and solve on
+// the contracted graph.
+class SteinerProblem {
+ public:
+  // Arcs are directed copies of the surviving undirected edges.
+  struct Arc {
+    std::uint32_t to;
+    graph::EdgeId original;
+    double cost;
+  };
+
+  SteinerProblem(const graph::SearchGraph& graph,
+                 const graph::WeightVector& weights,
+                 const std::vector<graph::NodeId>& terminals,
+                 const std::vector<graph::EdgeId>& forced,
+                 const std::vector<graph::EdgeId>& banned);
+
+  // False when forced edges are also banned or form a cycle; such
+  // subproblems have no solution.
+  bool valid() const { return valid_; }
+
+  std::size_t num_nodes() const { return arcs_.size(); }
+  const std::vector<Arc>& arcs(std::uint32_t super_node) const {
+    return arcs_[super_node];
+  }
+
+  // Super-node ids of the terminals, deduplicated (contraction can merge
+  // terminals together).
+  const std::vector<std::uint32_t>& terminals() const { return terminals_; }
+
+  // Cost already paid for the forced edges.
+  double base_cost() const { return base_cost_; }
+  const std::vector<graph::EdgeId>& forced() const { return forced_; }
+
+  std::uint32_t SuperOf(graph::NodeId node) const { return super_of_[node]; }
+
+ private:
+  bool valid_ = true;
+  double base_cost_ = 0.0;
+  std::vector<graph::EdgeId> forced_;
+  std::vector<std::uint32_t> super_of_;
+  std::vector<std::vector<Arc>> arcs_;
+  std::vector<std::uint32_t> terminals_;
+};
+
+}  // namespace q::steiner
+
+#endif  // Q_STEINER_PROBLEM_H_

@@ -1,0 +1,139 @@
+#include "steiner/steiner_tree.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace q::steiner {
+
+void SteinerTree::Canonicalize() {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+bool TreeLess(const SteinerTree& a, const SteinerTree& b) {
+  if (a.cost != b.cost) return a.cost < b.cost;
+  return a.edges < b.edges;
+}
+
+graph::FeatureVec TreeFeatures(const graph::SearchGraph& graph,
+                               const SteinerTree& tree) {
+  graph::FeatureVec f;
+  for (graph::EdgeId e : tree.edges) {
+    const graph::Edge& edge = graph.edge(e);
+    if (edge.fixed_zero) continue;
+    f.AddScaled(edge.features, 1.0);
+  }
+  return f;
+}
+
+double TreeCost(const graph::SearchGraph& graph,
+                const graph::WeightVector& weights,
+                const SteinerTree& tree) {
+  double cost = 0.0;
+  for (graph::EdgeId e : tree.edges) cost += graph.EdgeCost(e, weights);
+  return cost;
+}
+
+std::vector<graph::NodeId> TreeNodes(const graph::SearchGraph& graph,
+                                     const SteinerTree& tree) {
+  std::unordered_set<graph::NodeId> seen;
+  std::vector<graph::NodeId> out;
+  for (graph::EdgeId e : tree.edges) {
+    const graph::Edge& edge = graph.edge(e);
+    for (graph::NodeId n : {edge.u, edge.v}) {
+      if (seen.insert(n).second) out.push_back(n);
+    }
+  }
+  return out;
+}
+
+bool IsValidSteinerTree(const graph::SearchGraph& graph,
+                        const SteinerTree& tree,
+                        const std::vector<graph::NodeId>& terminals) {
+  if (tree.edges.empty()) {
+    // Valid only when all terminals are the same node (or none).
+    for (std::size_t i = 1; i < terminals.size(); ++i) {
+      if (terminals[i] != terminals[0]) return false;
+    }
+    return true;
+  }
+  // Union-find over touched nodes; acyclic iff every union succeeds.
+  std::unordered_map<graph::NodeId, graph::NodeId> parent;
+  std::function<graph::NodeId(graph::NodeId)> find =
+      [&](graph::NodeId x) -> graph::NodeId {
+    auto it = parent.find(x);
+    if (it == parent.end()) {
+      parent[x] = x;
+      return x;
+    }
+    if (it->second == x) return x;
+    graph::NodeId root = find(it->second);
+    parent[x] = root;
+    return root;
+  };
+  for (graph::EdgeId e : tree.edges) {
+    const graph::Edge& edge = graph.edge(e);
+    graph::NodeId ru = find(edge.u);
+    graph::NodeId rv = find(edge.v);
+    if (ru == rv) return false;  // cycle
+    parent[ru] = rv;
+  }
+  // Connected: all touched nodes share one root.
+  std::vector<graph::NodeId> touched;
+  touched.reserve(parent.size());
+  for (const auto& [node, unused] : parent) touched.push_back(node);
+  graph::NodeId root = graph::kInvalidNode;
+  for (graph::NodeId node : touched) {
+    graph::NodeId r = find(node);
+    if (root == graph::kInvalidNode) root = r;
+    if (r != root) return false;
+  }
+  // All terminals present in the tree's component.
+  for (graph::NodeId t : terminals) {
+    auto it = parent.find(t);
+    if (it == parent.end()) return false;
+    if (find(t) != root) return false;
+  }
+  return true;
+}
+
+bool IsProperSteinerTree(const graph::SearchGraph& graph,
+                         const SteinerTree& tree,
+                         const std::vector<graph::NodeId>& terminals) {
+  if (!IsValidSteinerTree(graph, tree, terminals)) return false;
+  std::unordered_map<graph::NodeId, int> degree;
+  for (graph::EdgeId e : tree.edges) {
+    ++degree[graph.edge(e).u];
+    ++degree[graph.edge(e).v];
+  }
+  std::unordered_set<graph::NodeId> terminal_set(terminals.begin(),
+                                                 terminals.end());
+  for (const auto& [node, d] : degree) {
+    if (d == 1 && terminal_set.count(node) == 0) return false;
+  }
+  return true;
+}
+
+double SymmetricEdgeLoss(const SteinerTree& a, const SteinerTree& b) {
+  // Both edge lists are canonical (sorted unique).
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t common = 0;
+  while (i < a.edges.size() && j < b.edges.size()) {
+    if (a.edges[i] == b.edges[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a.edges[i] < b.edges[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return static_cast<double>((a.edges.size() - common) +
+                             (b.edges.size() - common));
+}
+
+}  // namespace q::steiner

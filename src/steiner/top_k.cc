@@ -1,0 +1,93 @@
+#include "steiner/top_k.h"
+
+#include <algorithm>
+#include <optional>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+#include "steiner/exact_solver.h"
+#include "steiner/kmb_solver.h"
+#include "steiner/problem.h"
+
+namespace q::steiner {
+namespace {
+
+struct Subproblem {
+  SteinerTree tree;  // optimum within this subspace
+  std::vector<graph::EdgeId> forced;
+  std::vector<graph::EdgeId> banned;
+};
+
+struct SubproblemGreater {
+  bool operator()(const Subproblem& a, const Subproblem& b) const {
+    // Min-heap by tree cost with deterministic tie-break.
+    return TreeLess(b.tree, a.tree);
+  }
+};
+
+}  // namespace
+
+std::vector<SteinerTree> TopKSteinerTrees(
+    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+    const std::vector<graph::NodeId>& terminals, const TopKConfig& config) {
+  std::vector<SteinerTree> output;
+  if (terminals.empty() || config.k <= 0) return output;
+
+  const bool use_kmb =
+      config.approximate || graph.num_nodes() > config.approximate_above_nodes;
+  auto solve = [&](const std::vector<graph::EdgeId>& forced,
+                   const std::vector<graph::EdgeId>& banned)
+      -> std::optional<SteinerTree> {
+    SteinerProblem problem(graph, weights, terminals, forced, banned);
+    return use_kmb ? SolveKmbSteiner(problem) : SolveExactSteiner(problem);
+  };
+
+  std::priority_queue<Subproblem, std::vector<Subproblem>, SubproblemGreater>
+      heap;
+  if (auto best = solve({}, {}); best.has_value()) {
+    heap.push(Subproblem{std::move(*best), {}, {}});
+  }
+
+  // Lawler partitioning never revisits a tree, but approximate solvers can
+  // return duplicates across subspaces; keep a seen-set for safety.
+  std::set<std::vector<graph::EdgeId>> seen;
+  std::size_t expansions = 0;
+
+  while (!heap.empty() && output.size() < static_cast<std::size_t>(config.k) &&
+         expansions < config.max_subproblems) {
+    Subproblem sub = heap.top();
+    heap.pop();
+    ++expansions;
+    if (!seen.insert(sub.tree.edges).second) continue;
+    // A pivot with a dangling forced edge is not a proper Steiner tree (a
+    // leaf that is no keyword node). It is still the subspace's cost lower
+    // bound, so we branch on it, but it is not emitted: every proper tree
+    // of the subspace lacks one of its free edges and thus lives in a
+    // child subspace (trees containing *all* of the pivot's edges are
+    // supersets of a tree and therefore improper).
+    if (IsProperSteinerTree(graph, sub.tree, terminals)) {
+      output.push_back(sub.tree);
+    }
+
+    // Branch on the tree's free (non-forced) edges.
+    std::unordered_set<graph::EdgeId> forced_set(sub.forced.begin(),
+                                                 sub.forced.end());
+    std::vector<graph::EdgeId> free_edges;
+    for (graph::EdgeId e : sub.tree.edges) {
+      if (forced_set.count(e) == 0) free_edges.push_back(e);
+    }
+    std::vector<graph::EdgeId> forced = sub.forced;
+    for (std::size_t i = 0; i < free_edges.size(); ++i) {
+      std::vector<graph::EdgeId> banned = sub.banned;
+      banned.push_back(free_edges[i]);
+      if (auto tree = solve(forced, banned); tree.has_value()) {
+        heap.push(Subproblem{std::move(*tree), forced, std::move(banned)});
+      }
+      forced.push_back(free_edges[i]);
+    }
+  }
+  return output;
+}
+
+}  // namespace q::steiner

@@ -1,0 +1,37 @@
+#ifndef Q_STEINER_TOP_K_H_
+#define Q_STEINER_TOP_K_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/search_graph.h"
+#include "steiner/steiner_tree.h"
+
+namespace q::steiner {
+
+struct TopKConfig {
+  // Number of trees to return (the paper's k).
+  int k = 5;
+  // Use the KMB approximation instead of the exact DP (for larger query
+  // graphs, per Sec. 2.2). The enumeration is then heuristic too.
+  bool approximate = false;
+  // Query graphs with more than this many nodes switch to KMB even when
+  // `approximate` is false.
+  std::size_t approximate_above_nodes = 20000;
+  // Safety bound on Lawler subproblem expansions.
+  std::size_t max_subproblems = 20000;
+};
+
+// K lowest-cost Steiner trees connecting `terminals`, best first
+// (Sec. 2.2: each tree with the keyword nodes as leaves is a candidate
+// join query). Uses Lawler partitioning: the best tree is solved, then
+// the solution space is split into disjoint subspaces by forcing a prefix
+// of its edges and banning the next one. Returns fewer than k trees when
+// the space is exhausted or terminals are disconnected.
+std::vector<SteinerTree> TopKSteinerTrees(
+    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+    const std::vector<graph::NodeId>& terminals, const TopKConfig& config);
+
+}  // namespace q::steiner
+
+#endif  // Q_STEINER_TOP_K_H_

@@ -1,0 +1,33 @@
+#include "text/similarity.h"
+
+#include "util/string_util.h"
+
+namespace q::text {
+
+double EditDistanceSimilarity::Score(std::string_view a,
+                                     std::string_view b) const {
+  return util::EditSimilarity(util::ToLower(a), util::ToLower(b));
+}
+
+double NGramSimilarity::Score(std::string_view a, std::string_view b) const {
+  return util::TrigramSimilarity(a, b);
+}
+
+double TokenJaccardSimilarity::Score(std::string_view a,
+                                     std::string_view b) const {
+  return util::TokenJaccard(util::TokenizeIdentifier(a),
+                            util::TokenizeIdentifier(b));
+}
+
+std::unique_ptr<StringSimilarity> MakeSimilarity(std::string_view name) {
+  if (name == "edit_distance") {
+    return std::make_unique<EditDistanceSimilarity>();
+  }
+  if (name == "ngram") return std::make_unique<NGramSimilarity>();
+  if (name == "token_jaccard") {
+    return std::make_unique<TokenJaccardSimilarity>();
+  }
+  return nullptr;
+}
+
+}  // namespace q::text

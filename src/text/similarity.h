@@ -1,0 +1,46 @@
+#ifndef Q_TEXT_SIMILARITY_H_
+#define Q_TEXT_SIMILARITY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace q::text {
+
+// Pluggable pairwise string similarity in [0, 1] (Sec. 2.2: the keyword
+// similarity metric is tf-idf by default "although other metrics such as
+// edit distance or n-grams could be used").
+class StringSimilarity {
+ public:
+  virtual ~StringSimilarity() = default;
+  virtual std::string_view name() const = 0;
+  virtual double Score(std::string_view a, std::string_view b) const = 0;
+};
+
+// Normalized Levenshtein similarity.
+class EditDistanceSimilarity final : public StringSimilarity {
+ public:
+  std::string_view name() const override { return "edit_distance"; }
+  double Score(std::string_view a, std::string_view b) const override;
+};
+
+// Character trigram Jaccard similarity.
+class NGramSimilarity final : public StringSimilarity {
+ public:
+  std::string_view name() const override { return "ngram"; }
+  double Score(std::string_view a, std::string_view b) const override;
+};
+
+// Token-set Jaccard with identifier-aware tokenization (snake/camel).
+class TokenJaccardSimilarity final : public StringSimilarity {
+ public:
+  std::string_view name() const override { return "token_jaccard"; }
+  double Score(std::string_view a, std::string_view b) const override;
+};
+
+// Factory by name ("edit_distance" | "ngram" | "token_jaccard").
+std::unique_ptr<StringSimilarity> MakeSimilarity(std::string_view name);
+
+}  // namespace q::text
+
+#endif  // Q_TEXT_SIMILARITY_H_

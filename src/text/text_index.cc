@@ -1,0 +1,127 @@
+#include "text/text_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace q::text {
+namespace {
+
+std::vector<std::string> TokensFor(DocKind kind, std::string_view text) {
+  // Identifiers get camelCase/snake splitting; values get plain word
+  // tokenization.
+  if (kind == DocKind::kValue) return util::TokenizeText(text);
+  return util::TokenizeIdentifier(text);
+}
+
+}  // namespace
+
+void TextIndex::IndexCatalog(const relational::Catalog& catalog) {
+  for (const auto& table : catalog.AllTables()) IndexTable(*table);
+}
+
+void TextIndex::IndexTable(const relational::Table& table) {
+  const relational::RelationSchema& schema = table.schema();
+  AddDocument(Document{
+      DocKind::kRelationName,
+      relational::AttributeId{schema.source(), schema.relation(), ""},
+      schema.relation()});
+  for (std::size_t c = 0; c < schema.num_attributes(); ++c) {
+    AddDocument(Document{DocKind::kAttributeName, schema.IdOf(c),
+                         schema.attributes()[c].name});
+  }
+  for (std::size_t c = 0; c < schema.num_attributes(); ++c) {
+    for (const relational::Value& v : table.DistinctValues(c)) {
+      std::string text = v.ToText();
+      if (text.empty()) continue;
+      relational::AttributeId id = schema.IdOf(c);
+      std::string key = id.ToString() + "\x1f" + text;
+      if (value_doc_keys_.count(key) > 0) continue;
+      value_doc_keys_[key] = docs_.size();
+      AddDocument(Document{DocKind::kValue, std::move(id), std::move(text)});
+    }
+  }
+}
+
+void TextIndex::AddDocument(Document doc) {
+  std::size_t index = docs_.size();
+  std::unordered_map<std::string, double> tf;
+  for (const std::string& token : TokensFor(doc.kind, doc.text)) {
+    tf[token] += 1.0;
+  }
+  for (const auto& [token, count] : tf) {
+    postings_[token].push_back(Posting{index, count});
+  }
+  docs_.push_back(std::move(doc));
+  norms_dirty_ = true;
+}
+
+double TextIndex::Idf(const std::string& token) const {
+  auto it = postings_.find(token);
+  std::size_t df = it == postings_.end() ? 0 : it->second.size();
+  // Smoothed idf; always positive.
+  return std::log(1.0 + static_cast<double>(docs_.size()) /
+                            (1.0 + static_cast<double>(df)));
+}
+
+void TextIndex::RecomputeNormsIfNeeded() const {
+  if (!norms_dirty_) return;
+  auto* self = const_cast<TextIndex*>(this);
+  self->doc_norms_.assign(docs_.size(), 0.0);
+  for (const auto& [token, plist] : postings_) {
+    double idf = Idf(token);
+    for (const Posting& p : plist) {
+      double w = p.tf * idf;
+      self->doc_norms_[p.doc_index] += w * w;
+    }
+  }
+  for (double& n : self->doc_norms_) n = std::sqrt(n);
+  self->norms_dirty_ = false;
+}
+
+std::vector<ScoredDoc> TextIndex::Search(std::string_view keyword,
+                                         double min_score,
+                                         std::size_t max_results) const {
+  RecomputeNormsIfNeeded();
+  std::unordered_map<std::string, double> query_tf;
+  for (const std::string& token : util::TokenizeText(keyword)) {
+    query_tf[token] += 1.0;
+  }
+  if (query_tf.empty()) return {};
+
+  double query_norm = 0.0;
+  std::unordered_map<std::size_t, double> dot;  // doc -> accumulated dot
+  for (const auto& [token, tf] : query_tf) {
+    double idf = Idf(token);
+    double qw = tf * idf;
+    query_norm += qw * qw;
+    auto it = postings_.find(token);
+    if (it == postings_.end()) continue;
+    for (const Posting& p : it->second) {
+      dot[p.doc_index] += qw * (p.tf * idf);
+    }
+  }
+  query_norm = std::sqrt(query_norm);
+  if (query_norm == 0.0) return {};
+
+  std::vector<ScoredDoc> results;
+  results.reserve(dot.size());
+  for (const auto& [doc_index, d] : dot) {
+    double denom = query_norm * doc_norms_[doc_index];
+    if (denom <= 0.0) continue;
+    double score = d / denom;
+    if (score >= min_score) results.push_back(ScoredDoc{doc_index, score});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const ScoredDoc& a, const ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc_index < b.doc_index;
+            });
+  if (max_results > 0 && results.size() > max_results) {
+    results.resize(max_results);
+  }
+  return results;
+}
+
+}  // namespace q::text

@@ -1,0 +1,79 @@
+#ifndef Q_TEXT_TEXT_INDEX_H_
+#define Q_TEXT_TEXT_INDEX_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/catalog.h"
+#include "relational/schema.h"
+
+namespace q::text {
+
+enum class DocKind {
+  kRelationName = 0,  // metadata: the relation's name
+  kAttributeName = 1, // metadata: an attribute's name
+  kValue = 2,         // data: one distinct value of one attribute
+};
+
+// One indexed unit. For kRelationName, `attr.attribute` is empty.
+struct Document {
+  DocKind kind;
+  relational::AttributeId attr;
+  std::string text;  // the raw name or value text
+};
+
+struct ScoredDoc {
+  std::size_t doc_index;
+  double score;  // cosine tf-idf similarity in [0, 1]
+};
+
+// TF-IDF inverted index over schema elements and pre-indexed data values
+// (Sec. 2.2: keywords are matched "against all schema elements and all
+// pre-indexed data values in the data sources"). Identifier documents are
+// tokenized with camelCase/snake_case splitting so the keyword "go term"
+// matches attribute "go_term".
+class TextIndex {
+ public:
+  // Indexes every relation name, attribute name, and distinct non-null
+  // value of every table currently in `catalog`.
+  void IndexCatalog(const relational::Catalog& catalog);
+
+  // Indexes one table (used when a new source is registered after the
+  // initial build).
+  void IndexTable(const relational::Table& table);
+
+  const std::vector<Document>& documents() const { return docs_; }
+
+  // Top matches for a (possibly multi-token) keyword, best first, with
+  // score >= min_score. `max_results` of 0 means unlimited.
+  std::vector<ScoredDoc> Search(std::string_view keyword, double min_score,
+                                std::size_t max_results) const;
+
+  std::size_t num_documents() const { return docs_.size(); }
+
+ private:
+  struct Posting {
+    std::size_t doc_index;
+    double tf;  // raw term frequency within the document
+  };
+
+  void AddDocument(Document doc);
+
+  double Idf(const std::string& token) const;
+
+  std::vector<Document> docs_;
+  std::vector<double> doc_norms_;  // lazily recomputed tf-idf norms
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  // Deduplicates kValue docs on (attribute, text).
+  std::unordered_map<std::string, std::size_t> value_doc_keys_;
+  mutable bool norms_dirty_ = true;
+
+  void RecomputeNormsIfNeeded() const;
+};
+
+}  // namespace q::text
+
+#endif  // Q_TEXT_TEXT_INDEX_H_

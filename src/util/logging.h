@@ -1,0 +1,45 @@
+#ifndef Q_UTIL_LOGGING_H_
+#define Q_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace q::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+// Stream-style single-line logger writing to stderr, used via Q_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace q::util
+
+#define Q_LOG(level)                                                   \
+  ::q::util::internal::LogMessage(::q::util::LogLevel::k##level,       \
+                                  __FILE__, __LINE__)
+
+#endif  // Q_UTIL_LOGGING_H_

@@ -1,0 +1,62 @@
+#ifndef Q_UTIL_RANDOM_H_
+#define Q_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace q::util {
+
+// Deterministic, seedable PRNG (xoshiro256**). All experiment and dataset
+// randomness flows through this class so runs are reproducible bit-for-bit
+// across platforms (std::mt19937 distributions are not portable).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  std::uint64_t NextUint64();
+
+  // Uniform in [0, bound). Precondition: bound > 0.
+  std::uint64_t Uniform(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Bernoulli draw.
+  bool Bernoulli(double p);
+
+  // Samples an index proportionally to the given non-negative weights.
+  // Precondition: weights non-empty with positive sum.
+  std::size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Uniformly picks an element. Precondition: non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    Q_CHECK(!items.empty());
+    return items[Uniform(items.size())];
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = Uniform(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Forks an independent stream; deterministic in (parent seed, call order).
+  Rng Fork();
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace q::util
+
+#endif  // Q_UTIL_RANDOM_H_

@@ -1,0 +1,82 @@
+#ifndef Q_UTIL_RESULT_H_
+#define Q_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace q::util {
+
+// Result<T> is either a value of type T or a non-OK Status (the Arrow
+// arrow::Result / absl::StatusOr idiom). Functions that can fail and
+// produce a value return Result<T>.
+//
+//   Result<Table> MakeTable(...);
+//   Q_ASSIGN_OR_RETURN(Table t, MakeTable(...));
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call
+  // sites readable: `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : repr_(std::move(value)) {}          // NOLINT
+  Result(Status status) : repr_(std::move(status)) {    // NOLINT
+    Q_CHECK_MSG(!std::get<Status>(repr_).ok(),
+                "Result<T> constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  // Precondition: ok().
+  const T& value() const& {
+    Q_CHECK_MSG(ok(), "Result::value() on error: " << status());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    Q_CHECK_MSG(ok(), "Result::value() on error: " << status());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    Q_CHECK_MSG(ok(), "Result::value() on error: " << status());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` on error.
+  T ValueOr(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace q::util
+
+#define Q_CONCAT_IMPL(a, b) a##b
+#define Q_CONCAT(a, b) Q_CONCAT_IMPL(a, b)
+
+// Q_ASSIGN_OR_RETURN(lhs, rexpr): evaluates rexpr (a Result<T>); on error
+// returns the Status from the current function, otherwise assigns the
+// value to lhs (which may include a declaration).
+#define Q_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  Q_ASSIGN_OR_RETURN_IMPL(Q_CONCAT(_q_result_, __LINE__), lhs, rexpr)
+
+#define Q_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                            \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#endif  // Q_UTIL_RESULT_H_

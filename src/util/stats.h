@@ -1,0 +1,70 @@
+#ifndef Q_UTIL_STATS_H_
+#define Q_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace q::util {
+
+// Streaming summary statistics (Welford's online algorithm for variance).
+class SummaryStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Precision / recall / F1 against a gold set, from raw counts.
+struct PrecisionRecall {
+  std::size_t true_positives = 0;
+  std::size_t predicted = 0;  // true positives + false positives
+  std::size_t gold = 0;       // true positives + false negatives
+
+  double precision() const {
+    return predicted == 0
+               ? 0.0
+               : static_cast<double>(true_positives) /
+                     static_cast<double>(predicted);
+  }
+  double recall() const {
+    return gold == 0 ? 0.0
+                     : static_cast<double>(true_positives) /
+                           static_cast<double>(gold);
+  }
+  double f1() const {
+    double p = precision();
+    double r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+}  // namespace q::util
+
+#endif  // Q_UTIL_STATS_H_

@@ -1,0 +1,150 @@
+#ifndef Q_UTIL_STATUS_H_
+#define Q_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace q::util {
+
+// Error category for a failed operation. Follows the Arrow/RocksDB idiom:
+// operations that can fail return Status (or Result<T>, see result.h)
+// instead of throwing exceptions across API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+// Status holds either success (the common, allocation-free case) or an
+// error code plus message. It is cheap to copy on success and cheap to
+// move always.
+class Status {
+ public:
+  // Success. Equivalent to Status::OK().
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<const State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  // Prepends context to the error message, keeping the code. No-op when ok.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; shared so copies are cheap.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+namespace internal {
+// Aborts with a diagnostic; used by the Q_CHECK family below.
+[[noreturn]] void DieBecauseCheckFailed(const char* file, int line,
+                                        const char* expr,
+                                        const std::string& extra);
+}  // namespace internal
+
+}  // namespace q::util
+
+// Propagates a non-OK Status to the caller.
+#define Q_RETURN_NOT_OK(expr)                     \
+  do {                                            \
+    ::q::util::Status _q_status = (expr);         \
+    if (!_q_status.ok()) return _q_status;        \
+  } while (false)
+
+// Invariant checks: these indicate programming errors, not runtime
+// conditions, so they abort (release and debug alike).
+#define Q_CHECK(cond)                                                     \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::q::util::internal::DieBecauseCheckFailed(__FILE__, __LINE__,      \
+                                                 #cond, "");              \
+    }                                                                     \
+  } while (false)
+
+#define Q_CHECK_MSG(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream _q_oss;                                          \
+      _q_oss << msg; /* NOLINT */                                         \
+      ::q::util::internal::DieBecauseCheckFailed(__FILE__, __LINE__,      \
+                                                 #cond, _q_oss.str());    \
+    }                                                                     \
+  } while (false)
+
+#define Q_CHECK_OK(expr)                                                  \
+  do {                                                                    \
+    ::q::util::Status _q_status = (expr);                                 \
+    if (!_q_status.ok()) {                                                \
+      ::q::util::internal::DieBecauseCheckFailed(                         \
+          __FILE__, __LINE__, #expr, _q_status.ToString());               \
+    }                                                                     \
+  } while (false)
+
+#endif  // Q_UTIL_STATUS_H_

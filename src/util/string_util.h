@@ -1,0 +1,64 @@
+#ifndef Q_UTIL_STRING_UTIL_H_
+#define Q_UTIL_STRING_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace q::util {
+
+// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+// Strips leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+// Splits on `sep`, dropping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Tokenizes an identifier or free text into lowercase word tokens:
+// splits on non-alphanumerics and on camelCase boundaries, so
+// "goTermName" and "go_term_name" both yield {"go","term","name"}.
+std::vector<std::string> TokenizeIdentifier(std::string_view s);
+
+// Tokenizes free text into lowercase alphanumeric word tokens.
+std::vector<std::string> TokenizeText(std::string_view s);
+
+// True if the (trimmed) string parses fully as an integer or decimal number.
+bool IsNumericLiteral(std::string_view s);
+
+// Levenshtein edit distance.
+std::size_t EditDistance(std::string_view a, std::string_view b);
+
+// 1 - EditDistance/max(|a|,|b|), in [0,1]; 1 when both empty.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+// Set of character n-grams of length `n` (over the lowercased string,
+// padded with '#'); empty for empty input.
+std::unordered_set<std::string> CharNGrams(std::string_view s, std::size_t n);
+
+// Jaccard similarity of character trigram sets, in [0,1].
+double TrigramSimilarity(std::string_view a, std::string_view b);
+
+// Length of the longest common substring.
+std::size_t LongestCommonSubstring(std::string_view a, std::string_view b);
+
+// COMA-style substring score: LCS length / max(|a|,|b|) over lowercased
+// inputs, in [0,1].
+double SubstringSimilarity(std::string_view a, std::string_view b);
+
+// Jaccard similarity between two token sets.
+double TokenJaccard(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b);
+
+// printf-style double with fixed precision, e.g. FormatDouble(0.123456, 2)
+// == "0.12".
+std::string FormatDouble(double v, int precision);
+
+}  // namespace q::util
+
+#endif  // Q_UTIL_STRING_UTIL_H_

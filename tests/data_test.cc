@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "data/gbco.h"
+#include "data/interpro_go.h"
+#include "data/synthetic.h"
+#include "graph/graph_builder.h"
+#include "match/value_overlap.h"
+
+namespace q::data {
+namespace {
+
+TEST(InterProGoTest, SchemaMatchesPaper) {
+  InterProGoDataset d = BuildInterProGo();
+  EXPECT_EQ(d.catalog.num_relations(), 8u);   // Fig. 9: 8 tables
+  EXPECT_EQ(d.catalog.num_attributes(), 28u); // 28 attributes
+  EXPECT_EQ(d.gold_edges.size(), 8u);         // 8 gold edges
+  EXPECT_EQ(d.keyword_queries.size(), 10u);   // 10 two-keyword queries
+  for (const auto& q : d.keyword_queries) {
+    EXPECT_EQ(q.size(), 2u);
+  }
+}
+
+TEST(InterProGoTest, GoldEdgesResolve) {
+  InterProGoDataset d = BuildInterProGo();
+  for (const auto& g : d.gold_edges) {
+    EXPECT_TRUE(d.catalog.ResolveAttribute(g.a).ok()) << g.a.ToString();
+    EXPECT_TRUE(d.catalog.ResolveAttribute(g.b).ok()) << g.b.ToString();
+  }
+}
+
+TEST(InterProGoTest, GoldEdgesHaveValueOverlap) {
+  InterProGoDataset d = BuildInterProGo();
+  match::ValueOverlapIndex index;
+  for (const auto& t : d.catalog.AllTables()) index.IndexTable(*t);
+  for (const auto& g : d.gold_edges) {
+    EXPECT_GT(index.Overlap(g.a, g.b), 5u)
+        << g.a.ToString() << " / " << g.b.ToString();
+  }
+}
+
+TEST(InterProGoTest, MethodEntryNameOverlapPresent) {
+  InterProGoDataset d = BuildInterProGo();
+  match::ValueOverlapIndex index;
+  for (const auto& t : d.catalog.AllTables()) index.IndexTable(*t);
+  // The "wrong but useful" alignment of Sec. 5.2.1.
+  relational::AttributeId method_name{"interpro", "method", "name"};
+  relational::AttributeId entry_name{"interpro", "entry", "name"};
+  EXPECT_GT(index.Overlap(method_name, entry_name), 10u);
+}
+
+TEST(InterProGoTest, DeterministicForSeed) {
+  InterProGoDataset a = BuildInterProGo();
+  InterProGoDataset b = BuildInterProGo();
+  auto ta = a.catalog.FindTable("go.go_term");
+  auto tb = b.catalog.FindTable("go.go_term");
+  ASSERT_EQ(ta->num_rows(), tb->num_rows());
+  for (std::size_t i = 0; i < ta->num_rows(); ++i) {
+    EXPECT_EQ(ta->row(i), tb->row(i));
+  }
+}
+
+TEST(InterProGoTest, NoForeignKeysByDefault) {
+  InterProGoDataset d = BuildInterProGo();
+  for (const auto& t : d.catalog.AllTables()) {
+    EXPECT_TRUE(t->schema().foreign_keys().empty());
+  }
+  InterProGoConfig with_fk;
+  with_fk.declare_foreign_keys = true;
+  InterProGoDataset d2 = BuildInterProGo(with_fk);
+  std::size_t fks = 0;
+  for (const auto& t : d2.catalog.AllTables()) {
+    fks += t->schema().foreign_keys().size();
+  }
+  EXPECT_EQ(fks, 8u);  // one per gold edge
+}
+
+TEST(GbcoTest, MatchesPublishedCardinalities) {
+  GbcoDataset d = BuildGbco();
+  EXPECT_EQ(d.catalog.sources().size(), 18u);
+  EXPECT_EQ(d.catalog.num_relations(), 18u);
+  EXPECT_EQ(d.catalog.num_attributes(), 187u);
+  EXPECT_EQ(d.trials.size(), 16u);
+  std::size_t introduced = 0;
+  for (const auto& t : d.trials) introduced += t.new_sources.size();
+  EXPECT_EQ(introduced, 40u);
+}
+
+TEST(GbcoTest, TrialsReferenceLiveRelations) {
+  GbcoDataset d = BuildGbco();
+  for (const auto& t : d.trials) {
+    EXPECT_FALSE(t.keywords.empty());
+    for (const auto& rel : t.base_relations) {
+      EXPECT_NE(d.catalog.FindTable(rel), nullptr) << rel;
+    }
+    for (const auto& s : t.new_sources) {
+      EXPECT_NE(d.catalog.FindSource(s), nullptr) << s;
+      // A new source should not be part of the base query it expands.
+      for (const auto& rel : t.base_relations) {
+        EXPECT_NE(rel, s + "." + s);
+      }
+    }
+  }
+}
+
+TEST(GbcoTest, ForeignKeysResolveAndConnect) {
+  GbcoDataset d = BuildGbco();
+  std::size_t fk_count = 0;
+  for (const auto& t : d.catalog.AllTables()) {
+    for (const auto& fk : t->schema().foreign_keys()) {
+      ++fk_count;
+      // Local attribute exists.
+      EXPECT_TRUE(t->schema().AttributeIndex(fk.local_attribute).has_value())
+          << t->schema().QualifiedName() << "." << fk.local_attribute;
+      // Referenced attribute exists.
+      auto ref = d.catalog.ResolveAttribute(relational::AttributeId{
+          fk.ref_source, fk.ref_relation, fk.ref_attribute});
+      EXPECT_TRUE(ref.ok()) << fk.ref_source << "." << fk.ref_relation
+                            << "." << fk.ref_attribute;
+    }
+  }
+  EXPECT_EQ(fk_count, 15u);  // the curated sparse link set
+
+  // Every trial's base query must be connected through declared FKs so a
+  // view (and its alpha) can form.
+  graph::FeatureSpace space;
+  graph::CostModel model(&space, graph::CostModelConfig{});
+  graph::SearchGraph g = graph::BuildSearchGraph(d.catalog, &model);
+  EXPECT_EQ(g.EdgesOfKind(graph::EdgeKind::kForeignKey).size(), 15u);
+  graph::WeightVector w(&space);
+  for (const auto& trial : d.trials) {
+    auto seed = g.FindRelationNode(trial.base_relations[0]);
+    ASSERT_TRUE(seed.has_value());
+    auto dist = g.Dijkstra({{*seed, 0.0}}, w);
+    for (const auto& rel : trial.base_relations) {
+      auto node = g.FindRelationNode(rel);
+      ASSERT_TRUE(node.has_value());
+      EXPECT_TRUE(std::isfinite(dist[*node]))
+          << rel << " unreachable from " << trial.base_relations[0];
+    }
+  }
+}
+
+TEST(GbcoTest, SharedIdColumnsOverlap) {
+  GbcoDataset d = BuildGbco();
+  match::ValueOverlapIndex index;
+  for (const auto& t : d.catalog.AllTables()) index.IndexTable(*t);
+  // gene_id appears in gene, expression, gene2pathway, ... with shared
+  // pools.
+  EXPECT_GT(index.Overlap(
+                relational::AttributeId{"gene", "gene", "gene_id"},
+                relational::AttributeId{"expression", "expression",
+                                        "gene_id"}),
+            0u);
+}
+
+TEST(SyntheticTest, GrowsCatalogAndGraph) {
+  GbcoConfig config;
+  config.base_rows = 10;
+  GbcoDataset d = BuildGbco(config);
+  graph::FeatureSpace space;
+  graph::CostModel model(&space, graph::CostModelConfig{});
+  graph::SearchGraph g = graph::BuildSearchGraph(d.catalog, &model);
+
+  std::size_t nodes_before = g.num_nodes();
+  std::size_t sources_before = d.catalog.sources().size();
+  util::Rng rng(99);
+  SyntheticGrowthOptions options;
+  ASSERT_TRUE(GrowWithSyntheticSources(20, options, &rng, &d.catalog,
+                                       &model, &g)
+                  .ok());
+  EXPECT_EQ(d.catalog.sources().size(), sources_before + 20);
+  // Each synthetic source adds 1 relation + 2 attribute nodes.
+  EXPECT_EQ(g.num_nodes(), nodes_before + 20 * 3);
+  // And 2 association edges wiring it into the graph.
+  EXPECT_GE(g.EdgesOfKind(graph::EdgeKind::kAssociation).size(), 40u);
+}
+
+}  // namespace
+}  // namespace q::data

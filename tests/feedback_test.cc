@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "data/interpro_go.h"
+#include "feedback/feedback_log.h"
+#include "feedback/simulated_user.h"
+#include "graph/graph_builder.h"
+#include "query/query_graph.h"
+#include "steiner/top_k.h"
+#include "text/text_index.h"
+
+namespace q::feedback {
+namespace {
+
+TEST(FeedbackLogTest, SlidingWindow) {
+  FeedbackLog log(3);
+  EXPECT_TRUE(log.empty());
+  for (int i = 0; i < 5; ++i) {
+    log.Record(FeedbackEvent{{"kw" + std::to_string(i)}});
+  }
+  EXPECT_EQ(log.size(), 3u);
+  auto events = log.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].keywords[0], "kw2");  // oldest retained
+  EXPECT_EQ(events[2].keywords[0], "kw4");
+  log.Clear();
+  EXPECT_TRUE(log.empty());
+}
+
+class SimulatedUserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::InterProGoConfig config;
+    config.num_go_terms = 60;
+    config.num_entries = 50;
+    config.num_pubs = 40;
+    config.num_journals = 8;
+    config.num_methods = 30;
+    config.interpro2go_links = 90;
+    config.entry2pub_links = 80;
+    config.method2pub_links = 60;
+    dataset_ = data::BuildInterProGo(config);
+    model_ = std::make_unique<graph::CostModel>(&space_,
+                                                graph::CostModelConfig{});
+    graph_ = graph::BuildSearchGraph(dataset_.catalog, model_.get());
+    weights_ = std::make_unique<graph::WeightVector>(&space_);
+    index_.IndexCatalog(dataset_.catalog);
+
+    // One gold association and one non-gold association.
+    auto gold_a = graph_.FindAttributeNode(dataset_.gold_edges[0].a);
+    auto gold_b = graph_.FindAttributeNode(dataset_.gold_edges[0].b);
+    ASSERT_TRUE(gold_a.has_value() && gold_b.has_value());
+    gold_edge_ = graph_.AddAssociationEdge(
+        *gold_a, *gold_b,
+        model_->AssociationFeatures("m", 0.9, "x", "y", "gold"),
+        graph::MatcherScore{"m", 0.9});
+
+    auto bad_a = graph_.FindAttributeNode(
+        relational::AttributeId{"go", "go_term", "name"});
+    auto bad_b = graph_.FindAttributeNode(
+        relational::AttributeId{"interpro", "pub", "title"});
+    ASSERT_TRUE(bad_a.has_value() && bad_b.has_value());
+    bad_edge_ = graph_.AddAssociationEdge(
+        *bad_a, *bad_b,
+        model_->AssociationFeatures("m", 0.9, "x", "y", "bad"),
+        graph::MatcherScore{"m", 0.9});
+  }
+
+  query::QueryGraph BuildQg(const std::vector<std::string>& keywords) {
+    auto qg = query::BuildQueryGraph(graph_, index_, keywords, model_.get(),
+                                     *weights_, query::QueryGraphOptions{});
+    EXPECT_TRUE(qg.ok()) << qg.status();
+    return std::move(qg).value();
+  }
+
+  data::InterProGoDataset dataset_;
+  graph::FeatureSpace space_;
+  std::unique_ptr<graph::CostModel> model_;
+  graph::SearchGraph graph_;
+  std::unique_ptr<graph::WeightVector> weights_;
+  text::TextIndex index_;
+  graph::EdgeId gold_edge_ = graph::kInvalidEdge;
+  graph::EdgeId bad_edge_ = graph::kInvalidEdge;
+};
+
+TEST_F(SimulatedUserTest, GoldConsistencyChecksAssociations) {
+  SimulatedUser user(dataset_.gold_edges);
+  auto qg = BuildQg({"go term", "entry"});
+
+  // A tree with no association edges is trivially gold-consistent.
+  steiner::SteinerTree no_assoc;
+  EXPECT_TRUE(user.IsGoldConsistent(qg, no_assoc));
+
+  // Find the copies of the gold/bad edges inside the query graph (edge
+  // ids may shift during the filtered copy).
+  graph::EdgeId gold_copy = graph::kInvalidEdge;
+  graph::EdgeId bad_copy = graph::kInvalidEdge;
+  for (graph::EdgeId e :
+       qg.graph.EdgesOfKind(graph::EdgeKind::kAssociation)) {
+    const auto& la = qg.graph.node(qg.graph.edge(e).u).label;
+    if (la == dataset_.gold_edges[0].a.ToString() ||
+        qg.graph.node(qg.graph.edge(e).v).label ==
+            dataset_.gold_edges[0].a.ToString()) {
+      gold_copy = e;
+    } else {
+      bad_copy = e;
+    }
+  }
+  ASSERT_NE(gold_copy, graph::kInvalidEdge);
+  ASSERT_NE(bad_copy, graph::kInvalidEdge);
+
+  steiner::SteinerTree gold_tree{{gold_copy}, 0.0};
+  EXPECT_TRUE(user.IsGoldConsistent(qg, gold_tree));
+  steiner::SteinerTree bad_tree{{bad_copy}, 0.0};
+  EXPECT_FALSE(user.IsGoldConsistent(qg, bad_tree));
+  steiner::SteinerTree mixed{{gold_copy, bad_copy}, 0.0};
+  mixed.Canonicalize();
+  EXPECT_FALSE(user.IsGoldConsistent(qg, mixed));
+}
+
+TEST_F(SimulatedUserTest, PickEndorsedTreeTakesCheapestGold) {
+  SimulatedUser user(dataset_.gold_edges);
+  auto qg = BuildQg({"go term", "entry"});
+  steiner::TopKConfig topk;
+  topk.k = 8;
+  auto trees = steiner::TopKSteinerTrees(qg.graph, *weights_,
+                                         qg.keyword_nodes, topk);
+  ASSERT_FALSE(trees.empty());
+  auto endorsed = user.PickEndorsedTree(qg, trees);
+  if (endorsed.has_value()) {
+    EXPECT_TRUE(user.IsGoldConsistent(qg, *endorsed));
+    // No cheaper gold-consistent tree precedes it.
+    for (const auto& t : trees) {
+      if (t.cost < endorsed->cost) {
+        EXPECT_FALSE(user.IsGoldConsistent(qg, t));
+      }
+    }
+  }
+}
+
+TEST_F(SimulatedUserTest, SolveEndorsedTreeAvoidsNonGoldEdges) {
+  SimulatedUser user(dataset_.gold_edges);
+  // These keywords connect through the gold association (go_term.acc <->
+  // interpro2go.go_id) without needing the non-gold edge.
+  auto qg = BuildQg({"go term name", "entry"});
+  auto endorsed = user.SolveEndorsedTree(qg, *weights_);
+  ASSERT_TRUE(endorsed.has_value());
+  EXPECT_TRUE(user.IsGoldConsistent(qg, *endorsed));
+  EXPECT_TRUE(
+      steiner::IsValidSteinerTree(qg.graph, *endorsed, qg.keyword_nodes));
+}
+
+}  // namespace
+}  // namespace q::feedback

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "relational/catalog.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace q::relational {
+namespace {
+
+TEST(ValueTest, TypesAndText) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Null().ToText(), "");
+  EXPECT_EQ(Value(std::int64_t{42}).ToText(), "42");
+  EXPECT_EQ(Value("GO:0005886").ToText(), "GO:0005886");
+  EXPECT_EQ(Value(2.5).type(), ValueType::kDouble);
+}
+
+TEST(ValueTest, EqualityIsTyped) {
+  EXPECT_EQ(Value(std::int64_t{1}), Value(std::int64_t{1}));
+  EXPECT_NE(Value(std::int64_t{1}), Value("1"));  // typed inequality
+  EXPECT_EQ(Value(std::int64_t{1}).ToText(), Value("1").ToText());
+}
+
+TEST(ValueTest, HashDistinguishesTypes) {
+  EXPECT_NE(Value(std::int64_t{0}).Hash(), Value("").Hash());
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+}
+
+TEST(ValueTest, TotalOrder) {
+  EXPECT_LT(Value::Null(), Value(std::int64_t{0}));
+  EXPECT_LT(Value(std::int64_t{5}), Value("a"));  // by type tag
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+RelationSchema MakeSchema() {
+  return RelationSchema("src", "rel",
+                        {{"id", ValueType::kString},
+                         {"count", ValueType::kInt64}});
+}
+
+TEST(SchemaTest, AttributeLookup) {
+  RelationSchema s = MakeSchema();
+  EXPECT_EQ(s.QualifiedName(), "src.rel");
+  ASSERT_TRUE(s.AttributeIndex("count").has_value());
+  EXPECT_EQ(*s.AttributeIndex("count"), 1u);
+  EXPECT_FALSE(s.AttributeIndex("missing").has_value());
+  EXPECT_EQ(s.IdOf(0).ToString(), "src.rel.id");
+}
+
+TEST(TableTest, AppendValidatesArity) {
+  Table t(MakeSchema());
+  EXPECT_TRUE(t.AppendRow({Value("a"), Value(std::int64_t{1})}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("a")}).IsInvalidArgument());
+}
+
+TEST(TableTest, AppendValidatesTypes) {
+  Table t(MakeSchema());
+  EXPECT_TRUE(
+      t.AppendRow({Value("a"), Value("not an int")}).IsInvalidArgument());
+  // Nulls always pass.
+  EXPECT_TRUE(t.AppendRow({Value::Null(), Value::Null()}).ok());
+}
+
+TEST(TableTest, DistinctValuesSkipsNulls) {
+  Table t(MakeSchema());
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value(std::int64_t{1})}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value(std::int64_t{2})}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value(std::int64_t{3})}).ok());
+  EXPECT_EQ(t.DistinctValues(0).size(), 1u);
+  EXPECT_EQ(t.DistinctValues(1).size(), 3u);
+}
+
+TEST(TableTest, ValueOverlapCountsDistinctShared) {
+  Table a(RelationSchema("s", "a", {{"x", ValueType::kString}}));
+  Table b(RelationSchema("s", "b", {{"y", ValueType::kString}}));
+  for (const char* v : {"p", "q", "r"}) {
+    ASSERT_TRUE(a.AppendRow({Value(v)}).ok());
+  }
+  for (const char* v : {"q", "r", "r", "z"}) {
+    ASSERT_TRUE(b.AppendRow({Value(v)}).ok());
+  }
+  EXPECT_EQ(a.ValueOverlap(0, b, 0), 2u);
+  EXPECT_EQ(b.ValueOverlap(0, a, 0), 2u);
+}
+
+TEST(CatalogTest, SourceAndTableLookup) {
+  Catalog catalog;
+  auto src = std::make_shared<DataSource>("src");
+  auto table = std::make_shared<Table>(MakeSchema());
+  ASSERT_TRUE(src->AddTable(table).ok());
+  ASSERT_TRUE(catalog.AddSource(src).ok());
+
+  EXPECT_NE(catalog.FindSource("src"), nullptr);
+  EXPECT_EQ(catalog.FindSource("other"), nullptr);
+  EXPECT_NE(catalog.FindTable("src.rel"), nullptr);
+  EXPECT_EQ(catalog.FindTable("src.missing"), nullptr);
+  EXPECT_EQ(catalog.FindTable("norelation"), nullptr);
+  EXPECT_EQ(catalog.num_relations(), 1u);
+  EXPECT_EQ(catalog.num_attributes(), 2u);
+}
+
+TEST(CatalogTest, RejectsDuplicates) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddSource(std::make_shared<DataSource>("s")).ok());
+  EXPECT_TRUE(catalog.AddSource(std::make_shared<DataSource>("s"))
+                  .IsAlreadyExists());
+
+  auto src = catalog.FindSource("s");
+  auto t1 = std::make_shared<Table>(
+      RelationSchema("s", "r", {{"a", ValueType::kString}}));
+  ASSERT_TRUE(src->AddTable(t1).ok());
+  auto t2 = std::make_shared<Table>(
+      RelationSchema("s", "r", {{"b", ValueType::kString}}));
+  EXPECT_TRUE(src->AddTable(t2).IsAlreadyExists());
+}
+
+TEST(CatalogTest, RejectsForeignTable) {
+  DataSource src("mine");
+  auto t = std::make_shared<Table>(
+      RelationSchema("theirs", "r", {{"a", ValueType::kString}}));
+  EXPECT_TRUE(src.AddTable(t).IsInvalidArgument());
+}
+
+TEST(CatalogTest, ResolveAttribute) {
+  Catalog catalog;
+  auto src = std::make_shared<DataSource>("src");
+  ASSERT_TRUE(src->AddTable(std::make_shared<Table>(MakeSchema())).ok());
+  ASSERT_TRUE(catalog.AddSource(src).ok());
+
+  auto ok = catalog.ResolveAttribute(AttributeId{"src", "rel", "count"});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 1u);
+  EXPECT_TRUE(catalog.ResolveAttribute(AttributeId{"src", "rel", "zz"})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(catalog.ResolveAttribute(AttributeId{"no", "rel", "id"})
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace q::relational
