@@ -4,10 +4,27 @@
 // over the introduction of 40 sources. Paper shape: Exhaustive grows
 // steeply and roughly linearly; ViewBased and Preferential are "hardly
 // affected by graph size".
+//
+// Besides the human-readable table, writes JSON lines
+// ({"kernel":..., "n":..., "median_us":..., "mean_comparisons":...}) to
+// BENCH_fig8_scaling.json (rewritten per run, like bench_micro_kernels)
+// so the alignment-cost trajectory is trackable across PRs.
+#include <algorithm>
+
 #include "data/synthetic.h"
 #include "util/random.h"
 
 #include "bench_common.h"
+
+namespace {
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+}  // namespace
 
 int main() {
   q::bench::PrintHeader(
@@ -17,13 +34,18 @@ int main() {
   std::printf("%-10s %14s %18s %20s\n", "sources", "Exhaustive",
               "ViewBasedAligner", "PreferentialAligner");
 
+  FILE* json = std::fopen("BENCH_fig8_scaling.json", "w");
+
   q::data::GbcoConfig config;
   config.base_rows = 40;
   auto dataset = q::data::BuildGbco(config);
 
+  const char* strategy_names[3] = {"exhaustive", "view_based",
+                                   "preferential"};
   for (std::size_t target : {std::size_t{18}, std::size_t{100},
                              std::size_t{500}}) {
     q::util::SummaryStats per_strategy[3];
+    std::vector<double> wall_us[3];  // per introduced source
     for (const auto& trial : dataset.trials) {
       q::align::ExhaustiveAligner exhaustive;
       q::align::ViewBasedAligner view_based;
@@ -51,11 +73,27 @@ int main() {
         for (std::size_t i = 0; i < env->new_sources.size(); ++i) {
           per_strategy[s].Add(per_source);
         }
+        wall_us[s].push_back(stats.wall_ms * 1e3 /
+                             static_cast<double>(env->new_sources.size()));
       }
     }
     std::printf("%-10zu %14.1f %18.1f %20.1f\n", target,
                 per_strategy[0].mean(), per_strategy[1].mean(),
                 per_strategy[2].mean());
+    if (json != nullptr) {
+      for (int s = 0; s < 3; ++s) {
+        std::fprintf(json,
+                     "{\"kernel\":\"fig8_align_%s\",\"n\":%zu,"
+                     "\"median_us\":%.3f,\"mean_comparisons\":%.1f}\n",
+                     strategy_names[s], target, Median(wall_us[s]),
+                     per_strategy[s].mean());
+      }
+      std::fflush(json);
+    }
+  }
+  if (json != nullptr) {
+    std::fclose(json);
+    std::printf("json written to BENCH_fig8_scaling.json\n");
   }
   return 0;
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verify (configure, build, ctest) plus a Release-mode bench smoke
+# run; the single entry point for local checks and a future CI workflow.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# --- tier-1: configure, build, test ----------------------------------------
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+# --- bench smoke (Release) --------------------------------------------------
+# The default build type is already Release (see CMakeLists.txt), so the
+# tier-1 build tree doubles as the bench tree. The micro-kernel bench
+# exits non-zero if the fast Steiner path ever diverges from the legacy
+# engine's output, so this is a correctness gate as well as a perf probe.
+./build/bench_micro_kernels --smoke --json=BENCH_micro_kernels.json
+echo "check.sh: OK"

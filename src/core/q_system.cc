@@ -11,6 +11,11 @@ QSystem::QSystem(QSystemConfig config)
       model_(&space_, config.cost),
       weights_(&space_),
       learner_(config.mira) {
+  // Never adopt a pool pointer smuggled in via a copied config (it would
+  // belong to another QSystem and could dangle); this system's own pool is
+  // created lazily on first view creation, so instances that never answer
+  // queries spawn no threads.
+  config_.view.top_k.pool = nullptr;
   metadata_matcher_ =
       std::make_unique<match::MetadataMatcher>(config_.metadata);
   mad_matcher_ = std::make_unique<match::MadMatcher>(config_.mad);
@@ -31,6 +36,19 @@ QSystem::QSystem(QSystemConfig config)
       return overlap_.CanJoin(a, b, config_.value_overlap_min);
     };
     metadata_matcher_->set_pair_filter(filter);
+  }
+}
+
+void QSystem::EnsureSteinerPool() {
+  if (steiner_pool_ != nullptr || config_.view.top_k.pool != nullptr) return;
+  int threads = config_.steiner_threads;
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = hw > 1 ? static_cast<int>(hw) : -1;
+  }
+  if (threads > 1) {
+    steiner_pool_ = std::make_unique<util::ThreadPool>(threads);
+    config_.view.top_k.pool = steiner_pool_.get();
   }
 }
 
@@ -175,6 +193,7 @@ util::Result<align::AlignerStats> QSystem::RegisterAndAlignSource(
 
 util::Result<std::size_t> QSystem::CreateView(
     std::vector<std::string> keywords) {
+  EnsureSteinerPool();
   auto view = std::make_unique<query::TopKView>(std::move(keywords),
                                                 config_.view);
   Q_RETURN_NOT_OK(

@@ -21,6 +21,7 @@
 #include "relational/catalog.h"
 #include "text/text_index.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace q::core {
 
@@ -47,6 +48,11 @@ struct QSystemConfig {
   // Keep a value-overlap content index and use it as a pair filter.
   bool use_value_overlap_filter = false;
   std::size_t value_overlap_min = 1;
+  // Worker threads for the query fast path (parallel Lawler expansion in
+  // every view's top-k search): 0 = match the hardware, negative =
+  // sequential. The pool never changes results, only latency (see
+  // docs/query_engine.md).
+  int steiner_threads = 0;
 };
 
 // The Q system facade (Fig. 1): owns the catalog, text index, search
@@ -136,6 +142,9 @@ class QSystem {
  private:
   util::Result<align::AlignerStats> AlignAgainstViews(
       const relational::DataSource& source);
+  // Lazily creates the shared top-k thread pool (first view creation) per
+  // QSystemConfig::steiner_threads and wires it into config_.view.
+  void EnsureSteinerPool();
   // Adds/removes per-matcher missing-vote penalty features so every
   // association edge carries, for each enabled matcher, either its
   // confidence bin or the missing penalty (see Sec. 3.4 discussion in
@@ -145,6 +154,8 @@ class QSystem {
   align::AlignContext ContextFromView(const query::TopKView& view) const;
 
   QSystemConfig config_;
+  // Shared by all views' top-k searches; must outlive views_.
+  std::unique_ptr<util::ThreadPool> steiner_pool_;
   graph::FeatureSpace space_;
   graph::CostModel model_;
   graph::WeightVector weights_;

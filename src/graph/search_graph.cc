@@ -1,6 +1,6 @@
 #include "graph/search_graph.h"
 
-#include <queue>
+#include "util/dary_heap.h"
 
 namespace q::graph {
 
@@ -173,25 +173,26 @@ std::vector<double> SearchGraph::Dijkstra(
     const WeightVector& weights, double max_cost) const {
   std::vector<double> dist(nodes_.size(),
                            std::numeric_limits<double>::infinity());
-  using Item = std::pair<double, NodeId>;  // (distance, node)
-  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+  // Indexed heap: every reached node is popped exactly once (no stale
+  // lazy-deletion entries re-expanding it), and the per-call scratch is
+  // reused across calls so the frontier does no steady-state allocation.
+  thread_local util::DaryHeap frontier;
+  frontier.Reset(nodes_.size());
   for (const auto& [node, cost] : seeds) {
     if (cost <= max_cost && cost < dist[node]) {
       dist[node] = cost;
-      frontier.emplace(cost, node);
+      frontier.PushOrDecrease(node, cost);
     }
   }
   while (!frontier.empty()) {
-    auto [d, n] = frontier.top();
-    frontier.pop();
-    if (d > dist[n]) continue;
+    auto [d, n] = frontier.PopMin();
     for (EdgeId eid : adjacency_[n]) {
       const Edge& e = edges_[eid];
       double next = d + EdgeCost(eid, weights);
       NodeId m = e.Other(n);
       if (next <= max_cost && next < dist[m]) {
         dist[m] = next;
-        frontier.emplace(next, m);
+        frontier.PushOrDecrease(m, next);
       }
     }
   }

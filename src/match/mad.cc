@@ -10,9 +10,21 @@ namespace {
 
 // Sparse vector helpers. Distributions are sorted by label id.
 
-void AddScaled(LabelDist* into, const LabelDist& from, double scale) {
+// `*into += from * scale`, merging through `*scratch` so the propagation
+// loop reuses one buffer instead of materializing a fresh vector per
+// sparse add (the dominant allocation churn of RunMad).
+void AddScaled(LabelDist* into, const LabelDist& from, double scale,
+               LabelDist* scratch) {
   if (scale == 0.0 || from.empty()) return;
-  LabelDist merged;
+  if (into->empty()) {
+    into->reserve(from.size());
+    for (const auto& [label, score] : from) {
+      into->emplace_back(label, score * scale);
+    }
+    return;
+  }
+  LabelDist& merged = *scratch;
+  merged.clear();
   merged.reserve(into->size() + from.size());
   std::size_t i = 0;
   std::size_t j = 0;
@@ -30,7 +42,7 @@ void AddScaled(LabelDist* into, const LabelDist& from, double scale) {
       ++j;
     }
   }
-  *into = std::move(merged);
+  into->swap(merged);
 }
 
 void Truncate(LabelDist* dist, std::size_t max_labels) {
@@ -140,24 +152,29 @@ MadResult RunMad(const LabelPropGraph& graph, const MadConfig& config) {
 
   // --- Fixpoint iterations ------------------------------------------------
   std::vector<LabelDist> next(n);
+  // Buffers owned by the loop: `next[v].swap(updated)` recycles the slot's
+  // previous allocation, so steady-state iterations allocate nothing.
+  LabelDist d_v;
+  LabelDist updated;
+  LabelDist scratch;
   for (int iter = 0; iter < config.max_iterations; ++iter) {
     double max_change = 0.0;
     for (std::size_t v = 0; v < n; ++v) {
-      LabelDist d_v;
+      d_v.clear();
       for (const auto& [u, w] : graph.neighbors(v)) {
         double coeff = p_cont[v] * w + p_cont[u] * w;
-        AddScaled(&d_v, result.labels[u], coeff);
+        AddScaled(&d_v, result.labels[u], coeff, &scratch);
       }
-      LabelDist updated;
-      AddScaled(&updated, seeds[v], config.mu1 * p_inj[v]);
-      AddScaled(&updated, d_v, config.mu2);
-      AddScaled(&updated, dummy_prior, config.mu3 * p_abnd[v]);
+      updated.clear();
+      AddScaled(&updated, seeds[v], config.mu1 * p_inj[v], &scratch);
+      AddScaled(&updated, d_v, config.mu2, &scratch);
+      AddScaled(&updated, dummy_prior, config.mu3 * p_abnd[v], &scratch);
       if (m[v] > 0.0) {
         for (auto& [label, score] : updated) score /= m[v];
       }
       Truncate(&updated, config.max_labels_per_node);
       max_change = std::max(max_change, MaxAbsDiff(updated, result.labels[v]));
-      next[v] = std::move(updated);
+      next[v].swap(updated);
     }
     result.labels.swap(next);
     result.iterations_run = iter + 1;

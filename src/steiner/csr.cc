@@ -1,0 +1,52 @@
+#include "steiner/csr.h"
+
+namespace q::steiner {
+
+CsrGraph CsrGraph::Build(const graph::SearchGraph& graph,
+                         const graph::WeightVector& weights) {
+  CsrGraph csr;
+  csr.num_nodes = static_cast<std::uint32_t>(graph.num_nodes());
+  csr.num_edges = static_cast<std::uint32_t>(graph.num_edges());
+
+  csr.edge_u.resize(csr.num_edges);
+  csr.edge_v.resize(csr.num_edges);
+  csr.edge_cost.resize(csr.num_edges);
+  std::vector<std::uint32_t> degree(csr.num_nodes + 1, 0);
+  for (graph::EdgeId e = 0; e < csr.num_edges; ++e) {
+    const graph::Edge& edge = graph.edge(e);
+    csr.edge_u[e] = edge.u;
+    csr.edge_v[e] = edge.v;
+    csr.edge_cost[e] = graph.EdgeCost(e, weights);
+    ++degree[edge.u];
+    ++degree[edge.v];
+  }
+
+  csr.offsets.assign(csr.num_nodes + 1, 0);
+  for (std::uint32_t v = 0; v < csr.num_nodes; ++v) {
+    csr.offsets[v + 1] = csr.offsets[v] + degree[v];
+  }
+
+  const std::size_t num_arcs = 2ull * csr.num_edges;
+  csr.arc_head.resize(num_arcs);
+  csr.arc_edge.resize(num_arcs);
+  csr.arc_cost.resize(num_arcs);
+  std::vector<std::uint32_t> cursor(csr.offsets.begin(),
+                                    csr.offsets.end() - 1);
+  // Filling in edge-id order makes each node's arc block sorted by edge id.
+  for (graph::EdgeId e = 0; e < csr.num_edges; ++e) {
+    std::uint32_t u = csr.edge_u[e];
+    std::uint32_t v = csr.edge_v[e];
+    double cost = csr.edge_cost[e];
+    std::uint32_t cu = cursor[u]++;
+    csr.arc_head[cu] = v;
+    csr.arc_edge[cu] = e;
+    csr.arc_cost[cu] = cost;
+    std::uint32_t cv = cursor[v]++;
+    csr.arc_head[cv] = u;
+    csr.arc_edge[cv] = e;
+    csr.arc_cost[cv] = cost;
+  }
+  return csr;
+}
+
+}  // namespace q::steiner

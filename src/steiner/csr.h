@@ -1,0 +1,41 @@
+#ifndef Q_STEINER_CSR_H_
+#define Q_STEINER_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/search_graph.h"
+
+namespace q::steiner {
+
+// Flat CSR snapshot of a SearchGraph under one WeightVector: every edge
+// cost is evaluated exactly once (w · f(e) is the expensive part of graph
+// traversal), and both directed copies of each undirected edge are laid
+// out contiguously per node. Built once per (graph, weights) pair and
+// shared read-only by every Lawler subproblem; forced/banned edges are
+// applied by solvers as O(|edit|) overlay masks instead of graph rebuilds.
+//
+// Per-node arc blocks are ordered by original edge id, matching the order
+// in which SteinerProblem materializes arcs.
+struct CsrGraph {
+  std::uint32_t num_nodes = 0;
+  std::uint32_t num_edges = 0;
+
+  // Arcs: arc indices [offsets[v], offsets[v + 1]) belong to node v.
+  std::vector<std::uint32_t> offsets;   // size num_nodes + 1
+  std::vector<std::uint32_t> arc_head;  // size 2 * num_edges
+  std::vector<graph::EdgeId> arc_edge;  // size 2 * num_edges
+  std::vector<double> arc_cost;         // size 2 * num_edges
+
+  // Per-edge endpoints and cost (same cost as the arc copies).
+  std::vector<std::uint32_t> edge_u;
+  std::vector<std::uint32_t> edge_v;
+  std::vector<double> edge_cost;
+
+  static CsrGraph Build(const graph::SearchGraph& graph,
+                        const graph::WeightVector& weights);
+};
+
+}  // namespace q::steiner
+
+#endif  // Q_STEINER_CSR_H_

@@ -1,0 +1,712 @@
+#include "steiner/fast_solver.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/dary_heap.h"
+#include "util/status.h"
+
+namespace q::steiner {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+constexpr std::uint8_t kFree = 0;
+constexpr std::uint8_t kBanned = 1;
+constexpr std::uint8_t kForced = 2;
+
+bool SortedIntersect(const std::vector<graph::EdgeId>& a,
+                     const std::vector<graph::EdgeId>& b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+// Union-find whose Reset is O(1): entries are lazily re-initialized via a
+// version stamp, so a scratch arena can run one instance per subproblem
+// without touching all n slots.
+struct VersionedUf {
+  std::vector<std::uint32_t> parent;
+  std::vector<std::uint32_t> version;
+  std::uint32_t cur = 0;
+
+  void Begin(std::size_t n) {
+    if (parent.size() < n) {
+      parent.resize(n);
+      version.resize(n, 0);
+    }
+    if (++cur == 0) {  // stamp wrap: invalidate everything once
+      std::fill(version.begin(), version.end(), 0);
+      cur = 1;
+    }
+  }
+
+  std::uint32_t Find(std::uint32_t x) {
+    if (version[x] != cur) {
+      version[x] = cur;
+      parent[x] = x;
+      return x;
+    }
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];  // touched nodes only link to touched
+      x = parent[x];
+    }
+    return x;
+  }
+
+  // Precondition: ru and rv are distinct roots from Find this round.
+  void Union(std::uint32_t ru, std::uint32_t rv) { parent[ru] = rv; }
+};
+
+// Non-singleton DP backpointer; singleton subsets reconstruct by walking
+// the per-terminal shortest-path trees instead.
+struct Back {
+  enum class Type : std::uint8_t { kNone, kMerge, kGrow };
+  Type type = Type::kNone;
+  std::uint32_t merge_subset = 0;
+  std::uint32_t grow_pred = 0;
+  graph::EdgeId grow_edge = graph::kInvalidEdge;
+};
+
+// Per-thread arena: every vector below is reused across solves, so the
+// steady-state kernel allocates only on cache-entry creation.
+struct SolverScratch {
+  util::DaryHeap heap;
+  VersionedUf uf;          // forced-edge contraction
+  VersionedUf kruskal_uf;  // runs on top of the contraction's roots
+  std::vector<graph::EdgeId> forced_sorted;
+  std::vector<graph::EdgeId> banned_sorted;
+  std::vector<std::uint32_t> terminals;  // deduped, one per supernode
+  // All-zero between solves; OverlayGuard sets and restores them. The
+  // flat arrays make the per-arc overlay test a single byte load.
+  std::vector<std::uint8_t> edge_flag;  // kFree / kBanned / kForced
+  std::vector<std::uint8_t> is_target;  // terminal markers for early stop
+
+  std::vector<SpTree> sp_slots;  // holds fresh trees when cache is off/full
+  std::vector<std::shared_ptr<const SpTree>> sp_refs;
+  std::vector<const SpTree*> sp;
+
+  // Prim over the terminal metric closure.
+  std::vector<std::uint8_t> in_mst;
+  std::vector<double> best;
+  std::vector<std::size_t> best_from;
+  std::vector<std::pair<std::size_t, std::size_t>> closure;
+
+  // Closure-path expansion, Kruskal, and leaf pruning.
+  std::vector<graph::EdgeId> collected;
+  std::vector<graph::EdgeId> mst;
+  std::vector<std::uint32_t> ep_u;  // super endpoint per mst edge
+  std::vector<std::uint32_t> ep_v;
+  std::vector<std::uint32_t> local_of;     // node -> local id
+  std::vector<std::uint32_t> local_stamp;  // validity stamp for local_of
+  std::uint32_t stamp = 0;
+  std::vector<std::uint32_t> degree;
+  std::vector<std::uint8_t> is_terminal_local;
+  std::vector<std::uint32_t> inc_offset;
+  std::vector<std::uint32_t> incidence;
+  std::vector<std::uint32_t> leaf_queue;
+  std::vector<std::uint8_t> removed;
+
+  // Exact DP: eligible-subgraph mini CSR and flat (2^t) x n_e tables.
+  std::vector<std::uint32_t> elig_nodes;  // ascending node id = mini id order
+  std::vector<std::uint32_t> mini_offsets;
+  std::vector<std::uint32_t> mini_head;
+  std::vector<graph::EdgeId> mini_edge;
+  std::vector<double> mini_cost;
+  std::vector<std::uint32_t> mini_terms;
+  std::vector<double> dp;
+  std::vector<Back> back;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> rebuild_stack;
+};
+
+SolverScratch& GetScratch() {
+  thread_local SolverScratch scratch;
+  return scratch;
+}
+
+// Applies the forced/banned flags (and, where wanted, the terminal
+// markers) to the scratch's flat arrays for the duration of one solve,
+// restoring the all-zero invariant on every exit path.
+class OverlayGuard {
+ public:
+  OverlayGuard(SolverScratch& s, const CsrGraph& csr) : s_(s) {
+    if (s_.edge_flag.size() < csr.num_edges) {
+      s_.edge_flag.resize(csr.num_edges, 0);
+    }
+    if (s_.is_target.size() < csr.num_nodes) {
+      s_.is_target.resize(csr.num_nodes, 0);
+    }
+    for (graph::EdgeId e : s_.forced_sorted) s_.edge_flag[e] = kForced;
+    for (graph::EdgeId e : s_.banned_sorted) s_.edge_flag[e] = kBanned;
+    for (std::uint32_t t : s_.terminals) s_.is_target[t] = 1;
+  }
+
+  ~OverlayGuard() {
+    for (graph::EdgeId e : s_.forced_sorted) s_.edge_flag[e] = kFree;
+    for (graph::EdgeId e : s_.banned_sorted) s_.edge_flag[e] = kFree;
+    for (std::uint32_t t : s_.terminals) s_.is_target[t] = 0;
+  }
+
+ private:
+  SolverScratch& s_;
+};
+
+// Single-source Dijkstra under the overlay flags, stopping as soon as all
+// `num_targets` marked targets are settled. Unsettled nodes are wiped back
+// to (inf, invalid) so the output is a canonical prefix of the full run.
+void ComputeSpTree(const CsrGraph& csr,
+                   const std::vector<std::uint8_t>& edge_flag,
+                   const std::vector<std::uint8_t>& is_target,
+                   std::size_t num_targets, bool stop_at_targets,
+                   std::uint32_t source, util::DaryHeap& heap, SpTree* out) {
+  const std::uint32_t n = csr.num_nodes;
+  out->dist.assign(n, kInf);
+  out->pred_node.assign(n, graph::kInvalidNode);
+  out->pred_edge.assign(n, graph::kInvalidEdge);
+  out->settled.assign(n, 0);
+  heap.Reset(n);
+  out->dist[source] = 0.0;
+  heap.PushOrDecrease(source, 0.0);
+  std::size_t remaining = num_targets;
+  bool stopped_early = false;
+  while (!heap.empty()) {
+    auto [d, v] = heap.PopMin();
+    out->settled[v] = 1;
+    if (stop_at_targets && is_target[v] && --remaining == 0) {
+      // Every terminal is settled; relaxations from v could only touch
+      // nodes nothing downstream reads.
+      stopped_early = !heap.empty();
+      break;
+    }
+    const std::uint32_t end = csr.offsets[v + 1];
+    for (std::uint32_t a = csr.offsets[v]; a < end; ++a) {
+      graph::EdgeId e = csr.arc_edge[a];
+      std::uint8_t flag = edge_flag[e];
+      if (flag == kBanned) continue;
+      double next = d + (flag == kForced ? 0.0 : csr.arc_cost[a]);
+      std::uint32_t to = csr.arc_head[a];
+      double& dt = out->dist[to];
+      // Strictly-improving updates only: the predecessor graph stays
+      // acyclic even across 0-cost plateaus, and because the heap pops in
+      // canonical (dist, id) order and arcs are scanned in fixed CSR
+      // order, pred is the *first* arc achieving each node's final
+      // distance under a canonical attempt order — a pure function of the
+      // overlayed costs. The cache's reuse rule depends on exactly this
+      // (see sp_cache.h).
+      if (next < dt) {
+        dt = next;
+        out->pred_node[to] = v;
+        out->pred_edge[to] = e;
+        heap.PushOrDecrease(to, next);
+      }
+    }
+  }
+  out->complete = !stopped_early;
+  if (stopped_early) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (!out->settled[v]) {
+        out->dist[v] = kInf;
+        out->pred_node[v] = graph::kInvalidNode;
+        out->pred_edge[v] = graph::kInvalidEdge;
+      }
+    }
+  }
+  out->tree_edges.clear();
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (out->pred_edge[v] != graph::kInvalidEdge) {
+      out->tree_edges.push_back(out->pred_edge[v]);
+    }
+  }
+  std::sort(out->tree_edges.begin(), out->tree_edges.end());
+  out->tree_edges.erase(
+      std::unique(out->tree_edges.begin(), out->tree_edges.end()),
+      out->tree_edges.end());
+}
+
+// Shared preamble of both solvers: sort the edit sets, reject infeasible
+// subproblems, contract forced edges in the union-find, charge their cost,
+// and dedup terminals to one representative per supernode. Returns false
+// when the subproblem is infeasible.
+bool PrepareSubproblem(const CsrGraph& csr,
+                       const std::vector<graph::NodeId>& terminals,
+                       const std::vector<graph::EdgeId>& forced,
+                       const std::vector<graph::EdgeId>& banned,
+                       SolverScratch& s, SteinerTree* result) {
+  s.forced_sorted.assign(forced.begin(), forced.end());
+  std::sort(s.forced_sorted.begin(), s.forced_sorted.end());
+  s.banned_sorted.assign(banned.begin(), banned.end());
+  std::sort(s.banned_sorted.begin(), s.banned_sorted.end());
+  if (SortedIntersect(s.forced_sorted, s.banned_sorted)) return false;
+
+  s.uf.Begin(csr.num_nodes);
+  result->edges.assign(forced.begin(), forced.end());
+  result->cost = 0.0;
+  for (graph::EdgeId e : forced) {
+    std::uint32_t ru = s.uf.Find(csr.edge_u[e]);
+    std::uint32_t rv = s.uf.Find(csr.edge_v[e]);
+    if (ru == rv) return false;  // forced edges form a cycle
+    s.uf.Union(ru, rv);
+    result->cost += csr.edge_cost[e];
+  }
+
+  s.terminals.clear();
+  for (graph::NodeId t : terminals) {
+    std::uint32_t root = s.uf.Find(t);
+    bool seen = false;
+    for (std::uint32_t kept : s.terminals) {
+      if (s.uf.Find(kept) == root) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) s.terminals.push_back(t);
+  }
+  return true;
+}
+
+// Fills s.sp with one shortest-path tree per deduped terminal, shared
+// through the cache. `full` requests complete (non-early-stopped) trees —
+// the exact DP seeds its singleton slices from them.
+void AcquireSpTrees(const CsrGraph& csr, ShortestPathCache* cache,
+                    SolverScratch& s, bool full) {
+  const std::size_t t = s.terminals.size();
+  s.sp.clear();
+  s.sp_refs.clear();
+  if (s.sp_slots.size() < t) s.sp_slots.resize(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    std::shared_ptr<const SpTree> ref;
+    if (cache != nullptr) {
+      ref = cache->Lookup(s.terminals[i], s.forced_sorted, s.banned_sorted,
+                          csr.edge_cost, s.terminals, full);
+      if (ref == nullptr && cache->HasRoom()) {
+        auto fresh = std::make_shared<SpTree>();
+        ComputeSpTree(csr, s.edge_flag, s.is_target, t, !full,
+                      s.terminals[i], s.heap, fresh.get());
+        cache->Insert(s.terminals[i], s.forced_sorted, s.banned_sorted,
+                      fresh);
+        ref = std::move(fresh);
+      }
+    }
+    if (ref != nullptr) {
+      s.sp.push_back(ref.get());
+      s.sp_refs.push_back(std::move(ref));
+    } else {
+      // Cache disabled or full: compute into the reusable scratch slot.
+      ComputeSpTree(csr, s.edge_flag, s.is_target, t, !full, s.terminals[i],
+                    s.heap, &s.sp_slots[i]);
+      s.sp.push_back(&s.sp_slots[i]);
+    }
+  }
+}
+
+// KMB steps 2-5 over the trees in s.sp. Expects PrepareSubproblem done, an
+// OverlayGuard active, and t >= 2 deduped terminals; `result` carries the
+// forced prefix and base cost. Safe to call concurrently (cache is
+// synchronized, scratch is per-thread).
+std::optional<SteinerTree> KmbFromTrees(const CsrGraph& csr,
+                                        SolverScratch& s,
+                                        SteinerTree result) {
+  const std::size_t t = s.terminals.size();
+
+  // 2. Prim MST over the terminal metric closure.
+  s.in_mst.assign(t, 0);
+  s.best.assign(t, kInf);
+  s.best_from.assign(t, 0);
+  s.best[0] = 0.0;
+  s.closure.clear();
+  for (std::size_t round = 0; round < t; ++round) {
+    std::size_t pick = t;
+    for (std::size_t i = 0; i < t; ++i) {
+      if (!s.in_mst[i] && (pick == t || s.best[i] < s.best[pick])) pick = i;
+    }
+    if (pick == t || s.best[pick] == kInf) return std::nullopt;
+    s.in_mst[pick] = 1;
+    if (pick != 0) s.closure.emplace_back(s.best_from[pick], pick);
+    const SpTree& sp = *s.sp[pick];
+    for (std::size_t i = 0; i < t; ++i) {
+      if (s.in_mst[i]) continue;
+      double d = sp.dist[s.terminals[i]];
+      if (d < s.best[i]) {
+        s.best[i] = d;
+        s.best_from[i] = pick;
+      }
+    }
+  }
+
+  // 3. Expand closure edges into original-graph edges along the cached
+  // predecessor trees (forced edges are already part of the result).
+  s.collected.clear();
+  for (auto [a, b] : s.closure) {
+    std::uint32_t v = s.terminals[b];
+    const std::uint32_t src = s.terminals[a];
+    const SpTree& sp = *s.sp[a];
+    while (v != src) {
+      graph::EdgeId e = sp.pred_edge[v];
+      if (e == graph::kInvalidEdge) break;
+      if (s.edge_flag[e] != kForced) s.collected.push_back(e);
+      v = sp.pred_node[v];
+    }
+  }
+  std::sort(s.collected.begin(), s.collected.end());
+  s.collected.erase(std::unique(s.collected.begin(), s.collected.end()),
+                    s.collected.end());
+
+  // 4. Kruskal MST of the induced subgraph, in supernode space.
+  std::sort(s.collected.begin(), s.collected.end(),
+            [&](graph::EdgeId a, graph::EdgeId b) {
+              if (csr.edge_cost[a] != csr.edge_cost[b]) {
+                return csr.edge_cost[a] < csr.edge_cost[b];
+              }
+              return a < b;
+            });
+  s.kruskal_uf.Begin(csr.num_nodes);
+  s.mst.clear();
+  s.ep_u.clear();
+  s.ep_v.clear();
+  for (graph::EdgeId e : s.collected) {
+    std::uint32_t su = s.uf.Find(csr.edge_u[e]);
+    std::uint32_t sv = s.uf.Find(csr.edge_v[e]);
+    std::uint32_t ru = s.kruskal_uf.Find(su);
+    std::uint32_t rv = s.kruskal_uf.Find(sv);
+    if (ru == rv) continue;
+    s.kruskal_uf.Union(ru, rv);
+    s.mst.push_back(e);
+    s.ep_u.push_back(su);
+    s.ep_v.push_back(sv);
+  }
+
+  // 5. Iteratively prune non-terminal leaves (in supernode space).
+  if (++s.stamp == 0) {
+    std::fill(s.local_stamp.begin(), s.local_stamp.end(), 0);
+    s.stamp = 1;
+  }
+  if (s.local_stamp.size() < csr.num_nodes) {
+    s.local_stamp.resize(csr.num_nodes, 0);
+    s.local_of.resize(csr.num_nodes);
+  }
+  std::uint32_t num_local = 0;
+  auto local_id = [&](std::uint32_t super) {
+    if (s.local_stamp[super] != s.stamp) {
+      s.local_stamp[super] = s.stamp;
+      s.local_of[super] = num_local++;
+    }
+    return s.local_of[super];
+  };
+  std::size_t num_mst = s.mst.size();
+  s.degree.clear();
+  for (std::size_t i = 0; i < num_mst; ++i) {
+    std::uint32_t lu = local_id(s.ep_u[i]);
+    std::uint32_t lv = local_id(s.ep_v[i]);
+    s.ep_u[i] = lu;
+    s.ep_v[i] = lv;
+    if (s.degree.size() < num_local) s.degree.resize(num_local, 0);
+    ++s.degree[lu];
+    ++s.degree[lv];
+  }
+  s.is_terminal_local.assign(num_local, 0);
+  for (std::uint32_t term : s.terminals) {
+    std::uint32_t super = s.uf.Find(term);
+    if (s.local_stamp[super] == s.stamp) {
+      s.is_terminal_local[s.local_of[super]] = 1;
+    }
+  }
+  // Flat incidence lists.
+  s.inc_offset.assign(num_local + 1, 0);
+  for (std::uint32_t l = 0; l < num_local; ++l) {
+    s.inc_offset[l + 1] = s.inc_offset[l] + s.degree[l];
+  }
+  s.incidence.resize(2 * num_mst);
+  {
+    std::vector<std::uint32_t>& cursor = s.leaf_queue;  // reuse as cursor
+    cursor.assign(s.inc_offset.begin(), s.inc_offset.end() - 1);
+    for (std::size_t i = 0; i < num_mst; ++i) {
+      s.incidence[cursor[s.ep_u[i]]++] = static_cast<std::uint32_t>(i);
+      s.incidence[cursor[s.ep_v[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  s.removed.assign(num_mst, 0);
+  s.leaf_queue.clear();
+  for (std::uint32_t l = 0; l < num_local; ++l) {
+    if (s.degree[l] == 1 && !s.is_terminal_local[l]) s.leaf_queue.push_back(l);
+  }
+  while (!s.leaf_queue.empty()) {
+    std::uint32_t l = s.leaf_queue.back();
+    s.leaf_queue.pop_back();
+    if (s.degree[l] != 1) continue;  // already pruned below 1
+    for (std::uint32_t a = s.inc_offset[l]; a < s.inc_offset[l + 1]; ++a) {
+      std::uint32_t i = s.incidence[a];
+      if (s.removed[i]) continue;
+      s.removed[i] = 1;
+      std::uint32_t other = s.ep_u[i] == l ? s.ep_v[i] : s.ep_u[i];
+      --s.degree[l];
+      --s.degree[other];
+      if (s.degree[other] == 1 && !s.is_terminal_local[other]) {
+        s.leaf_queue.push_back(other);
+      }
+      break;
+    }
+  }
+
+  for (std::size_t i = 0; i < num_mst; ++i) {
+    if (s.removed[i]) continue;
+    result.edges.push_back(s.mst[i]);
+    result.cost += csr.edge_cost[s.mst[i]];
+  }
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace
+
+FastSteinerEngine::FastSteinerEngine(const graph::SearchGraph& graph,
+                                     const graph::WeightVector& weights,
+                                     bool use_cache)
+    : csr_(CsrGraph::Build(graph, weights)) {
+  if (use_cache) cache_ = std::make_unique<ShortestPathCache>();
+}
+
+FastSolveStats FastSteinerEngine::stats() const {
+  FastSolveStats st;
+  if (cache_ != nullptr) {
+    st.sp_cache_hits = cache_->hits();
+    st.sp_cache_misses = cache_->misses();
+    st.sp_cache_entries = cache_->size();
+  }
+  return st;
+}
+
+std::optional<SteinerTree> FastSteinerEngine::SolveKmb(
+    const std::vector<graph::NodeId>& terminals,
+    const std::vector<graph::EdgeId>& forced,
+    const std::vector<graph::EdgeId>& banned) {
+  SolverScratch& s = GetScratch();
+  SteinerTree result;
+  if (!PrepareSubproblem(csr_, terminals, forced, banned, s, &result)) {
+    return std::nullopt;
+  }
+  if (s.terminals.size() <= 1) {
+    result.Canonicalize();
+    return result;
+  }
+  OverlayGuard overlay(s, csr_);
+  AcquireSpTrees(csr_, cache_.get(), s, /*full=*/false);
+  return KmbFromTrees(csr_, s, std::move(result));
+}
+
+std::optional<SteinerTree> FastSteinerEngine::SolveExact(
+    const std::vector<graph::NodeId>& terminals,
+    const std::vector<graph::EdgeId>& forced,
+    const std::vector<graph::EdgeId>& banned) {
+  SolverScratch& s = GetScratch();
+  SteinerTree result;
+  if (!PrepareSubproblem(csr_, terminals, forced, banned, s, &result)) {
+    return std::nullopt;
+  }
+  const std::size_t t = s.terminals.size();
+  if (t <= 1) {
+    result.Canonicalize();
+    return result;
+  }
+  OverlayGuard overlay(s, csr_);
+
+  // Acquire complete per-terminal shortest-path trees once; they serve
+  // triple duty: the KMB upper bound (terminals disconnected iff KMB fails
+  // iff the DP would fail), the eligibility filter, and the DP's singleton
+  // slices dp[{i}] = dist(t_i, .) — so those 2^0-subsets need no grow pass
+  // at all.
+  AcquireSpTrees(csr_, cache_.get(), s, /*full=*/true);
+  auto kmb = KmbFromTrees(csr_, s, result);
+  if (!kmb.has_value()) return std::nullopt;
+  double bound = kmb->cost - result.cost;  // overlay-space upper bound
+  // Relative slack absorbs float summation-order differences between the
+  // bound and the distances.
+  bound += bound * 1e-12 + 1e-12;
+
+  // Restrict the DP to nodes a below-bound tree can possibly touch: any
+  // node v of a tree T spanning the terminals satisfies
+  // max_i dist(t_i, v) <= cost(T) in overlay space. Eligible nodes get
+  // dense mini ids (in node-id order); the induced mini-CSR bakes the
+  // overlay costs in, so the DP inner loops run flag-free on the small
+  // subgraph. The slack makes a terminal falling outside the bound a
+  // float-only corner case; if it ever happens, fall back to the
+  // unpruned reachable set.
+  std::uint32_t n_e = 0;
+  bool terminals_covered = false;
+  for (int attempt = 0; attempt < 2 && !terminals_covered; ++attempt) {
+    double threshold = attempt == 0 ? bound : kInf;
+    s.elig_nodes.clear();
+    for (std::uint32_t v = 0; v < csr_.num_nodes; ++v) {
+      bool ok = true;
+      for (std::size_t i = 0; i < t; ++i) {
+        if (s.sp[i]->dist[v] > threshold) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) s.elig_nodes.push_back(v);
+    }
+    if (++s.stamp == 0) {
+      std::fill(s.local_stamp.begin(), s.local_stamp.end(), 0);
+      s.stamp = 1;
+    }
+    if (s.local_stamp.size() < csr_.num_nodes) {
+      s.local_stamp.resize(csr_.num_nodes, 0);
+      s.local_of.resize(csr_.num_nodes);
+    }
+    n_e = static_cast<std::uint32_t>(s.elig_nodes.size());
+    for (std::uint32_t i = 0; i < n_e; ++i) {
+      s.local_stamp[s.elig_nodes[i]] = s.stamp;
+      s.local_of[s.elig_nodes[i]] = i;
+    }
+    s.mini_terms.clear();
+    terminals_covered = true;
+    for (std::uint32_t term : s.terminals) {
+      if (s.local_stamp[term] != s.stamp) {
+        terminals_covered = false;
+        break;
+      }
+      s.mini_terms.push_back(s.local_of[term]);
+    }
+  }
+  Q_CHECK_MSG(terminals_covered,
+              "KMB-connected terminal unreachable in eligibility pass");
+
+  s.mini_offsets.assign(n_e + 1, 0);
+  s.mini_head.clear();
+  s.mini_edge.clear();
+  s.mini_cost.clear();
+  for (std::uint32_t i = 0; i < n_e; ++i) {
+    std::uint32_t v = s.elig_nodes[i];
+    const std::uint32_t end = csr_.offsets[v + 1];
+    for (std::uint32_t a = csr_.offsets[v]; a < end; ++a) {
+      std::uint32_t to = csr_.arc_head[a];
+      if (s.local_stamp[to] != s.stamp) continue;
+      graph::EdgeId e = csr_.arc_edge[a];
+      std::uint8_t flag = s.edge_flag[e];
+      if (flag == kBanned) continue;
+      s.mini_head.push_back(s.local_of[to]);
+      s.mini_edge.push_back(e);
+      s.mini_cost.push_back(flag == kForced ? 0.0 : csr_.arc_cost[a]);
+    }
+    s.mini_offsets[i + 1] = static_cast<std::uint32_t>(s.mini_head.size());
+  }
+
+  const std::uint32_t full = (1u << t) - 1;
+  const std::size_t states = static_cast<std::size_t>(full + 1) * n_e;
+  s.dp.assign(states, kInf);
+  s.back.assign(states, Back{});
+  // Singleton slices come straight from the shortest-path trees (bound-
+  // pruned); their subsets below need neither merge nor grow.
+  for (std::size_t i = 0; i < t; ++i) {
+    double* dps = &s.dp[(std::size_t{1} << i) * n_e];
+    const SpTree& sp = *s.sp[i];
+    for (std::uint32_t mv = 0; mv < n_e; ++mv) {
+      double d = sp.dist[s.elig_nodes[mv]];
+      if (d <= bound) dps[mv] = d;
+    }
+  }
+
+  for (std::uint32_t subset = 1; subset <= full; ++subset) {
+    if ((subset & (subset - 1)) == 0) continue;  // singleton: prefilled
+    double* dps = &s.dp[static_cast<std::size_t>(subset) * n_e];
+    Back* backs = &s.back[static_cast<std::size_t>(subset) * n_e];
+    // Merge step: combine two disjoint sub-forests rooted at the same node.
+    for (std::uint32_t part = (subset - 1) & subset; part > 0;
+         part = (part - 1) & subset) {
+      std::uint32_t other = subset ^ part;
+      if (part > other) continue;  // each unordered split once
+      const double* a = &s.dp[static_cast<std::size_t>(part) * n_e];
+      const double* b = &s.dp[static_cast<std::size_t>(other) * n_e];
+      for (std::uint32_t v = 0; v < n_e; ++v) {
+        if (a[v] == kInf || b[v] == kInf) continue;
+        double candidate = a[v] + b[v];
+        // States above the KMB bound can never be part of an optimal
+        // decomposition (partial sums of nonnegative costs are bounded by
+        // the total); pruning them keeps the grow frontier small.
+        if (candidate < dps[v] && candidate <= bound) {
+          dps[v] = candidate;
+          backs[v].type = Back::Type::kMerge;
+          backs[v].merge_subset = part;
+        }
+      }
+    }
+    // Grow step: Dijkstra over the mini-CSR seeded with the merge results
+    // (O(n) heapify instead of n pushes).
+    s.heap.Heapify(dps, n_e);
+    while (!s.heap.empty()) {
+      auto [d, v] = s.heap.PopMin();
+      const std::uint32_t end = s.mini_offsets[v + 1];
+      for (std::uint32_t a = s.mini_offsets[v]; a < end; ++a) {
+        double next = d + s.mini_cost[a];
+        if (next > bound) continue;
+        std::uint32_t to = s.mini_head[a];
+        if (next < dps[to]) {
+          dps[to] = next;
+          backs[to].type = Back::Type::kGrow;
+          backs[to].grow_pred = v;
+          backs[to].grow_edge = s.mini_edge[a];
+          s.heap.PushOrDecrease(to, next);
+        }
+      }
+    }
+  }
+
+  const std::uint32_t root = s.mini_terms[0];
+  std::size_t root_idx = static_cast<std::size_t>(full) * n_e + root;
+  if (s.dp[root_idx] == kInf) return std::nullopt;
+
+  // Reconstruct edges by unwinding backpointers. Forced edges traversed at
+  // cost 0 may reappear here; Canonicalize dedups them against the forced
+  // prefix already in result.edges.
+  s.rebuild_stack.clear();
+  s.rebuild_stack.emplace_back(full, root);
+  while (!s.rebuild_stack.empty()) {
+    auto [subset, v] = s.rebuild_stack.back();
+    s.rebuild_stack.pop_back();
+    if ((subset & (subset - 1)) == 0) {
+      // Singleton: walk the terminal's shortest-path tree from v back to
+      // the terminal (possibly through nodes outside the eligible set on
+      // cost ties — still a min-cost attachment path).
+      const std::size_t i = static_cast<std::size_t>(__builtin_ctz(subset));
+      const SpTree& sp = *s.sp[i];
+      std::uint32_t cur = s.elig_nodes[v];
+      const std::uint32_t src = s.terminals[i];
+      while (cur != src) {
+        graph::EdgeId e = sp.pred_edge[cur];
+        if (e == graph::kInvalidEdge) break;
+        result.edges.push_back(e);
+        cur = sp.pred_node[cur];
+      }
+      continue;
+    }
+    const Back& b = s.back[static_cast<std::size_t>(subset) * n_e + v];
+    switch (b.type) {
+      case Back::Type::kNone:
+        Q_CHECK_MSG(false, "unreachable DP state in Steiner reconstruction");
+        break;
+      case Back::Type::kGrow:
+        result.edges.push_back(b.grow_edge);
+        s.rebuild_stack.emplace_back(subset, b.grow_pred);
+        break;
+      case Back::Type::kMerge:
+        s.rebuild_stack.emplace_back(b.merge_subset, v);
+        s.rebuild_stack.emplace_back(subset ^ b.merge_subset, v);
+        break;
+    }
+  }
+
+  result.cost += s.dp[root_idx];
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace q::steiner

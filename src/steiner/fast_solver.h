@@ -1,0 +1,67 @@
+#ifndef Q_STEINER_FAST_SOLVER_H_
+#define Q_STEINER_FAST_SOLVER_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/search_graph.h"
+#include "steiner/csr.h"
+#include "steiner/sp_cache.h"
+#include "steiner/steiner_tree.h"
+
+namespace q::steiner {
+
+struct FastSolveStats {
+  std::size_t sp_cache_hits = 0;
+  std::size_t sp_cache_misses = 0;
+  std::size_t sp_cache_entries = 0;
+};
+
+// Allocation-free Steiner solvers over a shared CSR snapshot.
+//
+// One engine is built per (graph, weights) pair — the CSR adjacency and
+// edge costs are materialized exactly once — and then every Lawler
+// subproblem is solved against it with forced/banned edges applied as
+// O(|edit|) overlays: forced edges are traversed at cost 0 (the overlay
+// analogue of SteinerProblem's endpoint contraction; their real cost is
+// charged up front) and banned edges are skipped. Per-solve state lives in
+// a thread-local scratch arena, so Solve* are safe to call concurrently
+// and do no steady-state allocation.
+//
+// When `use_cache` is set, per-terminal Dijkstra trees are shared across
+// subproblems through a ShortestPathCache; see sp_cache.h for the reuse
+// rule. Cache state never changes solver output (any valid entry equals a
+// fresh computation), which is what keeps cached/parallel runs
+// byte-identical to sequential uncached runs.
+class FastSteinerEngine {
+ public:
+  FastSteinerEngine(const graph::SearchGraph& graph,
+                    const graph::WeightVector& weights, bool use_cache);
+
+  // KMB 2-approximation (the contraction semantics of SolveKmbSteiner).
+  // Returns nullopt when the subproblem is infeasible (forced edges banned
+  // or cyclic, or terminals disconnected).
+  std::optional<SteinerTree> SolveKmb(
+      const std::vector<graph::NodeId>& terminals,
+      const std::vector<graph::EdgeId>& forced,
+      const std::vector<graph::EdgeId>& banned);
+
+  // Dreyfus–Wagner style exact DP (the semantics of SolveExactSteiner).
+  std::optional<SteinerTree> SolveExact(
+      const std::vector<graph::NodeId>& terminals,
+      const std::vector<graph::EdgeId>& forced,
+      const std::vector<graph::EdgeId>& banned);
+
+  const CsrGraph& csr() const { return csr_; }
+  FastSolveStats stats() const;
+
+ private:
+  CsrGraph csr_;
+  std::unique_ptr<ShortestPathCache> cache_;  // null when caching disabled
+};
+
+}  // namespace q::steiner
+
+#endif  // Q_STEINER_FAST_SOLVER_H_

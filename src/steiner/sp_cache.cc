@@ -1,0 +1,112 @@
+#include "steiner/sp_cache.h"
+
+#include <algorithm>
+
+namespace q::steiner {
+namespace {
+
+// True if every element of `a` xor `b` (both sorted) has zero base cost.
+bool SymmetricDiffIsFree(const std::vector<graph::EdgeId>& a,
+                         const std::vector<graph::EdgeId>& b,
+                         const std::vector<double>& edge_cost) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i] < b[j])) {
+      if (edge_cost[a[i++]] != 0.0) return false;
+    } else if (i == a.size() || b[j] < a[i]) {
+      if (edge_cost[b[j++]] != 0.0) return false;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return true;
+}
+
+// True if `sub` (sorted) is a subset of `super` (sorted) and every element
+// of super \ sub is absent from `tree_edges` (sorted).
+bool BansCompatible(const std::vector<graph::EdgeId>& sub,
+                    const std::vector<graph::EdgeId>& super,
+                    const std::vector<graph::EdgeId>& tree_edges) {
+  std::size_t i = 0;
+  for (graph::EdgeId e : super) {
+    if (i < sub.size() && sub[i] == e) {
+      ++i;
+      continue;
+    }
+    if (std::binary_search(tree_edges.begin(), tree_edges.end(), e)) {
+      return false;
+    }
+  }
+  return i == sub.size();  // sub must be fully contained
+}
+
+}  // namespace
+
+bool ShortestPathCache::Valid(const Entry& entry,
+                              const std::vector<graph::EdgeId>& forced,
+                              const std::vector<graph::EdgeId>& banned,
+                              const std::vector<double>& edge_cost,
+                              const std::vector<std::uint32_t>& required,
+                              bool require_complete) {
+  if (require_complete && !entry.tree->complete) return false;
+  for (std::uint32_t node : required) {
+    if (!entry.tree->settled[node]) return false;
+  }
+  return SymmetricDiffIsFree(entry.forced, forced, edge_cost) &&
+         BansCompatible(entry.banned, banned, entry.tree->tree_edges);
+}
+
+std::shared_ptr<const SpTree> ShortestPathCache::Lookup(
+    std::uint32_t terminal, const std::vector<graph::EdgeId>& forced_sorted,
+    const std::vector<graph::EdgeId>& banned_sorted,
+    const std::vector<double>& edge_cost,
+    const std::vector<std::uint32_t>& required, bool require_complete) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_terminal_.find(terminal);
+  if (it != by_terminal_.end()) {
+    for (const Entry& entry : it->second) {
+      if (Valid(entry, forced_sorted, banned_sorted, edge_cost, required,
+                require_complete)) {
+        ++hits_;
+        return entry.tree;
+      }
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+bool ShortestPathCache::HasRoom() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_entries_ < max_entries_;
+}
+
+void ShortestPathCache::Insert(std::uint32_t terminal,
+                               std::vector<graph::EdgeId> forced_sorted,
+                               std::vector<graph::EdgeId> banned_sorted,
+                               std::shared_ptr<const SpTree> tree) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (num_entries_ >= max_entries_) return;
+  ++num_entries_;
+  by_terminal_[terminal].push_back(Entry{
+      std::move(forced_sorted), std::move(banned_sorted), std::move(tree)});
+}
+
+std::size_t ShortestPathCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t ShortestPathCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t ShortestPathCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_entries_;
+}
+
+}  // namespace q::steiner

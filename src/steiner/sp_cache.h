@@ -1,0 +1,119 @@
+#ifndef Q_STEINER_SP_CACHE_H_
+#define Q_STEINER_SP_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/search_graph.h"
+
+namespace q::steiner {
+
+// One terminal's single-source shortest-path tree over a CsrGraph under an
+// overlay (forced edges traversed at cost 0, banned edges removed).
+// `pred_edge[v]` is the first arc to achieve v's final distance under a
+// canonical attempt order: nodes expand in (dist, id) order (the DaryHeap
+// pops ties by id) and each node's arcs are scanned in fixed CSR order.
+// That makes the whole structure a pure function of the overlayed costs —
+// independent of push/decrease history — which the reuse rule below
+// relies on.
+// The search terminates as soon as every requested terminal is settled;
+// nodes left unsettled are wiped back to (inf, invalid), so the stored
+// arrays are again a canonical prefix of the full run. `settled[v]` marks
+// the nodes whose dist/pred are final.
+struct SpTree {
+  std::vector<double> dist;
+  std::vector<std::uint32_t> pred_node;
+  std::vector<graph::EdgeId> pred_edge;
+  std::vector<std::uint8_t> settled;
+  // Sorted unique set of edges used as some settled node's predecessor.
+  std::vector<graph::EdgeId> tree_edges;
+  // True when the search ran to exhaustion (every reachable node settled);
+  // such trees can seed the exact DP's singleton slices.
+  bool complete = false;
+};
+
+// Cross-subproblem cache of per-terminal Dijkstra trees, keyed on the
+// terminal plus the overlay signature it was computed under. Lawler
+// enumeration produces long chains of subproblems that differ by one
+// banned edge; an entry computed under (F1, B1) answers a query for
+// (F2, B2) exactly when the edit set provably cannot change the result:
+//
+//   * every edge in F1 xor F2 has base cost 0 (forcing an edge that is
+//     already free, or un-forcing one, changes neither the cost function
+//     nor the arc set, so nothing changes), and
+//   * B1 is a subset of B2 and every edge in B2 \ B1 is absent from the
+//     cached tree. Removing a non-tree edge e cannot change any distance
+//     (the predecessor chains are e-free witnesses of every dist value),
+//     so the canonical expansion order is unchanged; and e cannot be any
+//     settled node's first achieving arc in that order (it would be the
+//     predecessor, i.e. a tree edge), so dropping it changes no
+//     predecessor either.
+//
+// Because searches stop early, a valid entry must additionally have
+// settled every terminal the caller needs (`required` below); different
+// settled extents never change the values actually read, since settled
+// prefixes of the same canonical run agree wherever both are settled.
+//
+// Entries are immutable after insertion and returned by shared_ptr, so
+// concurrent solvers can hold results while other threads insert. Because
+// any valid entry is byte-identical to a fresh computation, cache state
+// (and therefore thread interleaving) can never change solver output.
+class ShortestPathCache {
+ public:
+  explicit ShortestPathCache(std::size_t max_entries = 1024)
+      : max_entries_(max_entries) {}
+
+  // A valid cached tree for `terminal` under the (sorted) overlay sets
+  // with every node of `required` settled, or nullptr. `edge_cost` is the
+  // CSR base cost array used for the zero-cost forced-set rule.
+  std::shared_ptr<const SpTree> Lookup(
+      std::uint32_t terminal, const std::vector<graph::EdgeId>& forced_sorted,
+      const std::vector<graph::EdgeId>& banned_sorted,
+      const std::vector<double>& edge_cost,
+      const std::vector<std::uint32_t>& required, bool require_complete);
+
+  // True while the cache still accepts inserts; lets callers skip
+  // materializing entries that would be dropped anyway.
+  bool HasRoom() const;
+
+  // Registers a freshly computed tree for (terminal, forced, banned).
+  // Drops the insert once `max_entries` is reached (entries stay valid for
+  // the lifetime of the cache, so eviction is not needed within one top-k
+  // enumeration, which is the cache's scope).
+  void Insert(std::uint32_t terminal,
+              std::vector<graph::EdgeId> forced_sorted,
+              std::vector<graph::EdgeId> banned_sorted,
+              std::shared_ptr<const SpTree> tree);
+
+  std::size_t hits() const;
+  std::size_t misses() const;
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::vector<graph::EdgeId> forced;  // sorted
+    std::vector<graph::EdgeId> banned;  // sorted
+    std::shared_ptr<const SpTree> tree;
+  };
+
+  static bool Valid(const Entry& entry,
+                    const std::vector<graph::EdgeId>& forced,
+                    const std::vector<graph::EdgeId>& banned,
+                    const std::vector<double>& edge_cost,
+                    const std::vector<std::uint32_t>& required,
+                    bool require_complete);
+
+  mutable std::mutex mu_;
+  std::size_t max_entries_;
+  std::size_t num_entries_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::unordered_map<std::uint32_t, std::vector<Entry>> by_terminal_;
+};
+
+}  // namespace q::steiner
+
+#endif  // Q_STEINER_SP_CACHE_H_

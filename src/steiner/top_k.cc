@@ -1,14 +1,19 @@
 #include "steiner/top_k.h"
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <queue>
 #include <set>
 #include <unordered_set>
+#include <utility>
 
 #include "steiner/exact_solver.h"
+#include "steiner/fast_solver.h"
 #include "steiner/kmb_solver.h"
 #include "steiner/problem.h"
+#include "util/thread_pool.h"
 
 namespace q::steiner {
 namespace {
@@ -26,6 +31,10 @@ struct SubproblemGreater {
   }
 };
 
+using SolveFn = std::function<std::optional<SteinerTree>(
+    const std::vector<graph::EdgeId>& forced,
+    const std::vector<graph::EdgeId>& banned)>;
+
 }  // namespace
 
 std::vector<SteinerTree> TopKSteinerTrees(
@@ -36,12 +45,30 @@ std::vector<SteinerTree> TopKSteinerTrees(
 
   const bool use_kmb =
       config.approximate || graph.num_nodes() > config.approximate_above_nodes;
-  auto solve = [&](const std::vector<graph::EdgeId>& forced,
-                   const std::vector<graph::EdgeId>& banned)
-      -> std::optional<SteinerTree> {
-    SteinerProblem problem(graph, weights, terminals, forced, banned);
-    return use_kmb ? SolveKmbSteiner(problem) : SolveExactSteiner(problem);
-  };
+
+  // The solver substrate. The fast engine snapshots the graph into CSR
+  // form once; every subproblem below is then an O(|edit|) overlay. The
+  // legacy path rebuilds a contracted SteinerProblem per call.
+  std::unique_ptr<FastSteinerEngine> engine;
+  SolveFn solve;
+  if (config.engine == SteinerEngine::kFast) {
+    engine = std::make_unique<FastSteinerEngine>(graph, weights,
+                                                 config.use_sp_cache);
+    solve = [&engine, &terminals, use_kmb](
+                const std::vector<graph::EdgeId>& forced,
+                const std::vector<graph::EdgeId>& banned) {
+      return use_kmb ? engine->SolveKmb(terminals, forced, banned)
+                     : engine->SolveExact(terminals, forced, banned);
+    };
+  } else {
+    solve = [&graph, &weights, &terminals, use_kmb](
+                const std::vector<graph::EdgeId>& forced,
+                const std::vector<graph::EdgeId>& banned)
+        -> std::optional<SteinerTree> {
+      SteinerProblem problem(graph, weights, terminals, forced, banned);
+      return use_kmb ? SolveKmbSteiner(problem) : SolveExactSteiner(problem);
+    };
+  }
 
   std::priority_queue<Subproblem, std::vector<Subproblem>, SubproblemGreater>
       heap;
@@ -53,6 +80,13 @@ std::vector<SteinerTree> TopKSteinerTrees(
   // return duplicates across subspaces; keep a seen-set for safety.
   std::set<std::vector<graph::EdgeId>> seen;
   std::size_t expansions = 0;
+
+  // Reused per-expansion child buffers (parallel solves write into
+  // index-addressed slots, so the merge below is deterministic).
+  std::vector<std::vector<graph::EdgeId>> child_forced;
+  std::vector<std::vector<graph::EdgeId>> child_banned;
+  std::vector<std::optional<SteinerTree>> child_tree;
+  std::vector<std::function<void()>> child_tasks;
 
   while (!heap.empty() && output.size() < static_cast<std::size_t>(config.k) &&
          expansions < config.max_subproblems) {
@@ -70,21 +104,45 @@ std::vector<SteinerTree> TopKSteinerTrees(
       output.push_back(sub.tree);
     }
 
-    // Branch on the tree's free (non-forced) edges.
+    // Branch on the tree's free (non-forced) edges: child i forces the
+    // first i free edges and bans the (i+1)-th.
     std::unordered_set<graph::EdgeId> forced_set(sub.forced.begin(),
                                                  sub.forced.end());
-    std::vector<graph::EdgeId> free_edges;
-    for (graph::EdgeId e : sub.tree.edges) {
-      if (forced_set.count(e) == 0) free_edges.push_back(e);
-    }
+    child_forced.clear();
+    child_banned.clear();
     std::vector<graph::EdgeId> forced = sub.forced;
-    for (std::size_t i = 0; i < free_edges.size(); ++i) {
-      std::vector<graph::EdgeId> banned = sub.banned;
-      banned.push_back(free_edges[i]);
-      if (auto tree = solve(forced, banned); tree.has_value()) {
-        heap.push(Subproblem{std::move(*tree), forced, std::move(banned)});
+    for (graph::EdgeId e : sub.tree.edges) {
+      if (forced_set.count(e) > 0) continue;
+      child_forced.push_back(forced);
+      child_banned.push_back(sub.banned);
+      child_banned.back().push_back(e);
+      forced.push_back(e);
+    }
+
+    const std::size_t num_children = child_forced.size();
+    child_tree.assign(num_children, std::nullopt);
+    if (config.pool != nullptr && num_children > 1) {
+      // The children are independent Lawler subproblems; solve them on the
+      // pool and merge results in child order. Solver output does not
+      // depend on scheduling (see fast_solver.h), so this is byte-
+      // identical to the sequential loop.
+      child_tasks.clear();
+      for (std::size_t i = 0; i < num_children; ++i) {
+        child_tasks.push_back([&, i] {
+          child_tree[i] = solve(child_forced[i], child_banned[i]);
+        });
       }
-      forced.push_back(free_edges[i]);
+      config.pool->RunAll(child_tasks);
+    } else {
+      for (std::size_t i = 0; i < num_children; ++i) {
+        child_tree[i] = solve(child_forced[i], child_banned[i]);
+      }
+    }
+    for (std::size_t i = 0; i < num_children; ++i) {
+      if (!child_tree[i].has_value()) continue;
+      heap.push(Subproblem{std::move(*child_tree[i]),
+                           std::move(child_forced[i]),
+                           std::move(child_banned[i])});
     }
   }
   return output;

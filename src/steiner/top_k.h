@@ -7,7 +7,20 @@
 #include "graph/search_graph.h"
 #include "steiner/steiner_tree.h"
 
+namespace q::util {
+class ThreadPool;
+}  // namespace q::util
+
 namespace q::steiner {
+
+// Which single-tree solver substrate drives the Lawler enumeration.
+//   kFast   — CSR snapshot built once per call, forced/banned edges applied
+//             as overlays, per-terminal Dijkstra trees shared through a
+//             ShortestPathCache, allocation-free scratch arenas (see
+//             fast_solver.h and docs/query_engine.md).
+//   kLegacy — rebuilds a contracted SteinerProblem per subproblem; kept as
+//             the reference implementation and benchmark baseline.
+enum class SteinerEngine { kFast = 0, kLegacy = 1 };
 
 struct TopKConfig {
   // Number of trees to return (the paper's k).
@@ -20,6 +33,14 @@ struct TopKConfig {
   std::size_t approximate_above_nodes = 20000;
   // Safety bound on Lawler subproblem expansions.
   std::size_t max_subproblems = 20000;
+  // Fast-path controls. Disabling the cache or the pool never changes the
+  // output (the determinism contract of docs/query_engine.md); it only
+  // changes how fast the same trees are produced.
+  SteinerEngine engine = SteinerEngine::kFast;
+  bool use_sp_cache = true;
+  // When set, the independent child subproblems of each Lawler expansion
+  // are solved on this pool and merged back in deterministic order.
+  util::ThreadPool* pool = nullptr;
 };
 
 // K lowest-cost Steiner trees connecting `terminals`, best first

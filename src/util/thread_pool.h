@@ -1,0 +1,129 @@
+#ifndef Q_UTIL_THREAD_POOL_H_
+#define Q_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace q::util {
+
+// Bounded worker pool for CPU-parallel fan-out of independent tasks.
+//
+// The only synchronization primitive callers need is RunAll: it executes a
+// batch of tasks across the workers *and* the calling thread, returning
+// once every task has finished. Because the caller participates, RunAll
+// makes progress even on a pool with zero or busy workers, and nested
+// RunAll calls cannot deadlock (the nested caller just runs its own batch).
+// Task results must be written into caller-owned slots; merging them in
+// index order afterwards keeps parallel pipelines deterministic.
+class ThreadPool {
+ public:
+  // `num_threads` <= 0 picks the hardware concurrency.
+  explicit ThreadPool(int num_threads = 0) {
+    if (num_threads <= 0) {
+      unsigned hw = std::thread::hardware_concurrency();
+      num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    workers_.reserve(static_cast<std::size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Runs `tasks` to completion using the pool plus the calling thread.
+  void RunAll(const std::vector<std::function<void()>>& tasks) {
+    if (tasks.empty()) return;
+    auto batch = std::make_shared<Batch>(tasks);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // One queue entry per worker that could usefully help; each entry
+      // drains the shared batch counter until the batch is exhausted.
+      std::size_t helpers =
+          tasks.size() < workers_.size() ? tasks.size() : workers_.size();
+      for (std::size_t i = 0; i < helpers; ++i) {
+        queue_.push([batch] { batch->Drain(); });
+      }
+    }
+    cv_.notify_all();
+    batch->Drain();      // the caller works too
+    batch->WaitDone();   // wait for tasks claimed by workers
+  }
+
+ private:
+  struct Batch {
+    explicit Batch(const std::vector<std::function<void()>>& t)
+        : tasks(t.data()), size(t.size()), remaining(t.size()) {}
+
+    void Drain() {
+      while (true) {
+        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        // A claimed i < size implies task i has not run yet, so the caller
+        // is still inside RunAll and the task array is alive; once every
+        // task finished, stragglers only read `size` and leave.
+        if (i >= size) return;
+        tasks[i]();
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(done_mu);
+          done_cv.notify_all();
+        }
+      }
+    }
+
+    void WaitDone() {
+      std::unique_lock<std::mutex> lock(done_mu);
+      done_cv.wait(lock, [this] {
+        return remaining.load(std::memory_order_acquire) == 0;
+      });
+    }
+
+    const std::function<void()>* tasks;
+    std::size_t size;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        job = std::move(queue_.front());
+        queue_.pop();
+      }
+      job();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace q::util
+
+#endif  // Q_UTIL_THREAD_POOL_H_
