@@ -1,0 +1,267 @@
+// Batched view refresh vs N independent refreshes (the feedback loop's
+// hot path): after a weight-only update, the RefreshEngine re-costs each
+// view's CSR snapshot in place and skips query-graph re-expansion, while
+// the independent path re-copies the search graph, re-runs text-index
+// matching, and re-extracts CSR topology per view. Measures both on a
+// GBCO search graph grown with synthetic sources (the Sec. 5.1.2 scaling
+// setup) and verifies the outputs are bit-identical before timing.
+//
+// Emits JSON lines to --json=PATH (default BENCH_view_refresh.json):
+//   {"kernel":"view_refresh_independent_8","n":...,"median_us":...}
+//   {"kernel":"view_refresh_batched_8","n":...,"median_us":...}
+//   {"kernel":"view_refresh_speedup","n":8,"ratio":...}
+// Exits non-zero if batched and independent outputs ever diverge.
+//
+// Usage: bench_view_refresh [--json=PATH] [--smoke] [--views=N]
+//        [--synthetic=N]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/refresh_engine.h"
+#include "data/gbco.h"
+#include "data/synthetic.h"
+#include "graph/graph_builder.h"
+#include "query/view.h"
+#include "steiner/top_k.h"
+#include "text/text_index.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+bool g_smoke = false;
+
+double MedianMicros(const std::function<void()>& fn, int max_reps = 15) {
+  q::util::WallTimer warmup;
+  fn();
+  double warmup_us = warmup.ElapsedMicros();
+  double budget_us = g_smoke ? 3e5 : 2e6;
+  int reps =
+      warmup_us > 0.0 ? static_cast<int>(budget_us / warmup_us) : max_reps;
+  reps = std::max(3, std::min(reps, g_smoke ? 5 : max_reps));
+  std::vector<double> us;
+  us.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    q::util::WallTimer timer;
+    fn();
+    us.push_back(timer.ElapsedMicros());
+  }
+  std::sort(us.begin(), us.end());
+  return us[us.size() / 2];
+}
+
+// The refresh workload: a GBCO catalog grown with synthetic sources, N
+// persistent views over the trial keyword queries, and a RefreshEngine
+// holding one CSR snapshot per view.
+struct Workload {
+  q::relational::Catalog catalog;
+  q::graph::FeatureSpace space;
+  std::unique_ptr<q::graph::CostModel> model;
+  q::graph::SearchGraph graph;
+  std::unique_ptr<q::graph::WeightVector> weights;
+  q::text::TextIndex index;
+  std::unique_ptr<q::util::ThreadPool> pool;
+  std::vector<std::unique_ptr<q::query::TopKView>> views;
+  q::core::RefreshEngine engine;
+
+  Workload(std::size_t num_views, std::size_t synthetic_sources) {
+    q::data::GbcoConfig config;
+    // More rows per relation = a proportionally bigger text index, which
+    // is what the per-view query-graph re-expansion pays for and the
+    // batched weight-only path skips.
+    config.base_rows = 400;
+    auto dataset = q::data::BuildGbco(config);
+    for (const auto& src : dataset.catalog.sources()) {
+      Q_CHECK_OK(catalog.AddSource(src));
+    }
+    model = std::make_unique<q::graph::CostModel>(&space,
+                                                  q::graph::CostModelConfig{});
+    graph = q::graph::BuildSearchGraph(catalog, model.get());
+    weights = std::make_unique<q::graph::WeightVector>(&space);
+    index.IndexCatalog(catalog);
+
+    q::util::Rng rng(2010);
+    Q_CHECK_OK(q::data::GrowWithSyntheticSources(
+        synthetic_sources, q::data::SyntheticGrowthOptions{}, &rng, &catalog,
+        model.get(), &graph));
+
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 1) {
+      pool = std::make_unique<q::util::ThreadPool>(static_cast<int>(hw));
+      engine.set_pool(pool.get());
+    }
+
+    q::query::ViewConfig vconfig;
+    vconfig.top_k.k = 3;
+    // Large grown graphs are the KMB regime (Sec. 2.2); the exact DP at
+    // this scale would swamp the refresh loop we are measuring. The
+    // subproblem cap bounds Lawler's tail on degenerate tie-heavy
+    // queries, which would otherwise measure enumeration churn rather
+    // than the refresh substrate; both refresh paths share the config, so
+    // the comparison is unaffected.
+    vconfig.top_k.approximate = true;
+    vconfig.top_k.max_subproblems = 400;
+    vconfig.query_graph.max_matches_per_keyword = 6;
+    vconfig.top_k.pool = pool.get();
+    // Well-conditioned trial queries (interactive-latency searches; the
+    // repeats model distinct users sharing an information need, which is
+    // exactly the multi-view traffic batched refresh is for).
+    const std::size_t trial_of_view[] = {0, 1, 2, 3, 5, 6, 0, 2};
+    const std::size_t num_picks = sizeof(trial_of_view) / sizeof(*trial_of_view);
+    for (std::size_t i = 0; views.size() < num_views; ++i) {
+      Q_CHECK_MSG(i < num_picks, "not enough trial queries for --views");
+      const auto& keywords = dataset.trials[trial_of_view[i]].keywords;
+      auto view = std::make_unique<q::query::TopKView>(keywords, vconfig);
+      Q_CHECK_OK(view->Refresh(graph, catalog, index, model.get(), *weights));
+      engine.RegisterView(view.get());
+      views.push_back(std::move(view));
+    }
+    // Build every snapshot once so timed batched rounds exercise the
+    // steady state (re-cost), not first-touch construction.
+    Q_CHECK_OK(engine.RefreshAll(graph, catalog, index, model.get(),
+                                 *weights));
+  }
+
+  // The weight-only update between refreshes (a MIRA-step stand-in):
+  // alternate nudges keep costs positive and bounded while guaranteeing
+  // the weight revision moves every round.
+  void NudgeWeights(int round) {
+    weights->Nudge(q::graph::FeatureSpace::kDefaultFeature,
+                   (round % 2 == 0) ? 0.01 : -0.01);
+  }
+
+  void RefreshBatched() {
+    Q_CHECK_OK(engine.RefreshAll(graph, catalog, index, model.get(),
+                                 *weights));
+  }
+
+  void RefreshIndependent() {
+    for (const auto& view : views) {
+      Q_CHECK_OK(view->Refresh(graph, catalog, index, model.get(),
+                               *weights));
+    }
+  }
+};
+
+struct ViewState {
+  std::vector<q::steiner::SteinerTree> trees;
+  std::vector<q::query::ResultRow> rows;
+};
+
+std::vector<ViewState> Capture(const Workload& w) {
+  std::vector<ViewState> states;
+  for (const auto& view : w.views) {
+    states.push_back(ViewState{view->trees(), view->results().rows});
+  }
+  return states;
+}
+
+bool SameStates(const std::vector<ViewState>& a,
+                const std::vector<ViewState>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    if (a[v].trees.size() != b[v].trees.size()) return false;
+    for (std::size_t i = 0; i < a[v].trees.size(); ++i) {
+      if (a[v].trees[i].edges != b[v].trees[i].edges) return false;
+      if (a[v].trees[i].cost != b[v].trees[i].cost) return false;
+    }
+    if (a[v].rows.size() != b[v].rows.size()) return false;
+    for (std::size_t i = 0; i < a[v].rows.size(); ++i) {
+      if (a[v].rows[i].cost != b[v].rows[i].cost) return false;
+      if (a[v].rows[i].query_index != b[v].rows[i].query_index) return false;
+      if (!(a[v].rows[i].values == b[v].rows[i].values)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_view_refresh.json";
+  std::size_t num_views = 8;
+  std::size_t synthetic = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    } else if (std::strncmp(argv[i], "--views=", 8) == 0) {
+      num_views = static_cast<std::size_t>(std::atoi(argv[i] + 8));
+    } else if (std::strncmp(argv[i], "--synthetic=", 12) == 0) {
+      synthetic = static_cast<std::size_t>(std::atoi(argv[i] + 12));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json=PATH] [--smoke] [--views=N] "
+                   "[--synthetic=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  Workload w(num_views, synthetic);
+  std::printf("graph: %zu nodes, %zu edges, %zu views\n",
+              w.graph.num_nodes(), w.graph.num_edges(), w.views.size());
+
+  // Correctness gate first: after a weight update, batched output must be
+  // bit-identical to the independent reference.
+  w.NudgeWeights(0);
+  w.RefreshBatched();
+  auto batched_states = Capture(w);
+  w.RefreshIndependent();
+  auto independent_states = Capture(w);
+  bool ok = SameStates(batched_states, independent_states);
+  if (!ok) {
+    std::printf("MISMATCH: batched refresh differs from independent\n");
+  }
+
+  FILE* json = std::fopen(json_path, "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+    return 2;
+  }
+  auto emit = [&](const std::string& kernel, std::size_t n, double median) {
+    std::printf("%-28s n=%-7zu median_us=%12.1f\n", kernel.c_str(), n,
+                median);
+    std::fprintf(json, "{\"kernel\":\"%s\",\"n\":%zu,\"median_us\":%.3f}\n",
+                 kernel.c_str(), n, median);
+    std::fflush(json);
+  };
+
+  // Every timed round includes one weight nudge so each refresh really
+  // re-costs (a no-op refresh would measure the skip path instead).
+  int round = 0;
+  std::string suffix = "_" + std::to_string(w.views.size());
+  double independent_us = MedianMicros([&] {
+    w.NudgeWeights(round++);
+    w.RefreshIndependent();
+  });
+  emit("view_refresh_independent" + suffix, w.graph.num_nodes(),
+       independent_us);
+  double batched_us = MedianMicros([&] {
+    w.NudgeWeights(round++);
+    w.RefreshBatched();
+  });
+  emit("view_refresh_batched" + suffix, w.graph.num_nodes(), batched_us);
+
+  double ratio = batched_us > 0.0 ? independent_us / batched_us : 0.0;
+  std::printf("%-28s speedup=%.2fx (independent/batched), output %s\n",
+              ("view_refresh_speedup" + suffix).c_str(), ratio,
+              ok ? "verified identical" : "MISMATCH");
+  std::fprintf(json, "{\"kernel\":\"view_refresh_speedup\",\"n\":%zu,"
+               "\"ratio\":%.3f}\n",
+               w.views.size(), ratio);
+  std::fclose(json);
+  std::printf("json written to %s\n", json_path);
+  return ok ? 0 : 1;
+}

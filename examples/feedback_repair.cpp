@@ -38,9 +38,17 @@ int main() {
     for (const auto& keywords : dataset.keyword_queries) {
       auto view_id = q.CreateView(keywords);
       if (!view_id.ok()) continue;
+      // Every view is served through the batched RefreshEngine (one CSR
+      // snapshot per view, re-costed in place after each MIRA update) and
+      // must come back with live trees.
+      Q_CHECK(!q.view(*view_id).trees().empty());
       auto applied = q.ApplyGoldFeedback(*view_id, expert);
       Q_CHECK_OK(applied.status());
       if (!*applied) continue;
+      // Repricing can legitimately leave a view's current top trees
+      // row-less mid-learning, but the refreshed tree list itself must
+      // never come back empty.
+      Q_CHECK(!q.view(*view_id).trees().empty());
       auto gap = q::learn::MeasureGoldCostGap(q.search_graph(), q.weights(),
                                               dataset.gold_edges);
       std::string label = keywords[0] + " / " + keywords[1];
@@ -54,6 +62,26 @@ int main() {
                 << "\n";
     }
   }
+
+  // The learned graph must still answer: every view has trees, and the
+  // fleet as a whole produces ranked rows.
+  std::size_t total_rows = 0;
+  for (std::size_t v = 0; v < q.num_views(); ++v) {
+    Q_CHECK(!q.view(v).trees().empty());
+    total_rows += q.view(v).results().rows.size();
+  }
+  Q_CHECK(total_rows > 0);
+
+  const auto& rstats = q.refresh_engine().stats();
+  std::cout << "\nrefresh engine: " << rstats.snapshots_built
+            << " snapshot builds, " << rstats.snapshots_recosted
+            << " weight-only re-costs, " << rstats.searches_run
+            << " searches across " << q.num_views()
+            << " views (generation " << q.refresh_engine().generation()
+            << ")\n";
+  // The feedback loop only reprices edges, so after the initial build
+  // every refresh must have taken the in-place re-cost fast path.
+  Q_CHECK(rstats.snapshots_recosted > rstats.snapshots_built);
 
   std::cout << "\nprecision/recall sweep over the learned edge costs:\n";
   auto curve = q::learn::GraphPrCurve(q.search_graph(), q.weights(),

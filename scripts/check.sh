@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verify (configure, build, ctest) plus a Release-mode bench smoke
-# run; the single entry point for local checks and a future CI workflow.
+# Tier-1 verify (configure, build, ctest) plus Release-mode bench runs
+# with a perf trajectory gate; the single entry point for local checks
+# and a future CI workflow.
+#
+# The gate compares the fresh micro-kernel medians against the committed
+# baseline (bench/baselines/BENCH_micro_kernels.json; the root-level
+# BENCH_*.json artifacts are gitignored) and fails on a >25% regression
+# of any fast-path kernel. Set BENCH_GATE=0 to skip the gate (e.g. on
+# hardware unrelated to the committed baseline); set
+# BENCH_UPDATE_BASELINE=1 to copy the fresh medians over the committed
+# baselines after a deliberate perf change (or a hardware move).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+BENCH_GATE="${BENCH_GATE:-1}"
 
 # --- tier-1: configure, build, test ----------------------------------------
 cmake -B build -S .
@@ -16,5 +26,68 @@ cmake --build build -j "${JOBS}"
 # tier-1 build tree doubles as the bench tree. The micro-kernel bench
 # exits non-zero if the fast Steiner path ever diverges from the legacy
 # engine's output, so this is a correctness gate as well as a perf probe.
+baseline="bench/baselines/BENCH_micro_kernels.json"
+
 ./build/bench_micro_kernels --smoke --json=BENCH_micro_kernels.json
+
+# --- perf trajectory gate ---------------------------------------------------
+# Every fast-path kernel ("*fast*" in the name) must stay within 1.25x of
+# the committed baseline's median.
+if [[ "${BENCH_GATE}" == "1" && -f "${baseline}" ]]; then
+  parse='match($0, /"kernel":"[^"]*"/) {
+           k = substr($0, RSTART + 10, RLENGTH - 11);
+           if (match($0, /"median_us":[0-9.]+/)) {
+             print k, substr($0, RSTART + 12, RLENGTH - 12);
+           }
+         }'
+  awk "${parse}" "${baseline}" > /tmp/bench_baseline.$$
+  awk "${parse}" BENCH_micro_kernels.json > /tmp/bench_fresh.$$
+  gate_failed=0
+  while read -r kernel fresh_us; do
+    case "${kernel}" in
+      *fast*) ;;
+      *) continue ;;
+    esac
+    base_us="$(awk -v k="${kernel}" '$1 == k { print $2 }' \
+               /tmp/bench_baseline.$$)"
+    [[ -z "${base_us}" ]] && continue  # new kernel: no baseline yet
+    verdict="$(awk -v f="${fresh_us}" -v b="${base_us}" \
+               'BEGIN { print (f > 1.25 * b) ? "REGRESSED" : "ok" }')"
+    printf 'perf gate: %-34s baseline=%12.1f fresh=%12.1f %s\n' \
+      "${kernel}" "${base_us}" "${fresh_us}" "${verdict}"
+    if [[ "${verdict}" == "REGRESSED" ]]; then
+      gate_failed=1
+    fi
+  done < /tmp/bench_fresh.$$
+  rm -f /tmp/bench_baseline.$$ /tmp/bench_fresh.$$
+  if [[ "${gate_failed}" == "1" ]]; then
+    echo "check.sh: FAIL — fast kernel regressed >25% vs committed baseline"
+    exit 1
+  fi
+else
+  echo "perf gate: skipped (BENCH_GATE=${BENCH_GATE}, baseline: ${baseline})"
+fi
+
+# --- batched view refresh ---------------------------------------------------
+# Measures RefreshEngine's weight-only batched refresh against N
+# independent per-view refreshes (and verifies their outputs are
+# bit-identical; the binary exits non-zero on divergence). The refresh
+# loop targets >=1.5x; a lower measured ratio is reported but only warns,
+# since the margin is hardware-dependent.
+./build/bench_view_refresh --smoke --json=BENCH_view_refresh.json
+ratio="$(awk 'match($0, /"ratio":[0-9.]+/) {
+                print substr($0, RSTART + 8, RLENGTH - 8) }' \
+         BENCH_view_refresh.json)"
+if [[ -n "${ratio}" ]] && \
+   awk -v r="${ratio}" 'BEGIN { exit !(r < 1.5) }'; then
+  echo "check.sh: WARNING — batched view refresh speedup ${ratio}x < 1.5x"
+fi
+
+if [[ "${BENCH_UPDATE_BASELINE:-0}" == "1" ]]; then
+  mkdir -p bench/baselines
+  cp BENCH_micro_kernels.json bench/baselines/BENCH_micro_kernels.json
+  cp BENCH_view_refresh.json bench/baselines/BENCH_view_refresh.json
+  echo "perf gate: baselines updated from this run"
+fi
+
 echo "check.sh: OK"

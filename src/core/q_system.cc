@@ -49,6 +49,8 @@ void QSystem::EnsureSteinerPool() {
   if (threads > 1) {
     steiner_pool_ = std::make_unique<util::ThreadPool>(threads);
     config_.view.top_k.pool = steiner_pool_.get();
+    // The same pool fans batched refreshes out across views.
+    refresh_.set_pool(steiner_pool_.get());
   }
 }
 
@@ -196,18 +198,21 @@ util::Result<std::size_t> QSystem::CreateView(
   EnsureSteinerPool();
   auto view = std::make_unique<query::TopKView>(std::move(keywords),
                                                 config_.view);
-  Q_RETURN_NOT_OK(
-      view->Refresh(graph_, catalog_, index_, &model_, weights_));
+  // Register-then-refresh keeps the new view's CSR snapshot warm for the
+  // feedback loop; a failed initial refresh rolls the registration back.
+  std::size_t slot = refresh_.RegisterView(view.get());
+  util::Status status =
+      refresh_.RefreshView(slot, graph_, catalog_, index_, &model_, weights_);
+  if (!status.ok()) {
+    refresh_.UnregisterLastView();
+    return status;
+  }
   views_.push_back(std::move(view));
   return views_.size() - 1;
 }
 
 util::Status QSystem::RefreshAllViews() {
-  for (const auto& view : views_) {
-    Q_RETURN_NOT_OK(
-        view->Refresh(graph_, catalog_, index_, &model_, weights_));
-  }
-  return util::Status::OK();
+  return refresh_.RefreshAll(graph_, catalog_, index_, &model_, weights_);
 }
 
 util::Status QSystem::ApplyFeedback(std::size_t view_id,

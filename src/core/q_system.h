@@ -7,6 +7,7 @@
 
 #include "align/aligner.h"
 #include "align/view_context.h"
+#include "core/refresh_engine.h"
 #include "feedback/feedback_log.h"
 #include "feedback/simulated_user.h"
 #include "graph/cost_model.h"
@@ -97,7 +98,14 @@ class QSystem {
   const query::TopKView& view(std::size_t id) const { return *views_[id]; }
   std::size_t num_views() const { return views_.size(); }
 
+  // Refreshes every view through the batched RefreshEngine: one CSR
+  // snapshot reconciliation per view per generation (weight-only updates
+  // re-cost in place), searches fanned out across the steiner pool.
+  // Output is bit-identical to refreshing each view independently.
   util::Status RefreshAllViews();
+
+  // The batched-refresh substrate (snapshot generations + stats).
+  const RefreshEngine& refresh_engine() const { return refresh_; }
 
   // --- feedback -------------------------------------------------------------
   // The user endorsed the answer produced by `endorsed` in view
@@ -169,6 +177,8 @@ class QSystem {
   learn::MiraLearner learner_;
   feedback::FeedbackLog log_;
   std::vector<std::unique_ptr<query::TopKView>> views_;
+  // Parallel to views_: views_[i] is registered as refresh_ slot i.
+  RefreshEngine refresh_;
 };
 
 }  // namespace q::core

@@ -1,0 +1,150 @@
+#include "core/refresh_engine.h"
+
+#include <functional>
+#include <utility>
+
+namespace q::core {
+
+std::size_t RefreshEngine::RegisterView(query::TopKView* view) {
+  Slot slot;
+  slot.view = view;
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+void RefreshEngine::UnregisterLastView() {
+  if (!slots_.empty()) slots_.pop_back();
+}
+
+void RefreshEngine::ObserveRevisions(const graph::SearchGraph& base,
+                                     const graph::WeightVector& weights) {
+  if (!observed_any_ || last_graph_revision_ != base.revision() ||
+      last_weight_revision_ != weights.revision()) {
+    if (observed_any_) ++generation_;
+    observed_any_ = true;
+    last_graph_revision_ = base.revision();
+    last_weight_revision_ = weights.revision();
+  }
+}
+
+util::Result<bool> RefreshEngine::PrepareSlot(
+    Slot* slot, const graph::SearchGraph& base, const text::TextIndex& index,
+    graph::CostModel* model, const graph::WeightVector& weights) {
+  query::TopKView& view = *slot->view;
+  const bool graph_moved = !slot->built ||
+                           slot->graph_revision != base.revision();
+  const bool weights_moved = !slot->built ||
+                             slot->weight_revision != weights.revision();
+  if (!graph_moved && !weights_moved && view.refreshed()) {
+    return false;
+  }
+
+  // A finite association-cost threshold makes the query-graph topology a
+  // function of the weights (edges are pruned by current cost), so only
+  // the infinite-threshold default is eligible for the re-cost fast path.
+  const bool weight_independent_topology =
+      view.config().query_graph.association_cost_threshold ==
+      std::numeric_limits<double>::infinity();
+
+  if (graph_moved || !weight_independent_topology) {
+    Q_RETURN_NOT_OK(view.RebuildQueryGraph(base, index, model, weights));
+    slot->engine = std::make_unique<steiner::FastSteinerEngine>(
+        view.query_graph().graph, weights, view.config().top_k.use_sp_cache);
+    ++stats_.snapshots_built;
+  } else {
+    // Weight-only update over an unchanged topology: re-cost the CSR in
+    // place. The cached query graph is bit-identical to what a rebuild
+    // would produce (same base revision, same index, same features), so
+    // skipping the rebuild cannot change the search's input.
+    slot->engine->Recost(view.query_graph().graph, weights);
+    ++stats_.snapshots_recosted;
+  }
+  return true;
+}
+
+void RefreshEngine::CommitSlot(Slot* slot, const graph::SearchGraph& base,
+                               const graph::WeightVector& weights) {
+  slot->graph_revision = base.revision();
+  slot->weight_revision = weights.revision();
+  slot->built = true;
+}
+
+util::Status RefreshEngine::RefreshAll(const graph::SearchGraph& base,
+                                       const relational::Catalog& catalog,
+                                       const text::TextIndex& index,
+                                       graph::CostModel* model,
+                                       const graph::WeightVector& weights) {
+  ObserveRevisions(base, weights);
+
+  // Phase 1 (serial, in registration order — feature interning follows
+  // the same order as N independent refreshes would): reconcile every
+  // snapshot with the current base state.
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Q_ASSIGN_OR_RETURN(bool changed, PrepareSlot(&slots_[i], base, index,
+                                                 model, weights));
+    if (changed) {
+      pending.push_back(i);
+    } else {
+      ++stats_.refreshes_skipped;
+    }
+  }
+
+  // Phase 2: fan the per-view searches out. Each task touches only its
+  // own view plus read-only shared state (catalog, weights, its own
+  // synchronized SP cache), and results land in per-view slots, so the
+  // merge is deterministic regardless of scheduling.
+  std::vector<util::Status> statuses(pending.size(), util::Status::OK());
+  auto run_one = [&](std::size_t j) {
+    Slot& slot = slots_[pending[j]];
+    statuses[j] = slot.view->RunSearch(catalog, weights, slot.engine.get());
+  };
+  if (pool_ != nullptr && pending.size() > 1) {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(pending.size());
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      tasks.push_back([&run_one, j] { run_one(j); });
+    }
+    pool_->RunAll(tasks);
+  } else {
+    for (std::size_t j = 0; j < pending.size(); ++j) run_one(j);
+  }
+  stats_.searches_run += pending.size();
+  // Commit only the slots whose search succeeded; failed ones keep their
+  // old revisions and are re-prepared (and re-searched) next refresh
+  // instead of being skipped as up to date.
+  for (std::size_t j = 0; j < pending.size(); ++j) {
+    if (statuses[j].ok()) {
+      CommitSlot(&slots_[pending[j]], base, weights);
+    }
+  }
+  for (const util::Status& status : statuses) {
+    Q_RETURN_NOT_OK(status);
+  }
+  return util::Status::OK();
+}
+
+util::Status RefreshEngine::RefreshView(std::size_t slot_id,
+                                        const graph::SearchGraph& base,
+                                        const relational::Catalog& catalog,
+                                        const text::TextIndex& index,
+                                        graph::CostModel* model,
+                                        const graph::WeightVector& weights) {
+  if (slot_id >= slots_.size()) {
+    return util::Status::InvalidArgument("no such view slot");
+  }
+  ObserveRevisions(base, weights);
+  Slot& slot = slots_[slot_id];
+  Q_ASSIGN_OR_RETURN(bool changed,
+                     PrepareSlot(&slot, base, index, model, weights));
+  if (!changed) {
+    ++stats_.refreshes_skipped;
+    return util::Status::OK();
+  }
+  ++stats_.searches_run;
+  Q_RETURN_NOT_OK(slot.view->RunSearch(catalog, weights, slot.engine.get()));
+  CommitSlot(&slot, base, weights);
+  return util::Status::OK();
+}
+
+}  // namespace q::core

@@ -1,0 +1,152 @@
+#ifndef Q_CORE_REFRESH_ENGINE_H_
+#define Q_CORE_REFRESH_ENGINE_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "graph/cost_model.h"
+#include "graph/search_graph.h"
+#include "query/view.h"
+#include "relational/catalog.h"
+#include "steiner/fast_solver.h"
+#include "text/text_index.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace q::core {
+
+// Aggregate counters for observability and the perf benches; cumulative
+// over the engine's lifetime.
+struct RefreshEngineStats {
+  // Full snapshot builds: query-graph re-expansion + CSR extraction.
+  std::size_t snapshots_built = 0;
+  // Weight-only refreshes: CSR re-costed in place, topology kept.
+  std::size_t snapshots_recosted = 0;
+  // Refreshes skipped outright because neither the graph nor the weights
+  // changed since the view's last refresh (results provably identical).
+  std::size_t refreshes_skipped = 0;
+  // Per-view top-k searches actually executed.
+  std::size_t searches_run = 0;
+};
+
+// Batched view-refresh substrate (the feedback loop's hot path): owns one
+// versioned CSR snapshot per registered view — i.e. per (query-graph
+// topology, weight vector) pair — and serves every view's top-k search
+// from it.
+//
+// Change detection is pull-based: SearchGraph and WeightVector carry
+// monotone revision counters bumped at every mutation site (feedback's
+// MIRA updates bump the weight revision; new-source registration and
+// similarity-edge installation bump the graph revision). RefreshAll()
+// compares the revisions each snapshot was built against and bumps the
+// engine generation when either moved, so per generation each snapshot is
+// reconciled at most once:
+//
+//   * graph revision moved      -> phase 1 rebuilds the view's query graph
+//                                  and re-extracts its CSR snapshot;
+//   * only weight revision moved, and the view's query-graph topology is
+//     weight-independent         -> the snapshot is re-costed in place
+//                                  (no graph copy, no text-index matching,
+//                                  no topology extraction) and its
+//                                  shortest-path cache moves to the next
+//                                  generation;
+//   * nothing moved             -> the refresh is skipped entirely
+//                                  (independent refreshes would recompute
+//                                  byte-identical state).
+//
+// A view whose QueryGraphOptions::association_cost_threshold is finite
+// has weight-dependent topology (association edges are pruned by current
+// cost), so weight updates degrade to full rebuilds for that view.
+//
+// Phase 1 runs serially across views (query-graph building interns
+// features into the shared FeatureSpace); phase 2 fans the per-view
+// searches out across the thread pool when one is provided. Both fan-out
+// and snapshot reuse are invisible in the output: batched results are
+// bit-identical to N independent TopKView::Refresh calls (the batched
+// determinism contract, docs/query_engine.md, enforced by
+// tests/refresh_engine_test.cc).
+class RefreshEngine {
+ public:
+  // `pool` (optional) parallelizes phase 2 across views; it never changes
+  // results. The engine does not own the pool.
+  explicit RefreshEngine(util::ThreadPool* pool = nullptr) : pool_(pool) {}
+
+  void set_pool(util::ThreadPool* pool) { pool_ = pool; }
+
+  // Registers a view and reserves its snapshot slot; the snapshot itself
+  // is built lazily on the first refresh. The view must outlive the
+  // engine (or be unregistered). Returns the slot id.
+  std::size_t RegisterView(query::TopKView* view);
+
+  // Drops the most recently registered view's slot (used to roll back a
+  // registration whose initial refresh failed).
+  void UnregisterLastView();
+
+  std::size_t num_views() const { return slots_.size(); }
+
+  // Refreshes every registered view against the current base state,
+  // rebuilding/re-costing each snapshot at most once per generation.
+  util::Status RefreshAll(const graph::SearchGraph& base,
+                          const relational::Catalog& catalog,
+                          const text::TextIndex& index,
+                          graph::CostModel* model,
+                          const graph::WeightVector& weights);
+
+  // Refreshes one registered view (slot id from RegisterView).
+  util::Status RefreshView(std::size_t slot, const graph::SearchGraph& base,
+                           const relational::Catalog& catalog,
+                           const text::TextIndex& index,
+                           graph::CostModel* model,
+                           const graph::WeightVector& weights);
+
+  // Snapshot generation: bumped whenever a refresh observes that the
+  // graph or weight revision moved. Fresh engines start at 0.
+  std::uint64_t generation() const { return generation_; }
+
+  const RefreshEngineStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    query::TopKView* view = nullptr;
+    std::unique_ptr<steiner::FastSteinerEngine> engine;
+    // Base-state revisions the snapshot was last reconciled against.
+    std::uint64_t graph_revision = 0;
+    std::uint64_t weight_revision = 0;
+    bool built = false;
+  };
+
+  // Brings `slot`'s query graph + CSR snapshot up to date with (base,
+  // weights). Returns whether the snapshot changed (i.e. the view's
+  // search must rerun); serial-only (may mutate the model's feature
+  // space). Does NOT commit the observed revisions — CommitSlot does,
+  // and only after the view's search succeeded, so a failed refresh can
+  // never be mistaken for an up-to-date one on the next pass (the
+  // snapshot work itself is idempotent and simply redone).
+  util::Result<bool> PrepareSlot(Slot* slot, const graph::SearchGraph& base,
+                                 const text::TextIndex& index,
+                                 graph::CostModel* model,
+                                 const graph::WeightVector& weights);
+
+  void CommitSlot(Slot* slot, const graph::SearchGraph& base,
+                  const graph::WeightVector& weights);
+
+  // Observes the base revisions, bumping generation() when either moved
+  // since the last refresh.
+  void ObserveRevisions(const graph::SearchGraph& base,
+                        const graph::WeightVector& weights);
+
+  util::ThreadPool* pool_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool observed_any_ = false;
+  std::uint64_t last_graph_revision_ = 0;
+  std::uint64_t last_weight_revision_ = 0;
+  std::vector<Slot> slots_;
+  RefreshEngineStats stats_;
+};
+
+}  // namespace q::core
+
+#endif  // Q_CORE_REFRESH_ENGINE_H_

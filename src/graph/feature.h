@@ -92,10 +92,22 @@ class WeightVector {
 
   void Set(FeatureId id, double w) {
     EnsureSize(id + 1);
-    values_[id] = w;
+    // No-op writes (e.g. a MIRA step with zero margin) must not move the
+    // revision: downstream snapshot holders would re-cost and re-search
+    // every view to reproduce byte-identical results.
+    if (values_[id] != w) {
+      ++revision_;
+      values_[id] = w;
+    }
   }
 
   void Nudge(FeatureId id, double delta) { Set(id, At(id) + delta); }
+
+  // Monotone mutation counter, bumped by every Set/Nudge/ResetToInitial.
+  // Lets snapshot holders (the RefreshEngine's per-view CSR snapshots)
+  // detect weight updates — from MIRA or from direct mutable_weights()
+  // pokes — without explicit notification.
+  std::uint64_t revision() const { return revision_; }
 
   // w · f
   double Dot(const FeatureVec& f) const {
@@ -105,7 +117,10 @@ class WeightVector {
   }
 
   // Resets every weight to its initial value.
-  void ResetToInitial() { values_.clear(); }
+  void ResetToInitial() {
+    ++revision_;
+    values_.clear();
+  }
 
   const FeatureSpace* space() const { return space_; }
 
@@ -118,6 +133,7 @@ class WeightVector {
   }
 
   const FeatureSpace* space_;
+  std::uint64_t revision_ = 0;
   std::vector<double> values_;
 };
 

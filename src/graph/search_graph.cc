@@ -54,6 +54,7 @@ NodeId SearchGraph::AddNode(NodeKind kind, std::string label,
   auto it = node_index_.find(key);
   if (it != node_index_.end()) return it->second;
   NodeId id = static_cast<NodeId>(nodes_.size());
+  ++revision_;
   nodes_.push_back(Node{kind, std::move(label), std::move(attr)});
   adjacency_.emplace_back();
   node_index_.emplace(std::move(key), id);
@@ -86,6 +87,7 @@ EdgeId SearchGraph::AddEdge(Edge edge) {
   Q_CHECK(edge.u < nodes_.size() && edge.v < nodes_.size());
   Q_CHECK(edge.u != edge.v);
   EdgeId id = static_cast<EdgeId>(edges_.size());
+  ++revision_;
   adjacency_[edge.u].push_back(id);
   adjacency_[edge.v].push_back(id);
   if (edge.kind == EdgeKind::kAssociation) {
@@ -102,6 +104,7 @@ EdgeId SearchGraph::AddAssociationEdge(NodeId a, NodeId b,
   Q_CHECK(nodes_[b].kind == NodeKind::kAttribute);
   auto existing = FindAssociation(a, b);
   if (existing.has_value()) {
+    ++revision_;  // feature merge below changes the edge's cost
     Edge& e = edges_[*existing];
     // Merge the new matcher's features (its confidence-bin indicator) into
     // the edge and record the vote.

@@ -110,9 +110,23 @@ class SearchGraph {
   std::size_t num_edges() const { return edges_.size(); }
 
   const Node& node(NodeId id) const { return nodes_[id]; }
-  Node& mutable_node(NodeId id) { return nodes_[id]; }
+  Node& mutable_node(NodeId id) {
+    ++revision_;
+    return nodes_[id];
+  }
   const Edge& edge(EdgeId id) const { return edges_[id]; }
-  Edge& mutable_edge(EdgeId id) { return edges_[id]; }
+  Edge& mutable_edge(EdgeId id) {
+    ++revision_;
+    return edges_[id];
+  }
+
+  // Monotone mutation counter: bumped by every AddNode/AddEdge and by each
+  // mutable_node/mutable_edge access (conservatively — the caller may
+  // mutate through the returned reference). Snapshot consumers (the
+  // RefreshEngine's CSR snapshots) compare revisions to detect that a
+  // graph changed underneath them without requiring explicit notification
+  // from every mutation site.
+  std::uint64_t revision() const { return revision_; }
 
   const std::vector<EdgeId>& edges_of(NodeId id) const {
     return adjacency_[id];
@@ -158,6 +172,7 @@ class SearchGraph {
       double max_cost = std::numeric_limits<double>::infinity()) const;
 
  private:
+  std::uint64_t revision_ = 0;
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> adjacency_;

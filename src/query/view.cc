@@ -1,6 +1,8 @@
 #include "query/view.h"
 
 #include <limits>
+#include <utility>
+#include <vector>
 
 namespace q::query {
 
@@ -9,16 +11,33 @@ util::Status TopKView::Refresh(const graph::SearchGraph& base,
                                const text::TextIndex& index,
                                graph::CostModel* model,
                                const graph::WeightVector& weights) {
+  Q_RETURN_NOT_OK(RebuildQueryGraph(base, index, model, weights));
+  return RunSearch(catalog, weights);
+}
+
+util::Status TopKView::RebuildQueryGraph(const graph::SearchGraph& base,
+                                         const text::TextIndex& index,
+                                         graph::CostModel* model,
+                                         const graph::WeightVector& weights) {
   Q_ASSIGN_OR_RETURN(query_graph_,
                      BuildQueryGraph(base, index, keywords_, model, weights,
                                      config_.query_graph));
-  trees_ = steiner::TopKSteinerTrees(query_graph_.graph, weights,
-                                     query_graph_.keyword_nodes,
-                                     config_.top_k);
-  queries_.clear();
+  return util::Status::OK();
+}
+
+util::Status TopKView::RunSearch(const relational::Catalog& catalog,
+                                 const graph::WeightVector& weights,
+                                 steiner::FastSteinerEngine* shared_engine) {
+  // Build into locals and swap on success only: a mid-search failure must
+  // not leave trees_/queries_/results_ mutually inconsistent (results_
+  // rows index queries_ by position — see ApplyInvalidFeedback).
+  std::vector<steiner::SteinerTree> trees = steiner::TopKSteinerTrees(
+      query_graph_.graph, weights, query_graph_.keyword_nodes,
+      config_.top_k, shared_engine);
+  std::vector<ConjunctiveQuery> queries;
   std::vector<std::vector<relational::Row>> per_query_rows;
   Executor executor(&catalog, config_.executor);
-  for (const steiner::SteinerTree& tree : trees_) {
+  for (const steiner::SteinerTree& tree : trees) {
     Q_ASSIGN_OR_RETURN(ConjunctiveQuery cq,
                        CompileTree(query_graph_, tree, weights));
     auto rows = executor.Execute(cq);
@@ -30,10 +49,12 @@ util::Status TopKView::Refresh(const graph::SearchGraph& base,
     } else {
       per_query_rows.push_back(std::move(rows).value());
     }
-    queries_.push_back(std::move(cq));
+    queries.push_back(std::move(cq));
   }
-  results_ = DisjointUnion(query_graph_, weights, queries_, per_query_rows,
+  results_ = DisjointUnion(query_graph_, weights, queries, per_query_rows,
                            config_.union_similarity_threshold);
+  trees_ = std::move(trees);
+  queries_ = std::move(queries);
   refreshed_ = true;
   return util::Status::OK();
 }

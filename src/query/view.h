@@ -27,6 +27,19 @@ struct ViewConfig {
 // queries, and ranked results; Refresh() recomputes everything against
 // the current search graph and weights (called after feedback updates or
 // new-source registration).
+//
+// A refresh has two phases, exposed separately so the batched
+// RefreshEngine can skip or share work across views:
+//   1. RebuildQueryGraph — re-expand the base search graph for this
+//      view's keywords (graph copy + text-index matching). Skippable when
+//      only weights changed and the query-graph topology is
+//      weight-independent (see refresh_engine.h).
+//   2. RunSearch — top-k Steiner search over the current query graph,
+//      tree compilation, execution, and ranked union. Optionally served
+//      from a caller-owned CSR snapshot.
+// Refresh() runs both phases; batched and independent refreshes produce
+// bit-identical results (the determinism contract of
+// docs/query_engine.md).
 class TopKView {
  public:
   TopKView(std::vector<std::string> keywords, ViewConfig config)
@@ -37,6 +50,23 @@ class TopKView {
                        const text::TextIndex& index,
                        graph::CostModel* model,
                        const graph::WeightVector& weights);
+
+  // Phase 1: rebuilds query_graph() from the base search graph. Mutates
+  // `model`'s feature space (keyword-match feature interning), so batched
+  // callers must run this phase serially across views.
+  util::Status RebuildQueryGraph(const graph::SearchGraph& base,
+                                 const text::TextIndex& index,
+                                 graph::CostModel* model,
+                                 const graph::WeightVector& weights);
+
+  // Phase 2: recomputes trees/queries/results against the current query
+  // graph. When `shared_engine` is non-null it must hold a CSR snapshot of
+  // exactly (query_graph().graph, weights); its warm shortest-path cache
+  // never changes the output. Touches only this view and read-only shared
+  // state, so distinct views' RunSearch calls may run concurrently.
+  util::Status RunSearch(const relational::Catalog& catalog,
+                         const graph::WeightVector& weights,
+                         steiner::FastSteinerEngine* shared_engine = nullptr);
 
   const std::vector<std::string>& keywords() const { return keywords_; }
   const ViewConfig& config() const { return config_; }

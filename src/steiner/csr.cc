@@ -1,5 +1,7 @@
 #include "steiner/csr.h"
 
+#include "util/status.h"
+
 namespace q::steiner {
 
 CsrGraph CsrGraph::Build(const graph::SearchGraph& graph,
@@ -47,6 +49,21 @@ CsrGraph CsrGraph::Build(const graph::SearchGraph& graph,
     csr.arc_cost[cv] = cost;
   }
   return csr;
+}
+
+void CsrGraph::Recost(const graph::SearchGraph& graph,
+                      const graph::WeightVector& weights) {
+  Q_CHECK(graph.num_nodes() == num_nodes && graph.num_edges() == num_edges);
+  // Re-derive the arc costs from the per-edge costs through arc_edge so
+  // both directed copies stay exactly equal to the edge cost, as Build
+  // lays them out.
+  for (graph::EdgeId e = 0; e < num_edges; ++e) {
+    edge_cost[e] = graph.EdgeCost(e, weights);
+  }
+  const std::size_t num_arcs = 2ull * num_edges;
+  for (std::size_t a = 0; a < num_arcs; ++a) {
+    arc_cost[a] = edge_cost[arc_edge[a]];
+  }
 }
 
 }  // namespace q::steiner

@@ -34,6 +34,14 @@ struct CsrGraph {
 
   static CsrGraph Build(const graph::SearchGraph& graph,
                         const graph::WeightVector& weights);
+
+  // Weight-only refresh: re-evaluates every edge cost (w · f(e)) in place
+  // without re-extracting topology — offsets/arc_head/arc_edge and the
+  // edge endpoint arrays are untouched, so snapshot holders keep their
+  // arc ordering (and with it the determinism contract). Precondition:
+  // `graph` has exactly the node/edge set this snapshot was built from.
+  void Recost(const graph::SearchGraph& graph,
+              const graph::WeightVector& weights);
 };
 
 }  // namespace q::steiner

@@ -474,6 +474,13 @@ FastSteinerEngine::FastSteinerEngine(const graph::SearchGraph& graph,
   if (use_cache) cache_ = std::make_unique<ShortestPathCache>();
 }
 
+void FastSteinerEngine::Recost(const graph::SearchGraph& graph,
+                               const graph::WeightVector& weights) {
+  csr_.Recost(graph, weights);
+  ++generation_;
+  if (cache_ != nullptr) cache_->BumpGeneration();
+}
+
 FastSolveStats FastSteinerEngine::stats() const {
   FastSolveStats st;
   if (cache_ != nullptr) {

@@ -40,6 +40,20 @@ class FastSteinerEngine {
   FastSteinerEngine(const graph::SearchGraph& graph,
                     const graph::WeightVector& weights, bool use_cache);
 
+  // Weight-only snapshot refresh: re-costs every CSR edge in place
+  // (topology arrays untouched) and moves the shortest-path cache to a new
+  // generation so no tree computed under the old weights can be served.
+  // Precondition: `graph` has exactly the node/edge set this engine was
+  // built from. Far cheaper than rebuilding the engine and — because arc
+  // order is preserved and the cache is generation-keyed — produces
+  // byte-identical output to a fresh engine over the same (graph, weights).
+  void Recost(const graph::SearchGraph& graph,
+              const graph::WeightVector& weights);
+
+  // Snapshot generation: 0 at construction, +1 per Recost. Mirrors the
+  // cache generation when caching is enabled.
+  std::uint64_t generation() const { return generation_; }
+
   // KMB 2-approximation (the contraction semantics of SolveKmbSteiner).
   // Returns nullopt when the subproblem is infeasible (forced edges banned
   // or cyclic, or terminals disconnected).
@@ -59,6 +73,7 @@ class FastSteinerEngine {
 
  private:
   CsrGraph csr_;
+  std::uint64_t generation_ = 0;
   std::unique_ptr<ShortestPathCache> cache_;  // null when caching disabled
 };
 

@@ -58,14 +58,28 @@ bool ShortestPathCache::Valid(const Entry& entry,
          BansCompatible(entry.banned, banned, entry.tree->tree_edges);
 }
 
+void ShortestPathCache::BumpGeneration() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
+  // Stale generations can never be looked up again (the generation is in
+  // the key), so purge them and give the new snapshot the full capacity.
+  by_key_.clear();
+  num_entries_ = 0;
+}
+
+std::uint64_t ShortestPathCache::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
 std::shared_ptr<const SpTree> ShortestPathCache::Lookup(
     std::uint32_t terminal, const std::vector<graph::EdgeId>& forced_sorted,
     const std::vector<graph::EdgeId>& banned_sorted,
     const std::vector<double>& edge_cost,
     const std::vector<std::uint32_t>& required, bool require_complete) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = by_terminal_.find(terminal);
-  if (it != by_terminal_.end()) {
+  auto it = by_key_.find(Key(generation_, terminal));
+  if (it != by_key_.end()) {
     for (const Entry& entry : it->second) {
       if (Valid(entry, forced_sorted, banned_sorted, edge_cost, required,
                 require_complete)) {
@@ -90,7 +104,7 @@ void ShortestPathCache::Insert(std::uint32_t terminal,
   std::lock_guard<std::mutex> lock(mu_);
   if (num_entries_ >= max_entries_) return;
   ++num_entries_;
-  by_terminal_[terminal].push_back(Entry{
+  by_key_[Key(generation_, terminal)].push_back(Entry{
       std::move(forced_sorted), std::move(banned_sorted), std::move(tree)});
 }
 

@@ -61,10 +61,31 @@ struct SpTree {
 // concurrent solvers can hold results while other threads insert. Because
 // any valid entry is byte-identical to a fresh computation, cache state
 // (and therefore thread interleaving) can never change solver output.
+//
+// Entries are keyed by (generation, terminal): the generation names the
+// cost snapshot the tree was computed under, so a cache that outlives one
+// top-k enumeration (the RefreshEngine keeps one per view across
+// refreshes) is invalidated wholesale by BumpGeneration() when the
+// snapshot is re-costed — a lookup can never be served by a tree from an
+// older weight vector. Within one generation entries stay valid
+// indefinitely, which is what lets consecutive refreshes at the same
+// generation reuse each other's Dijkstra trees.
 class ShortestPathCache {
  public:
   explicit ShortestPathCache(std::size_t max_entries = 1024)
       : max_entries_(max_entries) {}
+
+  // Moves the cache to a new cost snapshot: subsequent Lookup/Insert are
+  // keyed under the new generation, and entries of older generations are
+  // purged (they could never match again — the generation is part of the
+  // key — so dropping them just reclaims their memory and capacity).
+  // The purge is the operative invariant; the generation in the key
+  // additionally documents which snapshot each entry belongs to. Callers
+  // must not bump concurrently with in-flight solves (the RefreshEngine
+  // re-costs in its serial phase): an insert racing a bump would stamp an
+  // old-cost tree with the new generation.
+  void BumpGeneration();
+  std::uint64_t generation() const;
 
   // A valid cached tree for `terminal` under the (sorted) overlay sets
   // with every node of `required` settled, or nullptr. `edge_cost` is the
@@ -106,12 +127,19 @@ class ShortestPathCache {
                     const std::vector<std::uint32_t>& required,
                     bool require_complete);
 
+  // (generation << 32) | terminal. Terminals are node ids of one CSR
+  // snapshot and stay well below 2^32; generations count re-costs.
+  static std::uint64_t Key(std::uint64_t generation, std::uint32_t terminal) {
+    return (generation << 32) | terminal;
+  }
+
   mutable std::mutex mu_;
   std::size_t max_entries_;
   std::size_t num_entries_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
-  std::unordered_map<std::uint32_t, std::vector<Entry>> by_terminal_;
+  std::uint64_t generation_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> by_key_;
 };
 
 }  // namespace q::steiner

@@ -40,21 +40,34 @@ using SolveFn = std::function<std::optional<SteinerTree>(
 std::vector<SteinerTree> TopKSteinerTrees(
     const graph::SearchGraph& graph, const graph::WeightVector& weights,
     const std::vector<graph::NodeId>& terminals, const TopKConfig& config) {
+  return TopKSteinerTrees(graph, weights, terminals, config,
+                          /*shared_engine=*/nullptr);
+}
+
+std::vector<SteinerTree> TopKSteinerTrees(
+    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+    const std::vector<graph::NodeId>& terminals, const TopKConfig& config,
+    FastSteinerEngine* shared_engine) {
   std::vector<SteinerTree> output;
   if (terminals.empty() || config.k <= 0) return output;
 
   const bool use_kmb =
       config.approximate || graph.num_nodes() > config.approximate_above_nodes;
 
-  // The solver substrate. The fast engine snapshots the graph into CSR
-  // form once; every subproblem below is then an O(|edit|) overlay. The
+  // The solver substrate. The fast engine solves every subproblem as an
+  // O(|edit|) overlay on a CSR snapshot — the caller's shared one when
+  // provided (batched refresh), otherwise one built for this call. The
   // legacy path rebuilds a contracted SteinerProblem per call.
-  std::unique_ptr<FastSteinerEngine> engine;
+  std::unique_ptr<FastSteinerEngine> owned_engine;
   SolveFn solve;
   if (config.engine == SteinerEngine::kFast) {
-    engine = std::make_unique<FastSteinerEngine>(graph, weights,
-                                                 config.use_sp_cache);
-    solve = [&engine, &terminals, use_kmb](
+    FastSteinerEngine* engine = shared_engine;
+    if (engine == nullptr) {
+      owned_engine = std::make_unique<FastSteinerEngine>(graph, weights,
+                                                         config.use_sp_cache);
+      engine = owned_engine.get();
+    }
+    solve = [engine, &terminals, use_kmb](
                 const std::vector<graph::EdgeId>& forced,
                 const std::vector<graph::EdgeId>& banned) {
       return use_kmb ? engine->SolveKmb(terminals, forced, banned)

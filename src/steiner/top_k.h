@@ -53,6 +53,21 @@ std::vector<SteinerTree> TopKSteinerTrees(
     const graph::SearchGraph& graph, const graph::WeightVector& weights,
     const std::vector<graph::NodeId>& terminals, const TopKConfig& config);
 
+class FastSteinerEngine;
+
+// Same enumeration, but served from a caller-owned CSR snapshot instead of
+// building one per call (the RefreshEngine's batched-refresh substrate).
+// `shared_engine` must have been built (or last Recost) from exactly this
+// (graph, weights) pair; its shortest-path cache carries over between
+// calls, which never changes output (any valid entry equals a fresh
+// computation — the determinism contract of docs/query_engine.md). A null
+// engine, or config.engine == kLegacy, falls back to the self-contained
+// overload above.
+std::vector<SteinerTree> TopKSteinerTrees(
+    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+    const std::vector<graph::NodeId>& terminals, const TopKConfig& config,
+    FastSteinerEngine* shared_engine);
+
 }  // namespace q::steiner
 
 #endif  // Q_STEINER_TOP_K_H_

@@ -1,0 +1,222 @@
+// Randomized differential harness for the fast Steiner engine: across ~50
+// seeded (random graph x weight perturbation) configurations, the
+// fast-path top-k enumeration must reproduce the legacy SteinerProblem
+// engine's output exactly — same tree costs and same edge sets — for both
+// solver families, under forced/banned-edge overlays, and through the
+// weight-only Recost fast path (a re-costed snapshot must be
+// indistinguishable from a freshly built one, including across a warm
+// shortest-path cache).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/search_graph.h"
+#include "steiner/exact_solver.h"
+#include "steiner/fast_solver.h"
+#include "steiner/kmb_solver.h"
+#include "steiner/problem.h"
+#include "steiner/top_k.h"
+#include "util/random.h"
+
+namespace q::steiner {
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+// Connected random graph with one feature per edge so every weight
+// perturbation re-prices every edge independently. Distinct random
+// initial weights keep costs tie-free, which is the regime where fast and
+// legacy engines must agree edge-for-edge.
+struct DiffGraph {
+  graph::FeatureSpace space;
+  graph::SearchGraph graph;
+  std::unique_ptr<graph::WeightVector> weights;
+  std::vector<NodeId> terminals;
+
+  DiffGraph(util::Rng* rng, std::size_t n, std::size_t m, std::size_t t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      graph.AddNode(graph::NodeKind::kAttribute, "n" + std::to_string(i));
+    }
+    weights = std::make_unique<graph::WeightVector>(&space);
+    auto add_edge = [&](NodeId u, NodeId v) {
+      graph::Edge e;
+      e.u = u;
+      e.v = v;
+      e.kind = graph::EdgeKind::kAssociation;
+      graph::FeatureVec f;
+      f.Add(space.Intern("e" + std::to_string(graph.num_edges()),
+                         0.1 + rng->UniformDouble()),
+            1.0);
+      e.features = std::move(f);
+      graph.AddEdge(std::move(e));
+    };
+    for (std::size_t i = 1; i < n; ++i) {
+      add_edge(static_cast<NodeId>(rng->Uniform(i)), static_cast<NodeId>(i));
+    }
+    while (graph.num_edges() < m) {
+      auto u = static_cast<NodeId>(rng->Uniform(n));
+      auto v = static_cast<NodeId>(rng->Uniform(n));
+      if (u != v) add_edge(u, v);
+    }
+    while (terminals.size() < t) {
+      auto c = static_cast<NodeId>(rng->Uniform(n));
+      bool seen = false;
+      for (NodeId existing : terminals) {
+        if (existing == c) seen = true;
+      }
+      if (!seen) terminals.push_back(c);
+    }
+  }
+
+  // Multiplies every per-edge feature weight by a random factor in
+  // [0.5, 1.5) — a MIRA-update stand-in that keeps costs positive and
+  // (almost surely) distinct.
+  void PerturbWeights(util::Rng* rng) {
+    for (graph::FeatureId id = 1;
+         id < static_cast<graph::FeatureId>(space.size()); ++id) {
+      weights->Set(id, weights->At(id) * (0.5 + rng->UniformDouble()));
+    }
+  }
+};
+
+std::vector<SteinerTree> RunTopK(const DiffGraph& g, SteinerEngine engine,
+                                 bool approximate) {
+  TopKConfig config;
+  config.k = 5;
+  config.approximate = approximate;
+  config.engine = engine;
+  return TopKSteinerTrees(g.graph, *g.weights, g.terminals, config);
+}
+
+// Same trees: edge sets exact, costs to float tolerance (the engines sum
+// edge costs in different orders).
+void ExpectSameTrees(const std::vector<SteinerTree>& legacy,
+                     const std::vector<SteinerTree>& fast,
+                     const std::string& label) {
+  ASSERT_EQ(legacy.size(), fast.size()) << label;
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].edges, fast[i].edges) << label << " tree " << i;
+    EXPECT_NEAR(legacy[i].cost, fast[i].cost, 1e-9) << label << " tree " << i;
+  }
+}
+
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+// 10 graphs x (1 initial + 4 perturbed) weight vectors = 50 fast-vs-legacy
+// top-k configurations, each checked for KMB and the exact DP.
+TEST_P(DifferentialTest, FastMatchesLegacyAcrossWeightPerturbations) {
+  util::Rng rng(31000 + GetParam());
+  DiffGraph g(&rng, 28 + rng.Uniform(30), 60 + rng.Uniform(60),
+              3 + rng.Uniform(2));
+  for (int perturbation = 0; perturbation < 5; ++perturbation) {
+    if (perturbation > 0) g.PerturbWeights(&rng);
+    std::string label = "perturbation " + std::to_string(perturbation);
+    for (bool approximate : {false, true}) {
+      auto legacy = RunTopK(g, SteinerEngine::kLegacy, approximate);
+      auto fast = RunTopK(g, SteinerEngine::kFast, approximate);
+      ASSERT_FALSE(legacy.empty()) << label;
+      ExpectSameTrees(legacy, fast,
+                      label + (approximate ? " kmb" : " exact"));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, DifferentialTest,
+                         ::testing::Range(0, 10));
+
+class OverlayDifferentialTest : public ::testing::TestWithParam<int> {};
+
+// Solver-level differential under forced/banned overlays after a weight
+// perturbation: walk the best tree Lawler-style (force a growing prefix,
+// ban the next edge) and require the overlay solver to match the legacy
+// contraction semantics at every step.
+TEST_P(OverlayDifferentialTest, ForcedBannedOverlaysMatchLegacy) {
+  util::Rng rng(32000 + GetParam());
+  DiffGraph g(&rng, 24, 55, 3);
+  g.PerturbWeights(&rng);
+  FastSteinerEngine engine(g.graph, *g.weights, /*use_cache=*/true);
+
+  auto base = engine.SolveKmb(g.terminals, {}, {});
+  ASSERT_TRUE(base.has_value());
+  ASSERT_FALSE(base->edges.empty());
+  std::vector<EdgeId> forced;
+  std::vector<EdgeId> banned;
+  for (EdgeId e : base->edges) {
+    banned.assign(1, e);
+    SteinerProblem problem(g.graph, *g.weights, g.terminals, forced, banned);
+    auto legacy_kmb = SolveKmbSteiner(problem);
+    auto fast_kmb = engine.SolveKmb(g.terminals, forced, banned);
+    ASSERT_EQ(legacy_kmb.has_value(), fast_kmb.has_value());
+    if (fast_kmb.has_value()) {
+      EXPECT_EQ(legacy_kmb->edges, fast_kmb->edges);
+      EXPECT_NEAR(legacy_kmb->cost, fast_kmb->cost, 1e-9);
+    }
+    auto legacy_exact = SolveExactSteiner(problem);
+    auto fast_exact = engine.SolveExact(g.terminals, forced, banned);
+    ASSERT_EQ(legacy_exact.has_value(), fast_exact.has_value());
+    if (fast_exact.has_value()) {
+      EXPECT_EQ(legacy_exact->edges, fast_exact->edges);
+      EXPECT_NEAR(legacy_exact->cost, fast_exact->cost, 1e-9);
+    }
+    forced.push_back(e);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, OverlayDifferentialTest,
+                         ::testing::Range(0, 6));
+
+class RecostDifferentialTest : public ::testing::TestWithParam<int> {};
+
+// The weight-only snapshot refresh: warm an engine's cache at w0, Recost
+// to w1, and require byte-identical output to an engine freshly built at
+// w1 — for top-k through the shared-engine entry point and for raw
+// overlay solves. A stale cache entry surviving the generation bump, or a
+// mis-recosted arc, breaks this immediately.
+TEST_P(RecostDifferentialTest, RecostedSnapshotEqualsFreshBuild) {
+  util::Rng rng(33000 + GetParam());
+  DiffGraph g(&rng, 30, 70, 3 + rng.Uniform(2));
+
+  TopKConfig config;
+  config.k = 5;
+  auto shared = std::make_unique<FastSteinerEngine>(g.graph, *g.weights,
+                                                    /*use_cache=*/true);
+  // Warm the cache under the initial weights.
+  auto warm = TopKSteinerTrees(g.graph, *g.weights, g.terminals, config,
+                               shared.get());
+  ASSERT_FALSE(warm.empty());
+  EXPECT_EQ(shared->generation(), 0u);
+
+  for (int perturbation = 0; perturbation < 3; ++perturbation) {
+    g.PerturbWeights(&rng);
+    shared->Recost(g.graph, *g.weights);
+    EXPECT_EQ(shared->generation(),
+              static_cast<std::uint64_t>(perturbation + 1));
+    FastSteinerEngine fresh(g.graph, *g.weights, /*use_cache=*/true);
+
+    for (bool approximate : {false, true}) {
+      config.approximate = approximate;
+      auto recosted = TopKSteinerTrees(g.graph, *g.weights, g.terminals,
+                                       config, shared.get());
+      auto rebuilt = TopKSteinerTrees(g.graph, *g.weights, g.terminals,
+                                      config, &fresh);
+      auto standalone =
+          TopKSteinerTrees(g.graph, *g.weights, g.terminals, config);
+      std::string label = approximate ? "kmb" : "exact";
+      ASSERT_EQ(recosted.size(), rebuilt.size()) << label;
+      for (std::size_t i = 0; i < recosted.size(); ++i) {
+        EXPECT_EQ(recosted[i].edges, rebuilt[i].edges) << label << " " << i;
+        EXPECT_EQ(recosted[i].cost, rebuilt[i].cost) << label << " " << i;
+      }
+      ExpectSameTrees(standalone, recosted, label + " standalone");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, RecostDifferentialTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace q::steiner
