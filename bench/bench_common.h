@@ -6,9 +6,11 @@
 // (Sec. 5); see EXPERIMENTS.md for the paper-vs-measured record.
 
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +35,18 @@
 #include "util/string_util.h"
 
 namespace q::bench {
+
+// Opens a JSON result file for writing, creating parent directories.
+// Benches default their outputs under bench/out/ (gitignored) so stray
+// result files can never land in the repo root when run by hand.
+inline FILE* OpenBenchJson(const std::string& path) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  return std::fopen(path.c_str(), "w");
+}
 
 // ---------------------------------------------------------------------------
 // GBCO alignment-cost experiments (Figs. 6-8)

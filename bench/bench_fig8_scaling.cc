@@ -7,7 +7,7 @@
 //
 // Besides the human-readable table, writes JSON lines
 // ({"kernel":..., "n":..., "median_us":..., "mean_comparisons":...}) to
-// BENCH_fig8_scaling.json (rewritten per run, like bench_micro_kernels)
+// bench/out/BENCH_fig8_scaling.json (rewritten per run, like bench_micro_kernels)
 // so the alignment-cost trajectory is trackable across PRs.
 #include <algorithm>
 
@@ -34,7 +34,7 @@ int main() {
   std::printf("%-10s %14s %18s %20s\n", "sources", "Exhaustive",
               "ViewBasedAligner", "PreferentialAligner");
 
-  FILE* json = std::fopen("BENCH_fig8_scaling.json", "w");
+  FILE* json = q::bench::OpenBenchJson("bench/out/BENCH_fig8_scaling.json");
 
   q::data::GbcoConfig config;
   config.base_rows = 40;
@@ -93,7 +93,7 @@ int main() {
   }
   if (json != nullptr) {
     std::fclose(json);
-    std::printf("json written to BENCH_fig8_scaling.json\n");
+    std::printf("json written to bench/out/BENCH_fig8_scaling.json\n");
   }
   return 0;
 }

@@ -6,7 +6,7 @@
 //
 // Emits a human-readable table on stdout and machine-readable JSON lines
 // ({"kernel":..., "n":..., "median_us":...}) to --json=PATH (default
-// BENCH_micro_kernels.json) so the perf trajectory is trackable across
+// bench/out/BENCH_micro_kernels.json) so the perf trajectory is trackable across
 // PRs. The Steiner section also cross-checks that every fast-path
 // configuration reproduces the legacy engine's trees and exits non-zero
 // on mismatch, so a perf run doubles as a correctness smoke test.
@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "data/interpro_go.h"
 #include "graph/graph_builder.h"
 #include "match/mad_matcher.h"
@@ -223,7 +224,7 @@ struct Fixture {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* json_path = "BENCH_micro_kernels.json";
+  const char* json_path = "bench/out/BENCH_micro_kernels.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
@@ -236,7 +237,7 @@ int main(int argc, char** argv) {
   }
 
   Reporter report;
-  report.json = std::fopen(json_path, "w");
+  report.json = q::bench::OpenBenchJson(json_path);
   if (report.json == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", json_path);
     return 2;

@@ -6,11 +6,22 @@
 // GBCO search graph grown with synthetic sources (the Sec. 5.1.2 scaling
 // setup) and verifies the outputs are bit-identical before timing.
 //
-// Emits JSON lines to --json=PATH (default BENCH_view_refresh.json):
+// Also measures the feedback-delta scenario: a sparse MIRA-style update
+// touching <1% of features, applied to the same views once through the
+// delta re-cost pipeline (feature->edge postings + RecostDelta +
+// selective SP-cache invalidation) and once through the wholesale
+// in-place Recost (forced by truncating the weight journal), so the two
+// kernels isolate exactly the delta-vs-full re-cost strategy.
+//
+// Emits JSON lines to --json=PATH (default
+// bench/out/BENCH_view_refresh.json):
 //   {"kernel":"view_refresh_independent_8","n":...,"median_us":...}
 //   {"kernel":"view_refresh_batched_8","n":...,"median_us":...}
 //   {"kernel":"view_refresh_speedup","n":8,"ratio":...}
-// Exits non-zero if batched and independent outputs ever diverge.
+//   {"kernel":"view_refresh_full_recost_8","n":...,"median_us":...}
+//   {"kernel":"view_refresh_delta_recost_8","n":...,"median_us":...}
+//   {"kernel":"view_refresh_delta_speedup","n":8,"ratio":...}
+// Exits non-zero if batched/delta and independent outputs ever diverge.
 //
 // Usage: bench_view_refresh [--json=PATH] [--smoke] [--views=N]
 //        [--synthetic=N]
@@ -25,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/refresh_engine.h"
 #include "data/gbco.h"
 #include "data/synthetic.h"
@@ -140,6 +152,32 @@ struct Workload {
                    (round % 2 == 0) ? 0.01 : -0.01);
   }
 
+  // Features carried by at most two base edges each — the shape of a
+  // sparse MIRA step (the handful of per-edge features on the endorsed
+  // and competing trees). Well under 1% of the feature space.
+  std::vector<q::graph::FeatureId> PickSparseFeatures(std::size_t want) {
+    std::vector<std::uint32_t> edge_count(space.size(), 0);
+    for (q::graph::EdgeId e = 0; e < graph.num_edges(); ++e) {
+      for (const auto& [id, value] : graph.edge(e).features.entries()) {
+        ++edge_count[id];
+      }
+    }
+    std::vector<q::graph::FeatureId> picked;
+    for (q::graph::FeatureId f = 1;
+         f < edge_count.size() && picked.size() < want; ++f) {
+      if (edge_count[f] >= 1 && edge_count[f] <= 2) picked.push_back(f);
+    }
+    return picked;
+  }
+
+  // Sparse update: small always-positive nudges, so most shortest-path
+  // cache entries are provably retainable under the delta pipeline's
+  // selective invalidation (a cost increase of a non-tree edge keeps the
+  // tree valid).
+  void NudgeSparseWeights(const std::vector<q::graph::FeatureId>& features) {
+    for (q::graph::FeatureId f : features) weights->Nudge(f, 0.004);
+  }
+
   void RefreshBatched() {
     Q_CHECK_OK(engine.RefreshAll(graph, catalog, index, model.get(),
                                  *weights));
@@ -188,7 +226,7 @@ bool SameStates(const std::vector<ViewState>& a,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* json_path = "BENCH_view_refresh.json";
+  const char* json_path = "bench/out/BENCH_view_refresh.json";
   std::size_t num_views = 8;
   std::size_t synthetic = 2000;
   for (int i = 1; i < argc; ++i) {
@@ -225,7 +263,7 @@ int main(int argc, char** argv) {
     std::printf("MISMATCH: batched refresh differs from independent\n");
   }
 
-  FILE* json = std::fopen(json_path, "w");
+  FILE* json = q::bench::OpenBenchJson(json_path);
   if (json == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", json_path);
     return 2;
@@ -261,6 +299,70 @@ int main(int argc, char** argv) {
   std::fprintf(json, "{\"kernel\":\"view_refresh_speedup\",\"n\":%zu,"
                "\"ratio\":%.3f}\n",
                w.views.size(), ratio);
+
+  // --- feedback-delta scenario: sparse update, delta vs full re-cost ------
+  auto sparse = w.PickSparseFeatures(5);
+  Q_CHECK_MSG(!sparse.empty(), "no sparse features found in the graph");
+  std::printf("sparse update: %zu features out of %zu (%.2f%%)\n",
+              sparse.size(), w.space.size(),
+              100.0 * static_cast<double>(sparse.size()) /
+                  static_cast<double>(w.space.size()));
+
+  // Correctness gate: a delta-refreshed batch must match the independent
+  // reference after the same sparse update — and must actually have taken
+  // the delta classification, not a wholesale fallback.
+  const auto& stats = w.engine.stats();
+  std::size_t delta_before =
+      stats.views_delta_recost + stats.views_skipped_delta;
+  std::size_t full_before = stats.views_full_recost;
+  w.NudgeSparseWeights(sparse);
+  w.RefreshBatched();
+  Q_CHECK_MSG(stats.views_delta_recost + stats.views_skipped_delta >
+                  delta_before,
+              "sparse update did not take the delta re-cost path");
+  auto delta_states = Capture(w);
+  w.RefreshIndependent();
+  bool delta_ok = SameStates(delta_states, Capture(w));
+  if (!delta_ok) {
+    std::printf("MISMATCH: delta refresh differs from independent\n");
+    ok = false;
+  }
+
+  double delta_us = MedianMicros([&] {
+    w.NudgeSparseWeights(sparse);
+    w.RefreshBatched();
+  });
+  emit("view_refresh_delta_recost" + suffix, w.graph.num_nodes(), delta_us);
+
+  // Same sparse update, but with the weight journal truncated below the
+  // per-round mutation count the classification deterministically falls
+  // back to the wholesale in-place Recost (and its generation-bumped,
+  // cold shortest-path cache) — the pre-delta behavior.
+  w.weights->set_max_journal_entries(2);
+  w.NudgeSparseWeights(sparse);
+  w.RefreshBatched();
+  Q_CHECK_MSG(stats.views_full_recost > full_before,
+              "journal truncation did not force the full re-cost path");
+  double full_us = MedianMicros([&] {
+    w.NudgeSparseWeights(sparse);
+    w.RefreshBatched();
+  });
+  emit("view_refresh_full_recost" + suffix, w.graph.num_nodes(), full_us);
+
+  double delta_ratio = delta_us > 0.0 ? full_us / delta_us : 0.0;
+  std::printf("%-28s speedup=%.2fx (full/delta), output %s\n",
+              ("view_refresh_delta_speedup" + suffix).c_str(), delta_ratio,
+              delta_ok ? "verified identical" : "MISMATCH");
+  std::printf("delta pipeline: %zu delta re-costs, %zu delta skips, %zu "
+              "full re-costs, %zu edges repriced, %zu cache entries "
+              "retained / %zu dropped\n",
+              stats.views_delta_recost, stats.views_skipped_delta,
+              stats.views_full_recost, stats.edges_repriced,
+              stats.sp_cache_entries_retained,
+              stats.sp_cache_entries_dropped);
+  std::fprintf(json, "{\"kernel\":\"view_refresh_delta_speedup\",\"n\":%zu,"
+               "\"ratio\":%.3f}\n",
+               w.views.size(), delta_ratio);
   std::fclose(json);
   std::printf("json written to %s\n", json_path);
   return ok ? 0 : 1;

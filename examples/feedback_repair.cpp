@@ -79,9 +79,22 @@ int main() {
             << " searches across " << q.num_views()
             << " views (generation " << q.refresh_engine().generation()
             << ")\n";
+  std::cout << "delta pipeline: " << rstats.views_delta_recost
+            << " delta re-costs, " << rstats.views_skipped_delta
+            << " provably-unchanged skips, " << rstats.views_full_recost
+            << " full re-costs, " << rstats.edges_repriced
+            << " edges repriced, " << rstats.sp_cache_entries_retained
+            << " cache entries retained / " << rstats.sp_cache_entries_dropped
+            << " dropped\n";
   // The feedback loop only reprices edges, so after the initial build
   // every refresh must have taken the in-place re-cost fast path.
   Q_CHECK(rstats.snapshots_recosted > rstats.snapshots_built);
+  // Each MIRA step moves only the features on the endorsed and competing
+  // trees, so the delta pipeline must have resolved refreshes without
+  // wholesale work: every view refresh after a feedback step is a delta
+  // re-cost or a provable skip (full re-costs only when the positivity
+  // bump moves the shared default feature across the whole graph).
+  Q_CHECK(rstats.views_delta_recost + rstats.views_skipped_delta > 0);
 
   std::cout << "\nprecision/recall sweep over the learned edge costs:\n";
   auto curve = q::learn::GraphPrCurve(q.search_graph(), q.weights(),

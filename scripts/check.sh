@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verify (configure, build, ctest) plus Release-mode bench runs
 # with a perf trajectory gate; the single entry point for local checks
-# and a future CI workflow.
+# and the CI workflow (.github/workflows/ci.yml).
 #
-# The gate compares the fresh micro-kernel medians against the committed
-# baseline (bench/baselines/BENCH_micro_kernels.json; the root-level
-# BENCH_*.json artifacts are gitignored) and fails on a >25% regression
-# of any fast-path kernel. Set BENCH_GATE=0 to skip the gate (e.g. on
-# hardware unrelated to the committed baseline); set
+# The gate compares the fresh micro-kernel and view-refresh medians
+# against the committed baselines (bench/baselines/BENCH_*.json; live
+# bench outputs land under bench/out/, which is gitignored) and fails on
+# a >25% regression of any fast-path kernel. Set BENCH_GATE=0 to skip
+# the gate (e.g. on hardware unrelated to the committed baseline); set
 # BENCH_UPDATE_BASELINE=1 to copy the fresh medians over the committed
 # baselines after a deliberate perf change (or a hardware move).
 set -euo pipefail
@@ -19,33 +19,43 @@ BENCH_GATE="${BENCH_GATE:-1}"
 # --- tier-1: configure, build, test ----------------------------------------
 cmake -B build -S .
 cmake --build build -j "${JOBS}"
-(cd build && ctest --output-on-failure -j "${JOBS}")
+# --no-tests=error: GTest being silently absent (find_package is QUIET)
+# must fail the check, not green-light a run that executed zero tests.
+(cd build && ctest --output-on-failure --no-tests=error -j "${JOBS}")
 
 # --- bench smoke (Release) --------------------------------------------------
 # The default build type is already Release (see CMakeLists.txt), so the
 # tier-1 build tree doubles as the bench tree. The micro-kernel bench
 # exits non-zero if the fast Steiner path ever diverges from the legacy
 # engine's output, so this is a correctness gate as well as a perf probe.
-baseline="bench/baselines/BENCH_micro_kernels.json"
+mkdir -p bench/out
 
-./build/bench_micro_kernels --smoke --json=BENCH_micro_kernels.json
+./build/bench_micro_kernels --smoke --json=bench/out/BENCH_micro_kernels.json
 
 # --- perf trajectory gate ---------------------------------------------------
-# Every fast-path kernel ("*fast*" in the name) must stay within 1.25x of
-# the committed baseline's median.
-if [[ "${BENCH_GATE}" == "1" && -f "${baseline}" ]]; then
-  parse='match($0, /"kernel":"[^"]*"/) {
-           k = substr($0, RSTART + 10, RLENGTH - 11);
-           if (match($0, /"median_us":[0-9.]+/)) {
-             print k, substr($0, RSTART + 12, RLENGTH - 12);
-           }
-         }'
+# Every gated kernel must stay within 1.25x of the committed baseline's
+# median. Gated: the fast Steiner kernels ("*fast*" in
+# BENCH_micro_kernels.json) and the delta re-cost refresh kernel
+# ("*delta_recost*" in BENCH_view_refresh.json).
+parse='match($0, /"kernel":"[^"]*"/) {
+         k = substr($0, RSTART + 10, RLENGTH - 11);
+         if (match($0, /"median_us":[0-9.]+/)) {
+           print k, substr($0, RSTART + 12, RLENGTH - 12);
+         }
+       }'
+gate_failed=0
+run_gate() {
+  local baseline="$1" fresh="$2" pattern="$3"
+  if [[ "${BENCH_GATE}" != "1" || ! -f "${baseline}" ]]; then
+    echo "perf gate: skipped for ${fresh} (BENCH_GATE=${BENCH_GATE}," \
+         "baseline: ${baseline})"
+    return 0
+  fi
   awk "${parse}" "${baseline}" > /tmp/bench_baseline.$$
-  awk "${parse}" BENCH_micro_kernels.json > /tmp/bench_fresh.$$
-  gate_failed=0
+  awk "${parse}" "${fresh}" > /tmp/bench_fresh.$$
   while read -r kernel fresh_us; do
     case "${kernel}" in
-      *fast*) ;;
+      ${pattern}) ;;
       *) continue ;;
     esac
     base_us="$(awk -v k="${kernel}" '$1 == k { print $2 }' \
@@ -60,33 +70,50 @@ if [[ "${BENCH_GATE}" == "1" && -f "${baseline}" ]]; then
     fi
   done < /tmp/bench_fresh.$$
   rm -f /tmp/bench_baseline.$$ /tmp/bench_fresh.$$
-  if [[ "${gate_failed}" == "1" ]]; then
-    echo "check.sh: FAIL — fast kernel regressed >25% vs committed baseline"
-    exit 1
-  fi
-else
-  echo "perf gate: skipped (BENCH_GATE=${BENCH_GATE}, baseline: ${baseline})"
-fi
+}
 
-# --- batched view refresh ---------------------------------------------------
-# Measures RefreshEngine's weight-only batched refresh against N
-# independent per-view refreshes (and verifies their outputs are
-# bit-identical; the binary exits non-zero on divergence). The refresh
-# loop targets >=1.5x; a lower measured ratio is reported but only warns,
-# since the margin is hardware-dependent.
-./build/bench_view_refresh --smoke --json=BENCH_view_refresh.json
-ratio="$(awk 'match($0, /"ratio":[0-9.]+/) {
-                print substr($0, RSTART + 8, RLENGTH - 8) }' \
-         BENCH_view_refresh.json)"
+run_gate bench/baselines/BENCH_micro_kernels.json \
+         bench/out/BENCH_micro_kernels.json '*fast*'
+
+# --- batched + delta view refresh -------------------------------------------
+# Measures RefreshEngine's batched refresh against N independent per-view
+# refreshes, and the sparse-feedback delta re-cost against the wholesale
+# in-place Recost (verifying all outputs bit-identical; the binary exits
+# non-zero on divergence). The refresh loop targets >=1.5x batched and
+# >=1.1x delta; lower measured ratios are reported but only warn, since
+# the margins are hardware-dependent.
+./build/bench_view_refresh --smoke --json=bench/out/BENCH_view_refresh.json
+ratio="$(awk 'match($0, /"kernel":"view_refresh_speedup"/) {
+                if (match($0, /"ratio":[0-9.]+/))
+                  print substr($0, RSTART + 8, RLENGTH - 8) }' \
+         bench/out/BENCH_view_refresh.json)"
 if [[ -n "${ratio}" ]] && \
    awk -v r="${ratio}" 'BEGIN { exit !(r < 1.5) }'; then
   echo "check.sh: WARNING — batched view refresh speedup ${ratio}x < 1.5x"
 fi
+delta_ratio="$(awk 'match($0, /"kernel":"view_refresh_delta_speedup"/) {
+                      if (match($0, /"ratio":[0-9.]+/))
+                        print substr($0, RSTART + 8, RLENGTH - 8) }' \
+               bench/out/BENCH_view_refresh.json)"
+if [[ -n "${delta_ratio}" ]] && \
+   awk -v r="${delta_ratio}" 'BEGIN { exit !(r < 1.1) }'; then
+  echo "check.sh: WARNING — delta re-cost speedup ${delta_ratio}x < 1.1x"
+fi
+
+run_gate bench/baselines/BENCH_view_refresh.json \
+         bench/out/BENCH_view_refresh.json '*delta_recost*'
+
+if [[ "${gate_failed}" == "1" ]]; then
+  echo "check.sh: FAIL — gated kernel regressed >25% vs committed baseline"
+  exit 1
+fi
 
 if [[ "${BENCH_UPDATE_BASELINE:-0}" == "1" ]]; then
   mkdir -p bench/baselines
-  cp BENCH_micro_kernels.json bench/baselines/BENCH_micro_kernels.json
-  cp BENCH_view_refresh.json bench/baselines/BENCH_view_refresh.json
+  cp bench/out/BENCH_micro_kernels.json \
+     bench/baselines/BENCH_micro_kernels.json
+  cp bench/out/BENCH_view_refresh.json \
+     bench/baselines/BENCH_view_refresh.json
   echo "perf gate: baselines updated from this run"
 fi
 

@@ -117,17 +117,22 @@ void QSystem::ReconcileMissingMatcherFeatures() {
   }
   for (graph::EdgeId e :
        graph_.EdgesOfKind(graph::EdgeKind::kAssociation)) {
-    graph::Edge& edge = graph_.mutable_edge(e);
+    // Probe through const access first and take the mutable (revision- and
+    // journal-bumping) reference only when a feature actually has to move:
+    // a no-op pass must not dirty every association edge, or the delta
+    // refresh path would reprice the whole graph for nothing.
+    const graph::Edge& probe = graph_.edge(e);
     for (const std::string& name : matcher_names) {
       bool voted = false;
-      for (const auto& p : edge.provenance) {
+      for (const auto& p : probe.provenance) {
         if (p.matcher == name) voted = true;
       }
       graph::FeatureId missing = model_.MatcherMissingFeature(name);
-      if (voted) {
-        edge.features.Remove(missing);
-      } else if (edge.features.ValueOf(missing) == 0.0) {
-        edge.features.Add(missing, 1.0);
+      double present = probe.features.ValueOf(missing);
+      if (voted && present != 0.0) {
+        graph_.mutable_edge(e).features.Remove(missing);
+      } else if (!voted && present == 0.0) {
+        graph_.mutable_edge(e).features.Add(missing, 1.0);
       }
     }
   }

@@ -1,5 +1,6 @@
 #include "core/refresh_engine.h"
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 
@@ -27,7 +28,7 @@ void RefreshEngine::ObserveRevisions(const graph::SearchGraph& base,
   }
 }
 
-util::Result<bool> RefreshEngine::PrepareSlot(
+util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
     Slot* slot, const graph::SearchGraph& base, const text::TextIndex& index,
     graph::CostModel* model, const graph::WeightVector& weights) {
   query::TopKView& view = *slot->view;
@@ -35,31 +36,126 @@ util::Result<bool> RefreshEngine::PrepareSlot(
                            slot->graph_revision != base.revision();
   const bool weights_moved = !slot->built ||
                              slot->weight_revision != weights.revision();
+  PrepareOutcome outcome;
   if (!graph_moved && !weights_moved && view.refreshed()) {
-    return false;
+    return outcome;  // skip: nothing moved at all
   }
+
+  // Whether a previous PrepareSlot mutated this snapshot without its
+  // search succeeding. Mutations made *within this call* are fine for
+  // the no-op skip (the proof is exactly that they moved no cost), but a
+  // dirty slot's "nothing repriced" only means the failed attempt
+  // already patched the snapshot — the view's results still predate it.
+  const bool was_dirty = slot->dirty;
 
   // A finite association-cost threshold makes the query-graph topology a
   // function of the weights (edges are pruned by current cost), so only
-  // the infinite-threshold default is eligible for the re-cost fast path.
+  // the infinite-threshold default is eligible for any in-place path —
+  // including structural edge propagation, which relies on the query
+  // graph copying every base edge id-for-id.
   const bool weight_independent_topology =
       view.config().query_graph.association_cost_threshold ==
       std::numeric_limits<double>::infinity();
 
-  if (graph_moved || !weight_independent_topology) {
+  // --- classify the structural delta ------------------------------------
+  bool rebuild = !slot->built || !weight_independent_topology;
+  std::vector<graph::EdgeId> mutated_edges;
+  if (!rebuild && graph_moved) {
+    std::vector<graph::GraphDelta> graph_deltas;
+    if (!base.DeltaSince(slot->graph_revision, &graph_deltas)) {
+      rebuild = true;  // journal truncated: assume arbitrary change
+    } else {
+      for (const graph::GraphDelta& d : graph_deltas) {
+        if (d.kind != graph::GraphDeltaKind::kEdgeMutated) {
+          // Node/edge additions change what keyword matching can reach,
+          // node mutations can change labels/values: re-expand.
+          rebuild = true;
+          break;
+        }
+        mutated_edges.push_back(d.id);
+      }
+    }
+    if (!rebuild && !mutated_edges.empty()) {
+      std::sort(mutated_edges.begin(), mutated_edges.end());
+      mutated_edges.erase(
+          std::unique(mutated_edges.begin(), mutated_edges.end()),
+          mutated_edges.end());
+      // In-place base-edge mutations: patch the cached query graph
+      // instead of re-expanding it, then reprice exactly those edges
+      // below. The mutated FeatureVecs make the snapshot's feature->edge
+      // postings stale, so drop the index (rebuilt from the patched
+      // graph on the next delta re-cost).
+      if (view.PropagateBaseEdges(base, mutated_edges)) {
+        stats_.structural_edges_propagated += mutated_edges.size();
+        slot->engine->InvalidateFeatureIndex();
+        slot->dirty = true;
+      } else {
+        rebuild = true;
+      }
+    }
+  }
+
+  if (rebuild) {
     Q_RETURN_NOT_OK(view.RebuildQueryGraph(base, index, model, weights));
     slot->engine = std::make_unique<steiner::FastSteinerEngine>(
         view.query_graph().graph, weights, view.config().top_k.use_sp_cache);
     ++stats_.snapshots_built;
-  } else {
-    // Weight-only update over an unchanged topology: re-cost the CSR in
-    // place. The cached query graph is bit-identical to what a rebuild
-    // would produce (same base revision, same index, same features), so
-    // skipping the rebuild cannot change the search's input.
-    slot->engine->Recost(view.query_graph().graph, weights);
-    ++stats_.snapshots_recosted;
+    slot->dirty = true;
+    outcome.run_search = true;
+    return outcome;
   }
-  return true;
+
+  // --- in-place reconciliation over unchanged topology -------------------
+  // The cached query graph is now bit-identical to what a rebuild would
+  // produce (same base revisions, same index, same features), so skipping
+  // the rebuild cannot change the search's input; only the snapshot costs
+  // may still be stale.
+  std::vector<graph::FeatureDelta> weight_deltas;
+  bool have_weight_deltas = true;
+  if (weights_moved) {
+    have_weight_deltas =
+        weights.DeltaSince(slot->weight_revision, &weight_deltas);
+    if (have_weight_deltas) graph::CoalesceFeatureDeltas(&weight_deltas);
+  }
+
+  if (have_weight_deltas) {
+    auto delta = slot->engine->RecostDelta(view.query_graph().graph, weights,
+                                           weight_deltas, mutated_edges);
+    if (delta.applied) {
+      stats_.edges_repriced += delta.edges_repriced;
+      stats_.sp_cache_entries_retained += delta.cache_entries_retained;
+      stats_.sp_cache_entries_dropped += delta.cache_entries_dropped;
+      if (delta.edges_repriced == 0 && !was_dirty) {
+        // No edge of this view's snapshot moved: every downstream read
+        // (tree search, compilation, ranked union) prices query-graph
+        // edges, so the output is provably identical. Skip the search
+        // but commit the reconciled revisions (clearing any dirty mark
+        // this call set — its mutation is part of what is committed).
+        // Forbidden when the slot entered dirty: a previous
+        // failed-search attempt already patched the snapshot, so
+        // "nothing repriced" does not mean the view's results match it.
+        ++stats_.views_skipped_delta;
+        outcome.commit_without_search = true;
+        return outcome;
+      }
+      if (delta.edges_repriced > 0) {
+        ++stats_.snapshots_recosted;
+        ++stats_.views_delta_recost;
+        slot->dirty = true;
+      }
+      outcome.run_search = true;
+      return outcome;
+    }
+  }
+
+  // Weight journal truncated or the delta was dense: re-cost wholesale in
+  // place (still no graph copy / text-index matching / CSR extraction).
+  slot->engine->Recost(view.query_graph().graph, weights);
+  ++stats_.snapshots_recosted;
+  ++stats_.views_full_recost;
+  slot->dirty = true;
+  outcome.run_search = true;
+  return outcome;
 }
 
 void RefreshEngine::CommitSlot(Slot* slot, const graph::SearchGraph& base,
@@ -67,6 +163,7 @@ void RefreshEngine::CommitSlot(Slot* slot, const graph::SearchGraph& base,
   slot->graph_revision = base.revision();
   slot->weight_revision = weights.revision();
   slot->built = true;
+  slot->dirty = false;
 }
 
 util::Status RefreshEngine::RefreshAll(const graph::SearchGraph& base,
@@ -81,12 +178,17 @@ util::Status RefreshEngine::RefreshAll(const graph::SearchGraph& base,
   // snapshot with the current base state.
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
-    Q_ASSIGN_OR_RETURN(bool changed, PrepareSlot(&slots_[i], base, index,
-                                                 model, weights));
-    if (changed) {
+    Q_ASSIGN_OR_RETURN(PrepareOutcome outcome,
+                       PrepareSlot(&slots_[i], base, index, model, weights));
+    if (outcome.run_search) {
       pending.push_back(i);
     } else {
       ++stats_.refreshes_skipped;
+      // A delta-proven no-op still reconciled the slot: commit so the
+      // journals are not replayed (and the proof redone) next refresh.
+      if (outcome.commit_without_search) {
+        CommitSlot(&slots_[i], base, weights);
+      }
     }
   }
 
@@ -135,10 +237,11 @@ util::Status RefreshEngine::RefreshView(std::size_t slot_id,
   }
   ObserveRevisions(base, weights);
   Slot& slot = slots_[slot_id];
-  Q_ASSIGN_OR_RETURN(bool changed,
+  Q_ASSIGN_OR_RETURN(PrepareOutcome outcome,
                      PrepareSlot(&slot, base, index, model, weights));
-  if (!changed) {
+  if (!outcome.run_search) {
     ++stats_.refreshes_skipped;
+    if (outcome.commit_without_search) CommitSlot(&slot, base, weights);
     return util::Status::OK();
   }
   ++stats_.searches_run;

@@ -21,15 +21,36 @@ namespace q::core {
 // Aggregate counters for observability and the perf benches; cumulative
 // over the engine's lifetime.
 struct RefreshEngineStats {
-  // Full snapshot builds: query-graph re-expansion + CSR extraction.
+  // Full snapshot builds: query-graph re-expansion + CSR extraction (the
+  // *rebuild* classification, plus first-touch builds).
   std::size_t snapshots_built = 0;
-  // Weight-only refreshes: CSR re-costed in place, topology kept.
+  // In-place refreshes: CSR re-costed (delta or full), topology kept.
   std::size_t snapshots_recosted = 0;
-  // Refreshes skipped outright because neither the graph nor the weights
-  // changed since the view's last refresh (results provably identical).
+  // Refreshes that ran no search: nothing moved since the view's last
+  // refresh, or the delta provably touched nothing in its snapshot.
   std::size_t refreshes_skipped = 0;
   // Per-view top-k searches actually executed.
   std::size_t searches_run = 0;
+
+  // --- delta-pipeline classification (per view, per refresh) -------------
+  // The change journals proved no edge of the view's snapshot moved, so
+  // the refresh was skipped with results provably identical (a subset of
+  // refreshes_skipped).
+  std::size_t views_skipped_delta = 0;
+  // Snapshot repriced selectively via CsrGraph::RecostDelta.
+  std::size_t views_delta_recost = 0;
+  // Snapshot repriced wholesale via CsrGraph::Recost (journal truncated
+  // or the delta was dense).
+  std::size_t views_full_recost = 0;
+  // Edge costs actually moved by delta re-costs.
+  std::size_t edges_repriced = 0;
+  // Base-edge mutations propagated into cached query graphs in place of
+  // full rebuilds (the kEdgeMutated structural-delta path).
+  std::size_t structural_edges_propagated = 0;
+  // Shortest-path cache entries retained/dropped by selective
+  // invalidation across delta re-costs.
+  std::size_t sp_cache_entries_retained = 0;
+  std::size_t sp_cache_entries_dropped = 0;
 };
 
 // Batched view-refresh substrate (the feedback loop's hot path): owns one
@@ -40,22 +61,35 @@ struct RefreshEngineStats {
 // Change detection is pull-based: SearchGraph and WeightVector carry
 // monotone revision counters bumped at every mutation site (feedback's
 // MIRA updates bump the weight revision; new-source registration and
-// similarity-edge installation bump the graph revision). RefreshAll()
-// compares the revisions each snapshot was built against and bumps the
-// engine generation when either moved, so per generation each snapshot is
-// reconciled at most once:
+// similarity-edge installation bump the graph revision), each paired with
+// a bounded delta journal recording *what* moved (FeatureDelta /
+// GraphDelta). RefreshAll() compares the revisions each snapshot was
+// built against, bumps the engine generation when either moved, and per
+// generation classifies every view by reading the journals:
 //
-//   * graph revision moved      -> phase 1 rebuilds the view's query graph
-//                                  and re-extracts its CSR snapshot;
-//   * only weight revision moved, and the view's query-graph topology is
-//     weight-independent         -> the snapshot is re-costed in place
-//                                  (no graph copy, no text-index matching,
-//                                  no topology extraction) and its
-//                                  shortest-path cache moves to the next
-//                                  generation;
-//   * nothing moved             -> the refresh is skipped entirely
-//                                  (independent refreshes would recompute
-//                                  byte-identical state).
+//   * rebuild       — topology may have changed (node/edge additions,
+//                     node mutations, a truncated structural journal, or
+//                     weight-dependent topology): phase 1 re-expands the
+//                     view's query graph and re-extracts its CSR;
+//   * full re-cost  — unchanged topology but the weight journal was
+//                     truncated or the delta was dense: the snapshot is
+//                     re-costed wholesale in place (CsrGraph::Recost) and
+//                     the shortest-path cache moves to a new generation;
+//   * delta re-cost — the weight delta (plus any in-place base-edge
+//                     mutations, propagated into the cached query graph
+//                     by TopKView::PropagateBaseEdges) maps through the
+//                     snapshot's feature->edge postings to a sparse edge
+//                     set: only those edges are repriced
+//                     (CsrGraph::RecostDelta) and the shortest-path cache
+//                     is invalidated selectively, keeping every tree no
+//                     repriced edge can change;
+//   * skip          — nothing moved, or the delta provably repriced no
+//                     edge of this view's snapshot: no re-cost, no
+//                     search, results provably identical.
+//
+// All four classifications produce bit-identical output to N independent
+// TopKView::Refresh calls; they only change how much work reproducing it
+// costs — proportional to the size of the change, not of the system.
 //
 // A view whose QueryGraphOptions::association_cost_threshold is finite
 // has weight-dependent topology (association edges are pruned by current
@@ -116,19 +150,37 @@ class RefreshEngine {
     std::uint64_t graph_revision = 0;
     std::uint64_t weight_revision = 0;
     bool built = false;
+    // Snapshot state (CSR costs / cached query graph) was mutated by a
+    // PrepareSlot whose search has not yet succeeded (CommitSlot clears
+    // this). While set, the delta-proven no-op skip is forbidden: a
+    // retry's journal replay finds the already-patched costs and would
+    // otherwise commit the view's stale pre-failure results as up to
+    // date. The retry must re-run the search instead.
+    bool dirty = false;
+  };
+
+  struct PrepareOutcome {
+    // The snapshot changed (or may have): the view's search must rerun.
+    bool run_search = false;
+    // The slot was reconciled in place and proven output-identical (the
+    // delta repriced nothing): commit the observed revisions without a
+    // search so the work is not redone next refresh.
+    bool commit_without_search = false;
   };
 
   // Brings `slot`'s query graph + CSR snapshot up to date with (base,
-  // weights). Returns whether the snapshot changed (i.e. the view's
-  // search must rerun); serial-only (may mutate the model's feature
-  // space). Does NOT commit the observed revisions — CommitSlot does,
+  // weights), classifying the change as rebuild / full re-cost / delta
+  // re-cost / skip from the delta journals (see class comment).
+  // Serial-only (may mutate the model's feature space). Does NOT commit
+  // the observed revisions unless the outcome says so — CommitSlot does,
   // and only after the view's search succeeded, so a failed refresh can
   // never be mistaken for an up-to-date one on the next pass (the
   // snapshot work itself is idempotent and simply redone).
-  util::Result<bool> PrepareSlot(Slot* slot, const graph::SearchGraph& base,
-                                 const text::TextIndex& index,
-                                 graph::CostModel* model,
-                                 const graph::WeightVector& weights);
+  util::Result<PrepareOutcome> PrepareSlot(Slot* slot,
+                                           const graph::SearchGraph& base,
+                                           const text::TextIndex& index,
+                                           graph::CostModel* model,
+                                           const graph::WeightVector& weights);
 
   void CommitSlot(Slot* slot, const graph::SearchGraph& base,
                   const graph::WeightVector& weights);

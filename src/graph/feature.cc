@@ -71,6 +71,29 @@ void FeatureVec::AddScaled(const FeatureVec& other, double scale) {
   for (const auto& [id, value] : other.entries()) Add(id, value * scale);
 }
 
+void CoalesceFeatureDeltas(std::vector<FeatureDelta>* deltas) {
+  // Stable-sort by id keeps journal order within a feature, so after
+  // grouping, the group's first record holds the oldest old_value and its
+  // last record the newest new_value.
+  std::stable_sort(deltas->begin(), deltas->end(),
+                   [](const FeatureDelta& a, const FeatureDelta& b) {
+                     return a.id < b.id;
+                   });
+  std::size_t out = 0;
+  std::size_t i = 0;
+  while (i < deltas->size()) {
+    std::size_t j = i;
+    while (j + 1 < deltas->size() && (*deltas)[j + 1].id == (*deltas)[i].id) {
+      ++j;
+    }
+    FeatureDelta merged{(*deltas)[i].id, (*deltas)[i].old_value,
+                        (*deltas)[j].new_value};
+    if (merged.old_value != merged.new_value) (*deltas)[out++] = merged;
+    i = j + 1;
+  }
+  deltas->resize(out);
+}
+
 int BinIndex(double value, int num_bins) {
   if (value <= 0.0) return 0;
   if (value >= 1.0) return num_bins - 1;

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/delta_journal.h"
 #include "util/status.h"
 
 namespace q::graph {
@@ -80,8 +81,32 @@ class FeatureVec {
   std::vector<std::pair<FeatureId, double>> entries_;
 };
 
+// One weight mutation: feature `id` moved from `old_value` to
+// `new_value`. The unit of the delta pipeline — a journal of these is
+// what lets snapshot holders reprice only the edges whose features moved
+// instead of re-evaluating every edge cost (CsrGraph::RecostDelta).
+struct FeatureDelta {
+  FeatureId id;
+  double old_value;
+  double new_value;
+};
+
+// Coalesces a raw journal slice in place: one entry per feature (first
+// old value, last new value, journal order of first touch preserved),
+// dropping features whose net movement is zero (A -> B -> A). The result
+// is the minimal change set equivalent to replaying the slice.
+void CoalesceFeatureDeltas(std::vector<FeatureDelta>* deltas);
+
 // Dense weight vector aligned with a FeatureSpace. Unseen ids read as
 // their initial weight.
+//
+// Every effective mutation both bumps the monotone revision counter and
+// appends a FeatureDelta record to a bounded journal, so snapshot
+// holders can ask "what moved since revision R" (DeltaSince) and reprice
+// only the affected edges. The journal is capped; once it overflows (or
+// after ResetToInitial), older revisions become unanswerable and
+// DeltaSince reports truncation, which consumers treat as "assume
+// everything moved" (full re-cost fallback).
 class WeightVector {
  public:
   explicit WeightVector(const FeatureSpace* space) : space_(space) {}
@@ -96,7 +121,7 @@ class WeightVector {
     // revision: downstream snapshot holders would re-cost and re-search
     // every view to reproduce byte-identical results.
     if (values_[id] != w) {
-      ++revision_;
+      journal_.Append(FeatureDelta{id, values_[id], w});
       values_[id] = w;
     }
   }
@@ -107,7 +132,27 @@ class WeightVector {
   // Lets snapshot holders (the RefreshEngine's per-view CSR snapshots)
   // detect weight updates — from MIRA or from direct mutable_weights()
   // pokes — without explicit notification.
-  std::uint64_t revision() const { return revision_; }
+  std::uint64_t revision() const { return journal_.revision(); }
+
+  // Appends the raw journal records for revisions (since_revision,
+  // revision()] to `out` (oldest first, one record per revision).
+  // Returns false when the journal no longer reaches back to
+  // `since_revision` (overflow or ResetToInitial): the caller must then
+  // assume every feature may have moved. Callers typically follow with
+  // CoalesceFeatureDeltas.
+  bool DeltaSince(std::uint64_t since_revision,
+                  std::vector<FeatureDelta>* out) const {
+    return journal_.DeltaSince(since_revision, out);
+  }
+
+  // Oldest revision DeltaSince can still answer from.
+  std::uint64_t journal_base_revision() const {
+    return journal_.base_revision();
+  }
+
+  // Journal capacity (records, i.e. effective mutations). Shrinking it
+  // below the current journal size takes effect on the next mutation.
+  void set_max_journal_entries(std::size_t n) { journal_.set_max_entries(n); }
 
   // w · f
   double Dot(const FeatureVec& f) const {
@@ -116,9 +161,10 @@ class WeightVector {
     return sum;
   }
 
-  // Resets every weight to its initial value.
+  // Resets every weight to its initial value. Truncates the journal: a
+  // reset is a dense change, so delta consumers must rebuild.
   void ResetToInitial() {
-    ++revision_;
+    journal_.Truncate();
     values_.clear();
   }
 
@@ -132,9 +178,11 @@ class WeightVector {
     }
   }
 
+  static constexpr std::size_t kDefaultMaxJournalEntries = 1 << 16;
+
   const FeatureSpace* space_;
-  std::uint64_t revision_ = 0;
   std::vector<double> values_;
+  util::DeltaJournal<FeatureDelta> journal_{kDefaultMaxJournalEntries};
 };
 
 // Maps a real value in [0,1] to one of `num_bins` equal-width bins

@@ -54,7 +54,7 @@ NodeId SearchGraph::AddNode(NodeKind kind, std::string label,
   auto it = node_index_.find(key);
   if (it != node_index_.end()) return it->second;
   NodeId id = static_cast<NodeId>(nodes_.size());
-  ++revision_;
+  Journal(GraphDeltaKind::kNodeAdded, id);
   nodes_.push_back(Node{kind, std::move(label), std::move(attr)});
   adjacency_.emplace_back();
   node_index_.emplace(std::move(key), id);
@@ -87,7 +87,7 @@ EdgeId SearchGraph::AddEdge(Edge edge) {
   Q_CHECK(edge.u < nodes_.size() && edge.v < nodes_.size());
   Q_CHECK(edge.u != edge.v);
   EdgeId id = static_cast<EdgeId>(edges_.size());
-  ++revision_;
+  Journal(GraphDeltaKind::kEdgeAdded, id);
   adjacency_[edge.u].push_back(id);
   adjacency_[edge.v].push_back(id);
   if (edge.kind == EdgeKind::kAssociation) {
@@ -104,7 +104,9 @@ EdgeId SearchGraph::AddAssociationEdge(NodeId a, NodeId b,
   Q_CHECK(nodes_[b].kind == NodeKind::kAttribute);
   auto existing = FindAssociation(a, b);
   if (existing.has_value()) {
-    ++revision_;  // feature merge below changes the edge's cost
+    // Feature merge below changes the edge's cost; an in-place mutation
+    // of an existing edge, so the delta pipeline can reprice just it.
+    Journal(GraphDeltaKind::kEdgeMutated, *existing);
     Edge& e = edges_[*existing];
     // Merge the new matcher's features (its confidence-bin indicator) into
     // the edge and record the vote.

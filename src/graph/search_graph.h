@@ -11,6 +11,7 @@
 
 #include "graph/feature.h"
 #include "relational/schema.h"
+#include "util/delta_journal.h"
 #include "util/result.h"
 
 namespace q::graph {
@@ -80,10 +81,36 @@ struct Edge {
   NodeId Other(NodeId n) const { return n == u ? v : u; }
 };
 
+// One structural mutation of a SearchGraph, recorded in the graph's
+// delta journal. kNodeAdded/kEdgeAdded change topology (snapshot holders
+// must rebuild); kNodeMutated/kEdgeMutated record in-place mutation
+// through mutable_node/mutable_edge — conservatively, since the caller
+// may change anything through the returned reference. An edge-mutation-
+// only delta over an unchanged node/edge set is the case the refresh
+// pipeline can reconcile without re-extracting topology (propagate the
+// mutated edges' features into each snapshot and reprice just them).
+enum class GraphDeltaKind : std::uint8_t {
+  kNodeAdded = 0,
+  kEdgeAdded = 1,
+  kNodeMutated = 2,
+  kEdgeMutated = 3,
+};
+
+struct GraphDelta {
+  GraphDeltaKind kind;
+  std::uint32_t id;  // NodeId or EdgeId per kind
+};
+
 // The search graph of Sec. 2.1/3.1: relations, attributes (and in query
 // graphs, values and keywords) connected by undirected weighted edges.
 // Edge costs are not stored; they are computed per query as w · f(e)
 // against a WeightVector, so learning updates reprice the whole graph.
+//
+// Every revision bump appends one GraphDelta record to a bounded
+// journal, so snapshot holders can ask "what changed since revision R"
+// (DeltaSince) and, when the answer is edge mutations only, skip the
+// full query-graph re-expansion. Journal overflow reports truncation,
+// which consumers treat as "assume anything changed" (rebuild fallback).
 class SearchGraph {
  public:
   SearchGraph() = default;
@@ -111,12 +138,12 @@ class SearchGraph {
 
   const Node& node(NodeId id) const { return nodes_[id]; }
   Node& mutable_node(NodeId id) {
-    ++revision_;
+    Journal(GraphDeltaKind::kNodeMutated, id);
     return nodes_[id];
   }
   const Edge& edge(EdgeId id) const { return edges_[id]; }
   Edge& mutable_edge(EdgeId id) {
-    ++revision_;
+    Journal(GraphDeltaKind::kEdgeMutated, id);
     return edges_[id];
   }
 
@@ -126,7 +153,27 @@ class SearchGraph {
   // RefreshEngine's CSR snapshots) compare revisions to detect that a
   // graph changed underneath them without requiring explicit notification
   // from every mutation site.
-  std::uint64_t revision() const { return revision_; }
+  std::uint64_t revision() const { return journal_.revision(); }
+
+  // Appends the journal records for revisions (since_revision,
+  // revision()] to `out` (oldest first, one record per revision).
+  // Returns false when the journal no longer reaches back to
+  // `since_revision` (overflow): the caller must then assume arbitrary
+  // structural change. Records are conservative — a kEdgeMutated entry
+  // means "this edge may differ", not that it does.
+  bool DeltaSince(std::uint64_t since_revision,
+                  std::vector<GraphDelta>* out) const {
+    return journal_.DeltaSince(since_revision, out);
+  }
+
+  // Oldest revision DeltaSince can still answer from.
+  std::uint64_t journal_base_revision() const {
+    return journal_.base_revision();
+  }
+
+  // Journal capacity (records). Shrinking it below the current journal
+  // size takes effect on the next mutation.
+  void set_max_journal_entries(std::size_t n) { journal_.set_max_entries(n); }
 
   const std::vector<EdgeId>& edges_of(NodeId id) const {
     return adjacency_[id];
@@ -172,7 +219,16 @@ class SearchGraph {
       double max_cost = std::numeric_limits<double>::infinity()) const;
 
  private:
-  std::uint64_t revision_ = 0;
+  // Bumps the revision and appends the matching journal record; every
+  // mutation site funnels through here so revision and journal can never
+  // drift apart.
+  void Journal(GraphDeltaKind kind, std::uint32_t id) {
+    journal_.Append(GraphDelta{kind, id});
+  }
+
+  static constexpr std::size_t kDefaultMaxJournalEntries = 1 << 16;
+
+  util::DeltaJournal<GraphDelta> journal_{kDefaultMaxJournalEntries};
   std::vector<Node> nodes_;
   std::vector<Edge> edges_;
   std::vector<std::vector<EdgeId>> adjacency_;

@@ -31,6 +31,7 @@ util::Result<MiraUpdateInfo> MiraLearner::UpdateAgainst(
     const std::vector<steiner::SteinerTree>& alternatives,
     const steiner::SteinerTree& target, graph::WeightVector* weights) {
   MiraUpdateInfo info;
+  info.weight_revision_before = weights->revision();
   graph::FeatureVec target_features =
       steiner::TreeFeatures(query_graph, target);
 
@@ -93,6 +94,29 @@ util::Result<MiraUpdateInfo> MiraLearner::UpdateAgainst(
       weights->Nudge(graph::FeatureSpace::kDefaultFeature, bump);
       info.default_weight_bump = bump;
     }
+  }
+
+  // Delta summary: read this update's slice of the weight journal and
+  // coalesce it to the net per-feature movement. The journal can only be
+  // truncated here if the update alone overflowed it, in which case the
+  // touched set is approximated by the union of constraint features.
+  info.weight_revision_after = weights->revision();
+  if (weights->DeltaSince(info.weight_revision_before,
+                          &info.feature_deltas)) {
+    graph::CoalesceFeatureDeltas(&info.feature_deltas);
+    info.features_touched = info.feature_deltas.size();
+  } else {
+    std::vector<graph::FeatureId> touched;
+    for (const Constraint& c : constraints) {
+      for (const auto& [id, v] : c.x.entries()) touched.push_back(id);
+    }
+    if (info.default_weight_bump != 0.0) {
+      touched.push_back(graph::FeatureSpace::kDefaultFeature);
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    info.features_touched = touched.size();
   }
   return info;
 }

@@ -33,12 +33,27 @@ struct MiraConfig {
   bool freeze_default_feature = true;
 };
 
-// Outcome of one online update, for instrumentation.
+// Outcome of one online update, for instrumentation and for the delta
+// refresh pipeline: the revision span tells snapshot holders where to
+// start reading the WeightVector's FeatureDelta journal, and
+// `feature_deltas` is the update's own coalesced change set (one entry
+// per feature with net movement — the handful of features on the
+// endorsed and competing trees, not the whole space).
 struct MiraUpdateInfo {
   std::size_t constraints = 0;
   std::size_t violated_before = 0;
   std::size_t violated_after = 0;
   double default_weight_bump = 0.0;
+  // Weight revision observed before / after the update.
+  std::uint64_t weight_revision_before = 0;
+  std::uint64_t weight_revision_after = 0;
+  // Coalesced net changes of this update (empty when the journal was
+  // truncated mid-update; features_touched is then still exact 0 only if
+  // the revision did not move).
+  std::vector<graph::FeatureDelta> feature_deltas;
+  // Distinct features with net movement; == feature_deltas.size() when
+  // the journal covered the update.
+  std::size_t features_touched = 0;
 };
 
 // The association-cost learner (Sec. 4, Algorithm 4): a Margin Infused

@@ -36,6 +36,11 @@ util::Result<QueryGraph> BuildQueryGraph(
     const graph::WeightVector& weights, const QueryGraphOptions& options) {
   QueryGraph qg;
   qg.keywords = keywords;
+  // Only the base graph's delta journal is ever read (the RefreshEngine
+  // classifies views from base.DeltaSince); a query-graph copy would just
+  // buffer one record per copied node/edge, so keep its journal capacity
+  // minimal. Its revision counter still advances normally.
+  qg.graph.set_max_journal_entries(1);
   CopyGraphFiltered(base, weights, options.association_cost_threshold,
                     &qg.graph);
 

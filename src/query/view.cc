@@ -25,6 +25,28 @@ util::Status TopKView::RebuildQueryGraph(const graph::SearchGraph& base,
   return util::Status::OK();
 }
 
+bool TopKView::PropagateBaseEdges(const graph::SearchGraph& base,
+                                  const std::vector<graph::EdgeId>& edges) {
+  if (!refreshed_) return false;  // no cached query graph to patch
+  // Verify-then-apply in two passes: a failed check must leave the cached
+  // graph untouched so the caller's rebuild starts from consistent state.
+  for (graph::EdgeId e : edges) {
+    if (e >= base.num_edges() || e >= query_graph_.graph.num_edges()) {
+      return false;
+    }
+    const graph::Edge& src = base.edge(e);
+    const graph::Edge& dst = query_graph_.graph.edge(e);
+    if (src.u != dst.u || src.v != dst.v || src.kind != dst.kind ||
+        src.fixed_zero != dst.fixed_zero) {
+      return false;
+    }
+  }
+  for (graph::EdgeId e : edges) {
+    query_graph_.graph.mutable_edge(e) = base.edge(e);
+  }
+  return true;
+}
+
 util::Status TopKView::RunSearch(const relational::Catalog& catalog,
                                  const graph::WeightVector& weights,
                                  steiner::FastSteinerEngine* shared_engine) {

@@ -68,6 +68,20 @@ class TopKView {
                          const graph::WeightVector& weights,
                          steiner::FastSteinerEngine* shared_engine = nullptr);
 
+  // Delta alternative to phase 1 for in-place base-edge mutations (the
+  // kEdgeMutated structural journal records): copies each listed base
+  // edge over the cached query graph's copy of it. Sound because a query
+  // graph built with the default infinite association_cost_threshold
+  // copies every base edge id-for-id (keyword/value additions only append
+  // after them), and keyword matching never reads edge state — so the
+  // patched cached graph is bit-identical to what RebuildQueryGraph would
+  // produce. Verifies before mutating and returns false — with the cached
+  // graph untouched — when any edge cannot be propagated in place (no
+  // cached graph yet, id out of range, or endpoints/kind/fixed_zero
+  // drift); the caller must then fall back to a full rebuild.
+  bool PropagateBaseEdges(const graph::SearchGraph& base,
+                          const std::vector<graph::EdgeId>& edges);
+
   const std::vector<std::string>& keywords() const { return keywords_; }
   const ViewConfig& config() const { return config_; }
   const QueryGraph& query_graph() const { return query_graph_; }

@@ -8,6 +8,42 @@
 
 namespace q::steiner {
 
+// One edge whose snapshot cost actually moved during a (delta) re-cost.
+// The old/new pair is what the shortest-path cache's selective
+// invalidation rule needs: a pure cost increase of a non-tree edge
+// provably cannot change a cached Dijkstra tree, anything else drops it.
+struct RepricedEdge {
+  graph::EdgeId edge;
+  double old_cost;
+  double new_cost;
+};
+
+// Feature -> edge postings over one SearchGraph snapshot: for every
+// feature id mentioned by some edge's FeatureVec, the (ascending) list of
+// edges carrying it. Lets a sparse weight delta (a MIRA step moves only
+// the features on the endorsed and competing trees) be mapped to the
+// exact set of edges whose cost can move, instead of re-evaluating
+// w · f(e) for every edge. Built once per snapshot topology; must be
+// rebuilt after any edge's FeatureVec changes (the structural
+// edge-mutation propagation path).
+class FeatureEdgeIndex {
+ public:
+  static FeatureEdgeIndex Build(const graph::SearchGraph& graph);
+
+  // Appends every edge mentioning any feature in `touched` to `out`,
+  // then sorts and dedups `out` (touched features commonly share edges).
+  void CollectEdges(const std::vector<graph::FeatureId>& touched,
+                    std::vector<graph::EdgeId>* out) const;
+
+  std::size_t num_postings() const { return edges_.size(); }
+
+ private:
+  // CSR postings: edges_[offsets_[f] .. offsets_[f + 1]) carry feature f.
+  // Features above the snapshot's max mentioned id have no postings.
+  std::vector<std::uint32_t> offsets_;
+  std::vector<graph::EdgeId> edges_;
+};
+
 // Flat CSR snapshot of a SearchGraph under one WeightVector: every edge
 // cost is evaluated exactly once (w · f(e) is the expensive part of graph
 // traversal), and both directed copies of each undirected edge are laid
@@ -42,6 +78,17 @@ struct CsrGraph {
   // `graph` has exactly the node/edge set this snapshot was built from.
   void Recost(const graph::SearchGraph& graph,
               const graph::WeightVector& weights);
+
+  // Delta refresh: re-evaluates only the listed edges (same computation
+  // as Recost, so a delta-recosted snapshot is bitwise identical to a
+  // fully recosted one), patching both directed arc copies. Edges whose
+  // cost actually moved are appended to `repriced` with their old/new
+  // values. Same precondition as Recost; `edges` need not be sorted but
+  // must not contain duplicates beyond harmless re-pricing (idempotent).
+  void RecostEdges(const graph::SearchGraph& graph,
+                   const graph::WeightVector& weights,
+                   const std::vector<graph::EdgeId>& edges,
+                   std::vector<RepricedEdge>* repriced);
 };
 
 }  // namespace q::steiner

@@ -481,6 +481,62 @@ void FastSteinerEngine::Recost(const graph::SearchGraph& graph,
   if (cache_ != nullptr) cache_->BumpGeneration();
 }
 
+FastSteinerEngine::RecostDeltaOutcome FastSteinerEngine::RecostDelta(
+    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+    const std::vector<graph::FeatureDelta>& deltas,
+    const std::vector<graph::EdgeId>& extra_edges) {
+  RecostDeltaOutcome outcome;
+  touched_scratch_.clear();
+  for (const graph::FeatureDelta& d : deltas) {
+    touched_scratch_.push_back(d.id);
+  }
+  std::sort(touched_scratch_.begin(), touched_scratch_.end());
+  touched_scratch_.erase(
+      std::unique(touched_scratch_.begin(), touched_scratch_.end()),
+      touched_scratch_.end());
+
+  candidate_scratch_.clear();
+  if (!touched_scratch_.empty()) {
+    if (feature_index_ == nullptr) {
+      feature_index_ = std::make_unique<FeatureEdgeIndex>(
+          FeatureEdgeIndex::Build(graph));
+    }
+    feature_index_->CollectEdges(touched_scratch_, &candidate_scratch_);
+  }
+  // Edges whose FeatureVec itself changed must be repriced regardless of
+  // what the (possibly stale-for-them) postings said.
+  candidate_scratch_.insert(candidate_scratch_.end(), extra_edges.begin(),
+                            extra_edges.end());
+  std::sort(candidate_scratch_.begin(), candidate_scratch_.end());
+  candidate_scratch_.erase(
+      std::unique(candidate_scratch_.begin(), candidate_scratch_.end()),
+      candidate_scratch_.end());
+  outcome.candidate_edges = candidate_scratch_.size();
+
+  // Dense deltas gain nothing over a full pass but still pay the cache
+  // scan; hand them back to Recost.
+  if (candidate_scratch_.size() > csr_.num_edges / 2) {
+    return outcome;  // applied == false
+  }
+  outcome.applied = true;
+
+  repriced_scratch_.clear();
+  csr_.RecostEdges(graph, weights, candidate_scratch_, &repriced_scratch_);
+  outcome.edges_repriced = repriced_scratch_.size();
+  if (repriced_scratch_.empty()) {
+    // Nothing moved: the snapshot (and any cached tree) is bitwise
+    // unchanged, so neither generation advances.
+    return outcome;
+  }
+  ++generation_;
+  if (cache_ != nullptr) {
+    cache_->InvalidateRepriced(repriced_scratch_,
+                               &outcome.cache_entries_retained,
+                               &outcome.cache_entries_dropped);
+  }
+  return outcome;
+}
+
 FastSolveStats FastSteinerEngine::stats() const {
   FastSolveStats st;
   if (cache_ != nullptr) {

@@ -50,8 +50,54 @@ class FastSteinerEngine {
   void Recost(const graph::SearchGraph& graph,
               const graph::WeightVector& weights);
 
-  // Snapshot generation: 0 at construction, +1 per Recost. Mirrors the
-  // cache generation when caching is enabled.
+  // Outcome of RecostDelta, for the refresh engine's classification and
+  // observability counters.
+  struct RecostDeltaOutcome {
+    // False when the delta was too large to be worth the selective path
+    // (candidate edges above half the snapshot); nothing was changed and
+    // the caller must fall back to full Recost.
+    bool applied = false;
+    // Edges whose features mention a touched feature (the postings hits).
+    std::size_t candidate_edges = 0;
+    // Edges whose cost actually moved.
+    std::size_t edges_repriced = 0;
+    // Shortest-path cache entries retained/dropped by the selective
+    // invalidation (both 0 when caching is disabled or nothing moved).
+    std::size_t cache_entries_retained = 0;
+    std::size_t cache_entries_dropped = 0;
+  };
+
+  // Delta snapshot refresh: maps the touched features of a sparse weight
+  // update (plus optionally `extra_edges`, e.g. edges whose FeatureVec
+  // itself was mutated) through a lazily built feature->edge postings
+  // index and re-evaluates only those edges. Bitwise identical to a full
+  // Recost over the same state — same EdgeCost computation, untouched
+  // edges provably cannot move (their w · f(e) reads no touched weight).
+  // The shortest-path cache is invalidated selectively
+  // (ShortestPathCache::InvalidateRepriced) instead of wholesale: its
+  // generation does not move, so provably unaffected Dijkstra trees keep
+  // serving lookups across the refresh. The engine generation advances
+  // only when at least one edge cost moved.
+  //
+  // Precondition: same node/edge set as at construction, and every
+  // edge's FeatureVec unchanged since the postings index was built —
+  // after mutating a FeatureVec, call InvalidateFeatureIndex() and list
+  // the mutated edges in `extra_edges`.
+  RecostDeltaOutcome RecostDelta(
+      const graph::SearchGraph& graph, const graph::WeightVector& weights,
+      const std::vector<graph::FeatureDelta>& deltas,
+      const std::vector<graph::EdgeId>& extra_edges = {});
+
+  // Drops the feature->edge postings index (rebuilt from the graph on
+  // the next RecostDelta). Required after any edge FeatureVec mutation.
+  void InvalidateFeatureIndex() { feature_index_.reset(); }
+
+  // Snapshot generation: 0 at construction, +1 per Recost and per
+  // effective RecostDelta (one that moved at least one edge cost).
+  // Mirrors the cache generation when caching is enabled and only full
+  // Recosts occur; a delta re-cost advances the engine generation but
+  // deliberately not the cache generation (surviving entries stay
+  // servable).
   std::uint64_t generation() const { return generation_; }
 
   // KMB 2-approximation (the contraction semantics of SolveKmbSteiner).
@@ -75,6 +121,12 @@ class FastSteinerEngine {
   CsrGraph csr_;
   std::uint64_t generation_ = 0;
   std::unique_ptr<ShortestPathCache> cache_;  // null when caching disabled
+  // Lazily built by RecostDelta; reset by InvalidateFeatureIndex.
+  std::unique_ptr<FeatureEdgeIndex> feature_index_;
+  // Scratch reused across RecostDelta calls.
+  std::vector<graph::FeatureId> touched_scratch_;
+  std::vector<graph::EdgeId> candidate_scratch_;
+  std::vector<RepricedEdge> repriced_scratch_;
 };
 
 }  // namespace q::steiner

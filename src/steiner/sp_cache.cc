@@ -1,6 +1,7 @@
 #include "steiner/sp_cache.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace q::steiner {
 namespace {
@@ -70,6 +71,57 @@ void ShortestPathCache::BumpGeneration() {
 std::uint64_t ShortestPathCache::generation() const {
   std::lock_guard<std::mutex> lock(mu_);
   return generation_;
+}
+
+void ShortestPathCache::InvalidateRepriced(
+    const std::vector<RepricedEdge>& repriced, std::size_t* retained,
+    std::size_t* dropped) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t kept = 0;
+  std::size_t lost = 0;
+  // Every live entry is of the current generation (BumpGeneration purges
+  // older ones), so the scan covers exactly the entries a future lookup
+  // could serve.
+  auto survives = [&](const Entry& entry) {
+    for (const RepricedEdge& r : repriced) {
+      if (std::binary_search(entry.forced.begin(), entry.forced.end(),
+                             r.edge)) {
+        continue;  // traversed at cost 0; base cost never read
+      }
+      if (std::binary_search(entry.banned.begin(), entry.banned.end(),
+                             r.edge)) {
+        continue;  // excluded from traversal entirely
+      }
+      if (r.new_cost > r.old_cost &&
+          !std::binary_search(entry.tree->tree_edges.begin(),
+                              entry.tree->tree_edges.end(), r.edge)) {
+        continue;  // increase of a non-tree edge: provably no effect
+      }
+      return false;
+    }
+    return true;
+  };
+  for (auto it = by_key_.begin(); it != by_key_.end();) {
+    std::vector<Entry>& entries = it->second;
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (survives(entries[i])) {
+        // Guard the common all-survive case: self-move-assignment would
+        // empty the entry's overlay vectors, silently turning an overlay
+        // tree into an overlay-free one.
+        if (out != i) entries[out] = std::move(entries[i]);
+        ++out;
+        ++kept;
+      } else {
+        ++lost;
+      }
+    }
+    entries.resize(out);
+    it = entries.empty() ? by_key_.erase(it) : std::next(it);
+  }
+  num_entries_ -= lost;
+  if (retained != nullptr) *retained += kept;
+  if (dropped != nullptr) *dropped += lost;
 }
 
 std::shared_ptr<const SpTree> ShortestPathCache::Lookup(

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/search_graph.h"
+#include "steiner/csr.h"
 
 namespace q::steiner {
 
@@ -86,6 +87,31 @@ class ShortestPathCache {
   // old-cost tree with the new generation.
   void BumpGeneration();
   std::uint64_t generation() const;
+
+  // Selective invalidation after a delta re-cost, the alternative to
+  // BumpGeneration when only a few edges moved: keeps an entry iff no
+  // repriced edge can change its tree under a conservative provable
+  // rule — for every repriced edge e, at least one of
+  //
+  //   * e is in the entry's forced set (traversed at cost 0 regardless
+  //     of its base cost, so the tree never read the old value), or
+  //   * e is in the entry's banned set (excluded from traversal), or
+  //   * e's cost strictly increased and e is not a tree edge: every
+  //     settled distance keeps its e-free predecessor-chain witness,
+  //     every offer through e only grows (so it can neither settle a new
+  //     node earlier nor become a first-achieving arc), and the
+  //     canonical expansion order — hence the settled prefix of an
+  //     early-stopped run — is unchanged.
+  //
+  // A cost decrease anywhere outside forced/banned, or any change to a
+  // tree edge, drops the entry. Surviving entries stay keyed under the
+  // current generation and remain bitwise identical to fresh
+  // computations under the new costs, so cache hits after a delta
+  // re-cost still never change solver output. Same concurrency rule as
+  // BumpGeneration: callers must not invalidate while solves are in
+  // flight. `retained`/`dropped` (optional) receive the entry counts.
+  void InvalidateRepriced(const std::vector<RepricedEdge>& repriced,
+                          std::size_t* retained, std::size_t* dropped);
 
   // A valid cached tree for `terminal` under the (sorted) overlay sets
   // with every node of `required` settled, or nullptr. `edge_cost` is the

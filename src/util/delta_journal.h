@@ -1,0 +1,78 @@
+#ifndef Q_UTIL_DELTA_JOURNAL_H_
+#define Q_UTIL_DELTA_JOURNAL_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace q::util {
+
+// A monotone revision counter paired with a bounded journal of mutation
+// records: the shared substrate of the delta-refresh pipeline
+// (WeightVector's FeatureDelta journal and SearchGraph's GraphDelta
+// journal). Invariant: records_[i] is the mutation that produced
+// revision base_revision_ + i + 1, so records_.size() ==
+// revision_ - base_revision_ always holds.
+//
+// Capacity is bounded: on overflow (and on Truncate) all history up to
+// the current revision is forgotten, after which DeltaSince for older
+// revisions reports truncation — consumers must then assume everything
+// may have changed (their wholesale fallback). Truncation can therefore
+// never change results, only the cost of reproducing them.
+template <typename Record>
+class DeltaJournal {
+ public:
+  explicit DeltaJournal(std::size_t max_entries)
+      : max_entries_(max_entries) {}
+
+  std::uint64_t revision() const { return revision_; }
+
+  // Oldest revision DeltaSince can still answer from.
+  std::uint64_t base_revision() const { return base_revision_; }
+
+  // Capacity in records (i.e. effective mutations). Shrinking it below
+  // the current size takes effect on the next Append.
+  void set_max_entries(std::size_t n) { max_entries_ = n; }
+
+  // Records one mutation and advances the revision.
+  void Append(Record record) {
+    if (records_.size() >= max_entries_) {
+      records_.clear();
+      base_revision_ = revision_;
+    }
+    records_.push_back(std::move(record));
+    ++revision_;
+  }
+
+  // A dense change that no record list can describe: advances the
+  // revision and forgets all history.
+  void Truncate() {
+    ++revision_;
+    records_.clear();
+    base_revision_ = revision_;
+  }
+
+  // Appends the records for revisions (since_revision, revision()] to
+  // `out` (oldest first, one record per revision). Returns false when
+  // the journal no longer reaches back to `since_revision`.
+  bool DeltaSince(std::uint64_t since_revision,
+                  std::vector<Record>* out) const {
+    if (since_revision > revision_) return false;
+    if (since_revision < base_revision_) return false;
+    std::size_t first =
+        static_cast<std::size_t>(since_revision - base_revision_);
+    out->insert(out->end(), records_.begin() + first, records_.end());
+    return true;
+  }
+
+ private:
+  std::uint64_t revision_ = 0;
+  std::uint64_t base_revision_ = 0;
+  std::size_t max_entries_;
+  std::vector<Record> records_;
+};
+
+}  // namespace q::util
+
+#endif  // Q_UTIL_DELTA_JOURNAL_H_

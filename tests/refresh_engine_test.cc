@@ -7,12 +7,15 @@
 // regressions).
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "core/q_system.h"
 #include "data/interpro_go.h"
+#include "util/random.h"
 
 namespace q::core {
 namespace {
@@ -277,6 +280,225 @@ TEST(RefreshEngineTest, SimilarityEdgeAdditionInvalidatesSnapshots) {
     ExpectSameState(independent[i], batched[i],
                     "similarity view " + std::to_string(i));
   }
+}
+
+// Feature ids present on any edge of a view's current query graph.
+std::set<graph::FeatureId> ViewFeatures(const query::TopKView& view) {
+  std::set<graph::FeatureId> features;
+  const graph::SearchGraph& g = view.query_graph().graph;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (const auto& [id, value] : g.edge(e).features.entries()) {
+      features.insert(id);
+    }
+  }
+  return features;
+}
+
+// A sparse weight-only update must classify every view as delta-recost
+// (the touched feature prices some of its edges) or skip (it provably
+// prices none), never as a rebuild or full re-cost — and the outputs must
+// still match independent refreshes exactly. This is the ISSUE's
+// observability contract: weight-only feedback => views_skipped_delta +
+// views_delta_recost == num_views, zero rebuilds.
+TEST(RefreshEngineTest, SparseWeightUpdateClassifiesSkipOrDelta) {
+  Harness h(-1, true);
+  ASSERT_TRUE(h.q->RefreshAllViews().ok());  // settle
+  const RefreshEngine& engine = h.q->refresh_engine();
+
+  // Pick a non-default feature carried by view 0 (ideally by few views,
+  // so both classifications are exercised when keywords do not overlap).
+  std::vector<std::set<graph::FeatureId>> presence;
+  for (std::size_t id : h.view_ids) {
+    presence.push_back(ViewFeatures(h.q->view(id)));
+  }
+  graph::FeatureId sparse = 0;
+  std::size_t best_views = presence.size() + 1;
+  for (graph::FeatureId f : presence[0]) {
+    if (f == graph::FeatureSpace::kDefaultFeature) continue;
+    std::size_t in_views = 0;
+    for (const auto& p : presence) in_views += p.count(f) > 0 ? 1 : 0;
+    if (in_views < best_views) {
+      best_views = in_views;
+      sparse = f;
+    }
+  }
+  ASSERT_NE(sparse, graph::FeatureSpace::kDefaultFeature);
+  std::size_t expect_delta = 0;
+  for (const auto& p : presence) expect_delta += p.count(sparse) > 0 ? 1 : 0;
+  ASSERT_GT(expect_delta, 0u);
+
+  auto before = engine.stats();
+  h.q->mutable_weights().Nudge(sparse, 0.03);
+  ASSERT_TRUE(h.q->RefreshAllViews().ok());
+  auto after = engine.stats();
+
+  EXPECT_EQ(after.snapshots_built, before.snapshots_built);  // zero rebuilds
+  EXPECT_EQ(after.views_full_recost, before.views_full_recost);
+  EXPECT_EQ(after.views_delta_recost - before.views_delta_recost,
+            expect_delta);
+  EXPECT_EQ(after.views_skipped_delta - before.views_skipped_delta,
+            h.view_ids.size() - expect_delta);
+  EXPECT_EQ((after.views_skipped_delta + after.views_delta_recost) -
+                (before.views_skipped_delta + before.views_delta_recost),
+            h.view_ids.size());
+  EXPECT_GE(after.edges_repriced - before.edges_repriced, expect_delta);
+
+  auto batched = h.BatchedStates();
+  auto independent = h.IndependentRefresh();
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    ExpectSameState(independent[i], batched[i],
+                    "sparse view " + std::to_string(i));
+  }
+}
+
+// A MIRA feedback step is weight-only: no view may be rebuilt, and every
+// view must resolve to skip / delta-recost / full-recost.
+TEST(RefreshEngineTest, FeedbackStepNeverRebuildsSnapshots) {
+  Harness h(-1, true);
+  ASSERT_TRUE(h.q->RefreshAllViews().ok());
+  const RefreshEngine& engine = h.q->refresh_engine();
+  const auto& trees = h.q->view(h.view_ids[0]).trees();
+  ASSERT_FALSE(trees.empty());
+
+  auto before = engine.stats();
+  ASSERT_TRUE(h.q->ApplyFeedback(h.view_ids[0], trees[0]).ok());
+  auto after = engine.stats();
+
+  EXPECT_EQ(after.snapshots_built, before.snapshots_built);
+  EXPECT_EQ((after.views_skipped_delta + after.views_delta_recost +
+             after.views_full_recost) -
+                (before.views_skipped_delta + before.views_delta_recost +
+                 before.views_full_recost),
+            h.view_ids.size());
+
+  auto batched = h.BatchedStates();
+  auto independent = h.IndependentRefresh();
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    ExpectSameState(independent[i], batched[i],
+                    "feedback-delta view " + std::to_string(i));
+  }
+}
+
+// Re-confirming an existing association mutates that edge in place (a
+// feature merge); the structural journal records exactly one kEdgeMutated
+// entry, so every view must take the propagation path — patch the cached
+// query graph and reprice the one edge — instead of re-expanding.
+TEST(RefreshEngineTest, EdgeMutationPropagatesWithoutRebuild) {
+  Harness h(-1, true);
+  match::AlignmentCandidate candidate;
+  candidate.a = relational::AttributeId{"go", "go_term", "name"};
+  candidate.b = relational::AttributeId{"interpro", "method", "name"};
+  candidate.matcher = "manual";
+  candidate.confidence = 0.7;
+  ASSERT_TRUE(h.q->AddAssociations({candidate}).ok());  // new edge: rebuild
+  ASSERT_TRUE(h.q->RefreshAllViews().ok());
+
+  const RefreshEngine& engine = h.q->refresh_engine();
+  auto before = engine.stats();
+  // Same pair again, stronger vote from another matcher name: merges into
+  // the existing edge (kEdgeMutated, no topology change).
+  candidate.matcher = "manual2";
+  candidate.confidence = 0.95;
+  ASSERT_TRUE(h.q->AddAssociations({candidate}).ok());
+  ASSERT_TRUE(h.q->RefreshAllViews().ok());
+  auto after = engine.stats();
+
+  EXPECT_EQ(after.snapshots_built, before.snapshots_built);
+  EXPECT_GT(after.structural_edges_propagated,
+            before.structural_edges_propagated);
+  EXPECT_EQ((after.views_skipped_delta + after.views_delta_recost +
+             after.views_full_recost) -
+                (before.views_skipped_delta + before.views_delta_recost +
+                 before.views_full_recost),
+            h.view_ids.size());
+
+  auto batched = h.BatchedStates();
+  auto independent = h.IndependentRefresh();
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    ExpectSameState(independent[i], batched[i],
+                    "mutation view " + std::to_string(i));
+  }
+}
+
+// When the weight journal cannot reach back to a snapshot's revision
+// (overflow), the engine must fall back to the wholesale in-place re-cost
+// — never serve stale costs, never rebuild.
+TEST(RefreshEngineTest, TruncatedJournalFallsBackToFullRecost) {
+  Harness h(-1, true);
+  ASSERT_TRUE(h.q->RefreshAllViews().ok());
+  const RefreshEngine& engine = h.q->refresh_engine();
+
+  h.q->mutable_weights().set_max_journal_entries(1);
+  h.q->mutable_weights().Nudge(graph::FeatureSpace::kDefaultFeature, 0.02);
+  h.q->mutable_weights().Nudge(graph::FeatureSpace::kDefaultFeature, 0.02);
+  h.q->mutable_weights().Nudge(graph::FeatureSpace::kDefaultFeature, 0.02);
+
+  auto before = engine.stats();
+  ASSERT_TRUE(h.q->RefreshAllViews().ok());
+  auto after = engine.stats();
+  EXPECT_EQ(after.snapshots_built, before.snapshots_built);
+  EXPECT_EQ(after.views_full_recost - before.views_full_recost,
+            h.view_ids.size());
+  EXPECT_EQ(after.views_delta_recost, before.views_delta_recost);
+
+  auto batched = h.BatchedStates();
+  auto independent = h.IndependentRefresh();
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    ExpectSameState(independent[i], batched[i],
+                    "truncated view " + std::to_string(i));
+  }
+}
+
+// Randomized delta sequence at the system level: sparse nudges, dense
+// (default-feature) nudges, and association re-confirmations interleave;
+// after every step the batched delta pipeline must match independent
+// refreshes bit for bit, whatever mix of skip/delta/full/rebuild the
+// classification picked.
+TEST(RefreshEngineTest, RandomizedDeltaSequenceMatchesIndependent) {
+  Harness h(-1, true);
+  ASSERT_TRUE(h.q->RefreshAllViews().ok());
+  const RefreshEngine& engine = h.q->refresh_engine();
+  util::Rng rng(20260728);
+
+  match::AlignmentCandidate candidate;
+  candidate.a = relational::AttributeId{"go", "go_term", "name"};
+  candidate.b = relational::AttributeId{"interpro", "method", "name"};
+  double confidence = 0.55;
+
+  auto start = engine.stats();
+  for (int step = 0; step < 8; ++step) {
+    switch (rng.Uniform(3)) {
+      case 0: {
+        std::size_t num_features = h.q->feature_space().size();
+        auto f = static_cast<graph::FeatureId>(
+            1 + rng.Uniform(num_features - 1));
+        h.q->mutable_weights().Nudge(f, 0.01 + 0.05 * rng.UniformDouble());
+        break;
+      }
+      case 1:
+        h.q->mutable_weights().Nudge(graph::FeatureSpace::kDefaultFeature,
+                                     step % 2 == 0 ? 0.02 : -0.02);
+        break;
+      case 2:
+        candidate.matcher = "manual" + std::to_string(step);
+        candidate.confidence = (confidence += 0.05);
+        ASSERT_TRUE(h.q->AddAssociations({candidate}).ok());
+        break;
+    }
+    ASSERT_TRUE(h.q->RefreshAllViews().ok());
+    auto batched = h.BatchedStates();
+    auto independent = h.IndependentRefresh();
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+      ExpectSameState(independent[i], batched[i],
+                      "random step " + std::to_string(step) + " view " +
+                          std::to_string(i));
+    }
+  }
+  // The sequence must have exercised the delta pipeline, not only
+  // wholesale paths.
+  auto end = engine.stats();
+  EXPECT_GT(end.views_delta_recost + end.views_skipped_delta,
+            start.views_delta_recost + start.views_skipped_delta);
 }
 
 }  // namespace

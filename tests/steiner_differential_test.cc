@@ -8,6 +8,8 @@
 // shortest-path cache).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -79,6 +81,43 @@ struct DiffGraph {
          id < static_cast<graph::FeatureId>(space.size()); ++id) {
       weights->Set(id, weights->At(id) * (0.5 + rng->UniformDouble()));
     }
+  }
+
+  // Sparse MIRA-style update: rescales `count` randomly chosen per-edge
+  // feature weights, leaving the rest untouched.
+  void PerturbSparse(util::Rng* rng, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      auto id = static_cast<graph::FeatureId>(
+          1 + rng->Uniform(space.size() - 1));
+      weights->Set(id, weights->At(id) * (0.5 + rng->UniformDouble()));
+    }
+  }
+
+  // Structural in-place edit: bumps one feature value on edge `e`
+  // (changing its cost without touching topology), mirroring an
+  // association-edge feature merge in the base graph.
+  void MutateEdgeFeature(util::Rng* rng, graph::EdgeId e) {
+    graph::Edge& edge = graph.mutable_edge(e);
+    if (edge.features.empty()) return;
+    graph::FeatureId id = edge.features.entries()[0].first;
+    edge.features.Add(id, 0.1 + rng->UniformDouble());
+  }
+
+  // Structural topology edit: one new random edge with a fresh feature.
+  void AddRandomEdge(util::Rng* rng) {
+    NodeId u = static_cast<NodeId>(rng->Uniform(graph.num_nodes()));
+    NodeId v = static_cast<NodeId>(rng->Uniform(graph.num_nodes()));
+    if (u == v) v = (v + 1) % static_cast<NodeId>(graph.num_nodes());
+    graph::Edge e;
+    e.u = u;
+    e.v = v;
+    e.kind = graph::EdgeKind::kAssociation;
+    graph::FeatureVec f;
+    f.Add(space.Intern("e" + std::to_string(graph.num_edges()),
+                       0.1 + rng->UniformDouble()),
+          1.0);
+    e.features = std::move(f);
+    graph.AddEdge(std::move(e));
   }
 };
 
@@ -217,6 +256,189 @@ TEST_P(RecostDifferentialTest, RecostedSnapshotEqualsFreshBuild) {
 
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, RecostDifferentialTest,
                          ::testing::Range(0, 6));
+
+class DeltaRecostDifferentialTest : public ::testing::TestWithParam<int> {};
+
+// Randomized delta configs: a random sequence of MIRA-style sparse weight
+// updates, in-place edge feature mutations, and edge additions is applied
+// to a long-lived engine through the delta pipeline (RecostDelta +
+// selective cache invalidation, full Recost on dense deltas, rebuild on
+// topology change), and after every step the top-k output must be
+// bit-identical to a freshly built snapshot — with the shortest-path
+// cache staying warm across steps, so a wrongly retained tree would
+// surface immediately.
+TEST_P(DeltaRecostDifferentialTest, DeltaPathMatchesFreshSnapshot) {
+  util::Rng rng(34000 + GetParam());
+  DiffGraph g(&rng, 26 + rng.Uniform(20), 55 + rng.Uniform(40),
+              3 + rng.Uniform(2));
+  TopKConfig config;
+  config.k = 5;
+  auto shared = std::make_unique<FastSteinerEngine>(g.graph, *g.weights,
+                                                    /*use_cache=*/true);
+  auto warm = TopKSteinerTrees(g.graph, *g.weights, g.terminals, config,
+                               shared.get());
+  ASSERT_FALSE(warm.empty());
+
+  std::uint64_t weight_rev = g.weights->revision();
+  std::size_t delta_recosts = 0;
+  for (int step = 0; step < 12; ++step) {
+    int action = rng.Uniform(4);
+    if (action == 3) {
+      // Topology change: delta pipeline cannot help; rebuild the engine
+      // (what the RefreshEngine's rebuild classification does).
+      g.AddRandomEdge(&rng);
+      shared = std::make_unique<FastSteinerEngine>(g.graph, *g.weights,
+                                                   /*use_cache=*/true);
+    } else if (action == 2) {
+      // In-place feature mutation: reprice exactly the mutated edge.
+      auto e = static_cast<graph::EdgeId>(rng.Uniform(g.graph.num_edges()));
+      g.MutateEdgeFeature(&rng, e);
+      shared->InvalidateFeatureIndex();
+      auto outcome = shared->RecostDelta(g.graph, *g.weights, {}, {e});
+      if (!outcome.applied) shared->Recost(g.graph, *g.weights);
+    } else {
+      // Sparse weight update, fed through the journal exactly as the
+      // RefreshEngine consumes it.
+      g.PerturbSparse(&rng, 1 + rng.Uniform(3));
+      std::vector<graph::FeatureDelta> deltas;
+      ASSERT_TRUE(g.weights->DeltaSince(weight_rev, &deltas));
+      graph::CoalesceFeatureDeltas(&deltas);
+      auto outcome = shared->RecostDelta(g.graph, *g.weights, deltas);
+      if (!outcome.applied) {
+        shared->Recost(g.graph, *g.weights);
+      } else if (outcome.edges_repriced > 0) {
+        ++delta_recosts;
+      }
+    }
+    weight_rev = g.weights->revision();
+
+    FastSteinerEngine fresh(g.graph, *g.weights, /*use_cache=*/true);
+    for (bool approximate : {false, true}) {
+      config.approximate = approximate;
+      auto delta_served = TopKSteinerTrees(g.graph, *g.weights, g.terminals,
+                                           config, shared.get());
+      auto rebuilt = TopKSteinerTrees(g.graph, *g.weights, g.terminals,
+                                      config, &fresh);
+      std::string label = "step " + std::to_string(step) +
+                          (approximate ? " kmb" : " exact");
+      ASSERT_EQ(delta_served.size(), rebuilt.size()) << label;
+      for (std::size_t i = 0; i < delta_served.size(); ++i) {
+        EXPECT_EQ(delta_served[i].edges, rebuilt[i].edges)
+            << label << " tree " << i;
+        EXPECT_EQ(delta_served[i].cost, rebuilt[i].cost)
+            << label << " tree " << i;
+      }
+    }
+  }
+  // The sequence must actually exercise the selective path, not fall back
+  // to full re-costs throughout.
+  EXPECT_GT(delta_recosts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, DeltaRecostDifferentialTest,
+                         ::testing::Range(0, 8));
+
+// Deterministic selective-invalidation semantics on a hand-built graph:
+// a 4-node path a-b-c-d (cheap) plus one expensive parallel edge b-d.
+// Raising the expensive edge's cost cannot change any cached tree (it is
+// in no shortest path), so entries survive and keep serving; lowering it
+// below the path must drop affected entries and change the best tree.
+TEST(DeltaRecostCacheTest, SelectiveInvalidationRetainsProvablyValidTrees) {
+  graph::FeatureSpace space;
+  graph::SearchGraph graph;
+  for (int i = 0; i < 4; ++i) {
+    graph.AddNode(graph::NodeKind::kAttribute, "n" + std::to_string(i));
+  }
+  auto add_edge = [&](NodeId u, NodeId v, const std::string& feature,
+                      double weight) {
+    graph::Edge e;
+    e.u = u;
+    e.v = v;
+    e.kind = graph::EdgeKind::kAssociation;
+    graph::FeatureVec f;
+    f.Add(space.Intern(feature, weight), 1.0);
+    e.features = std::move(f);
+    return graph.AddEdge(std::move(e));
+  };
+  add_edge(0, 1, "ab", 1.0);
+  add_edge(1, 2, "bc", 1.0);
+  add_edge(2, 3, "cd", 1.0);
+  graph::EdgeId heavy = add_edge(1, 3, "bd", 10.0);
+  graph::WeightVector weights(&space);
+  std::vector<NodeId> terminals = {0, 3};
+
+  FastSteinerEngine engine(graph, weights, /*use_cache=*/true);
+  TopKConfig config;
+  config.k = 1;
+  auto base_trees =
+      TopKSteinerTrees(graph, weights, terminals, config, &engine);
+  ASSERT_FALSE(base_trees.empty());
+  ASSERT_GT(engine.stats().sp_cache_entries, 0u);
+  std::uint64_t rev = weights.revision();
+
+  // Increase the heavy edge: 10 -> 12. It is on no root shortest path
+  // (both terminals route along the cheap chain), so at least the root
+  // entries are provably still valid and must be retained — and must keep
+  // serving lookups (hits grow without any new misses for the root).
+  weights.Set(space.Intern("bd", 10.0), 12.0);
+  std::vector<graph::FeatureDelta> deltas;
+  ASSERT_TRUE(weights.DeltaSince(rev, &deltas));
+  rev = weights.revision();
+  auto up = engine.RecostDelta(graph, weights, deltas);
+  ASSERT_TRUE(up.applied);
+  EXPECT_EQ(up.edges_repriced, 1u);
+  EXPECT_GT(up.cache_entries_retained, 0u);
+  {
+    std::size_t hits_before = engine.stats().sp_cache_hits;
+    FastSteinerEngine fresh(graph, weights, /*use_cache=*/true);
+    auto served = TopKSteinerTrees(graph, weights, terminals, config,
+                                   &engine);
+    auto rebuilt = TopKSteinerTrees(graph, weights, terminals, config,
+                                    &fresh);
+    EXPECT_GT(engine.stats().sp_cache_hits, hits_before);
+    ASSERT_EQ(served.size(), rebuilt.size());
+    for (std::size_t i = 0; i < served.size(); ++i) {
+      EXPECT_EQ(served[i].edges, rebuilt[i].edges);
+      EXPECT_EQ(served[i].cost, rebuilt[i].cost);
+    }
+  }
+
+  // A weight move on a feature no snapshot edge carries must reprice
+  // nothing and leave the generation and every cache entry untouched.
+  std::uint64_t gen = engine.generation();
+  std::size_t entries_before = engine.stats().sp_cache_entries;
+  weights.Set(space.Intern("unused", 0.5), 0.75);
+  deltas.clear();
+  ASSERT_TRUE(weights.DeltaSince(rev, &deltas));
+  rev = weights.revision();
+  auto noop = engine.RecostDelta(graph, weights, deltas);
+  ASSERT_TRUE(noop.applied);
+  EXPECT_EQ(noop.edges_repriced, 0u);
+  EXPECT_EQ(engine.generation(), gen);
+  EXPECT_EQ(engine.stats().sp_cache_entries, entries_before);
+
+  // Decrease the heavy edge below the path (12 -> 0.5): entries whose
+  // trees it could improve must be dropped, and the best tree must now
+  // route through it — identically to a fresh snapshot.
+  weights.Set(space.Intern("bd", 10.0), 0.5);
+  deltas.clear();
+  ASSERT_TRUE(weights.DeltaSince(rev, &deltas));
+  auto down = engine.RecostDelta(graph, weights, deltas);
+  ASSERT_TRUE(down.applied);
+  EXPECT_EQ(down.edges_repriced, 1u);
+  EXPECT_GT(down.cache_entries_dropped, 0u);
+  FastSteinerEngine fresh(graph, weights, /*use_cache=*/true);
+  auto served = TopKSteinerTrees(graph, weights, terminals, config, &engine);
+  auto rebuilt = TopKSteinerTrees(graph, weights, terminals, config, &fresh);
+  ASSERT_EQ(served.size(), rebuilt.size());
+  ASSERT_FALSE(served.empty());
+  EXPECT_NE(std::find(served[0].edges.begin(), served[0].edges.end(), heavy),
+            served[0].edges.end());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_EQ(served[i].edges, rebuilt[i].edges);
+    EXPECT_EQ(served[i].cost, rebuilt[i].cost);
+  }
+}
 
 }  // namespace
 }  // namespace q::steiner
