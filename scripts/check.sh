@@ -16,6 +16,11 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 BENCH_GATE="${BENCH_GATE:-1}"
 
+# --- docs consistency --------------------------------------------------------
+# Relative markdown links in README/docs must resolve, and doc files
+# mentioned by public headers under src/core and src/steiner must exist.
+./scripts/check_docs.sh
+
 # --- tier-1: configure, build, test ----------------------------------------
 cmake -B build -S .
 cmake --build build -j "${JOBS}"
@@ -100,8 +105,23 @@ if [[ -n "${delta_ratio}" ]] && \
   echo "check.sh: WARNING — delta re-cost speedup ${delta_ratio}x < 1.1x"
 fi
 
+relevance_ratio="$(awk 'match($0, /"kernel":"view_refresh_relevance_speedup"/) {
+                          if (match($0, /"ratio":[0-9.]+/))
+                            print substr($0, RSTART + 8, RLENGTH - 8) }' \
+                   bench/out/BENCH_view_refresh.json)"
+if [[ -n "${relevance_ratio}" ]] && \
+   awk -v r="${relevance_ratio}" 'BEGIN { exit !(r < 3.0) }'; then
+  echo "check.sh: WARNING — relevance-scoped refresh speedup" \
+       "${relevance_ratio}x < 3.0x"
+fi
+
 run_gate bench/baselines/BENCH_view_refresh.json \
          bench/out/BENCH_view_refresh.json '*delta_recost*'
+
+# The relevance-scoped scenario's kernels (scoped = gate on, unscoped =
+# the PR 3 delta-recost baseline over the same 64-view workload).
+run_gate bench/baselines/BENCH_view_refresh.json \
+         bench/out/BENCH_view_refresh.json '*scoped*'
 
 if [[ "${gate_failed}" == "1" ]]; then
   echo "check.sh: FAIL — gated kernel regressed >25% vs committed baseline"

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Documentation consistency checks, run by scripts/check.sh and as a
+# standalone CI step (.github/workflows/ci.yml):
+#
+#   1. Markdown link check: every relative link target in README.md and
+#      docs/*.md must exist on disk (http(s)/mailto links and pure
+#      anchors are skipped; "path#anchor" checks the path part).
+#   2. Header doc references: every `docs/<file>.md` a public header
+#      under src/core or src/steiner mentions must exist — stale doc
+#      pointers in the API surface are treated as build breakage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. markdown relative links ---------------------------------------------
+for md in README.md docs/*.md; do
+  [[ -f "${md}" ]] || continue
+  dir="$(dirname "${md}")"
+  while IFS= read -r target; do
+    target="${target%%#*}"          # drop anchors; "#section" -> ""
+    [[ -z "${target}" ]] && continue
+    case "${target}" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [[ "${target}" == /* ]]; then
+      resolved=".${target}"          # repo-absolute
+    else
+      resolved="${dir}/${target}"    # relative to the doc
+    fi
+    if [[ ! -e "${resolved}" ]]; then
+      echo "check_docs: ${md}: broken link -> ${target}"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "${md}" | sed -E 's/^\]\(//; s/\)$//' \
+           | sed -E 's/[[:space:]]+"[^"]*"$//')
+done
+
+# --- 2. doc files mentioned by public headers --------------------------------
+for hdr in src/core/*.h src/steiner/*.h; do
+  [[ -f "${hdr}" ]] || continue
+  while IFS= read -r doc; do
+    if [[ ! -f "${doc}" ]]; then
+      echo "check_docs: ${hdr}: references missing ${doc}"
+      fail=1
+    fi
+  done < <(grep -oE 'docs/[A-Za-z0-9_.-]+\.md' "${hdr}" | sort -u)
+done
+
+if [[ "${fail}" == "1" ]]; then
+  echo "check_docs: FAIL"
+  exit 1
+fi
+echo "check_docs: OK"

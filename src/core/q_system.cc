@@ -16,6 +16,7 @@ QSystem::QSystem(QSystemConfig config)
   // created lazily on first view creation, so instances that never answer
   // queries spawn no threads.
   config_.view.top_k.pool = nullptr;
+  refresh_.set_relevance_gating(config_.relevance_gating);
   metadata_matcher_ =
       std::make_unique<match::MetadataMatcher>(config_.metadata);
   mad_matcher_ = std::make_unique<match::MadMatcher>(config_.mad);

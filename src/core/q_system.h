@@ -54,6 +54,12 @@ struct QSystemConfig {
   // sequential. The pool never changes results, only latency (see
   // docs/query_engine.md).
   int steiner_threads = 0;
+  // Relevance-scoped view refresh (alpha-neighborhood gating): let the
+  // RefreshEngine skip views whose relevance certificate proves a weight
+  // delta cannot change their output. Never changes results (see
+  // docs/query_engine.md, "Relevance-scoped refresh"), only refresh
+  // cost; off is the PR 3 delta-recost behavior.
+  bool relevance_gating = true;
 };
 
 // The Q system facade (Fig. 1): owns the catalog, text index, search

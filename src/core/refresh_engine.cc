@@ -5,6 +5,52 @@
 #include <utility>
 
 namespace q::core {
+namespace {
+
+// Slack margins for the gap comparison. The gap and the summed decrease
+// are both float aggregates computed in different orders than a fresh
+// enumeration would use, with error proportional to the *cost*
+// magnitudes involved — not to the gap — so a relative margin alone
+// would be vacuous for a tiny gap between large costs. The absolute
+// margin (comfortably above double resummation error for the cost
+// scales this system produces, cf. kMinEdgeCost) covers that; the
+// relative one covers large-gap scales. Both only ever convert a
+// would-be skip into a fall-through (the safe direction).
+constexpr double kSlackRelMargin = 1e-9;
+constexpr double kSlackAbsMargin = 1e-9;
+
+}  // namespace
+
+RelevanceDecision ClassifyDeltaRelevance(
+    const steiner::RelevanceCertificate& cert,
+    const std::vector<steiner::RepricedEdge>& repriced) {
+  RelevanceDecision decision;
+  for (const steiner::RepricedEdge& r : repriced) {
+    if (std::binary_search(cert.edges.begin(), cert.edges.end(), r.edge)) {
+      // The edge is in or adjacent to a returned tree (or read by the
+      // ranked union): its movement can change tree costs, the
+      // enumeration's choices, or column folding. No safety argument.
+      decision.touched_certificate = true;
+      return decision;
+    }
+    if (r.new_cost < r.old_cost) {
+      decision.net_decrease += r.old_cost - r.new_cost;
+    }
+  }
+  // Pure increases outside the neighborhood are always safe: returned
+  // trees keep bitwise-identical costs and every non-returned tree only
+  // gets more expensive. Decreases are safe while their total stays
+  // strictly inside the slack — any non-returned tree still costs more
+  // than the k-th returned one, so the top-k set, order, and costs are
+  // unchanged. Exactly-on-the-boundary (and within the float margin)
+  // falls through: a tie at the k-th cost could re-rank under the
+  // deterministic tie-break.
+  decision.skip =
+      decision.net_decrease == 0.0 ||
+      decision.net_decrease + kSlackAbsMargin <
+          cert.gap * (1.0 - kSlackRelMargin);
+  return decision;
+}
 
 std::size_t RefreshEngine::RegisterView(query::TopKView* view) {
   Slot slot;
@@ -118,6 +164,51 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
     if (have_weight_deltas) graph::CoalesceFeatureDeltas(&weight_deltas);
   }
 
+  // --- relevance gate (alpha-neighborhood gating) -------------------------
+  // Before touching the snapshot at all, test whether the view's
+  // certificate proves this delta cannot change its output. Eligibility:
+  // a pure weight delta (no structural records — a mutated FeatureVec
+  // invalidates the certificate's cost baseline in ways the preview
+  // cannot see), a clean slot (a dirty one's snapshot no longer equals
+  // the baseline the certificate's gap was computed against), and a
+  // certificate stamped by the last search this engine committed (an
+  // out-of-band refresh re-stamps it against foreign weights).
+  if (relevance_gating_ && have_weight_deltas && !slot->dirty &&
+      mutated_edges.empty() && view.refreshed() &&
+      view.certificate().valid &&
+      view.certificate().serial == slot->certificate_serial) {
+    ++stats_.relevance_checks;
+    preview_scratch_.clear();
+    if (slot->engine->PreviewDelta(view.query_graph().graph, weights,
+                                   weight_deltas, &preview_scratch_)) {
+      if (preview_scratch_.empty()) {
+        // Nothing would move: identical to the delta-proven no-op below,
+        // and the snapshot is already reconciled, so commit the observed
+        // revisions without a search.
+        ++stats_.views_skipped_delta;
+        outcome.commit_without_search = true;
+        return outcome;
+      }
+      RelevanceDecision decision =
+          ClassifyDeltaRelevance(view.certificate(), preview_scratch_);
+      if (decision.skip) {
+        // Edges of this snapshot did move, but none the output depends
+        // on. Skip without committing: the snapshot keeps its baseline
+        // costs, and the next refresh replays the journals from the same
+        // revisions (certificate staleness accumulates until a delta
+        // touches the neighborhood or the journal truncates).
+        ++stats_.views_skipped_irrelevant;
+        return outcome;
+      }
+      ++stats_.relevance_fallthroughs;
+    } else {
+      // Dense delta: the preview declined (RecostDelta's threshold), so
+      // the view falls through to the wholesale paths. Counted so
+      // checks == skips + fallthroughs always holds.
+      ++stats_.relevance_fallthroughs;
+    }
+  }
+
   if (have_weight_deltas) {
     auto delta = slot->engine->RecostDelta(view.query_graph().graph, weights,
                                            weight_deltas, mutated_edges);
@@ -159,11 +250,13 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
 }
 
 void RefreshEngine::CommitSlot(Slot* slot, const graph::SearchGraph& base,
-                               const graph::WeightVector& weights) {
+                               const graph::WeightVector& weights,
+                               bool searched) {
   slot->graph_revision = base.revision();
   slot->weight_revision = weights.revision();
   slot->built = true;
   slot->dirty = false;
+  if (searched) slot->certificate_serial = slot->view->certificate().serial;
 }
 
 util::Status RefreshEngine::RefreshAll(const graph::SearchGraph& base,
@@ -186,8 +279,9 @@ util::Status RefreshEngine::RefreshAll(const graph::SearchGraph& base,
       ++stats_.refreshes_skipped;
       // A delta-proven no-op still reconciled the slot: commit so the
       // journals are not replayed (and the proof redone) next refresh.
+      // (Relevance skips deliberately do NOT commit — see PrepareSlot.)
       if (outcome.commit_without_search) {
-        CommitSlot(&slots_[i], base, weights);
+        CommitSlot(&slots_[i], base, weights, /*searched=*/false);
       }
     }
   }
@@ -217,7 +311,7 @@ util::Status RefreshEngine::RefreshAll(const graph::SearchGraph& base,
   // instead of being skipped as up to date.
   for (std::size_t j = 0; j < pending.size(); ++j) {
     if (statuses[j].ok()) {
-      CommitSlot(&slots_[pending[j]], base, weights);
+      CommitSlot(&slots_[pending[j]], base, weights, /*searched=*/true);
     }
   }
   for (const util::Status& status : statuses) {
@@ -241,12 +335,14 @@ util::Status RefreshEngine::RefreshView(std::size_t slot_id,
                      PrepareSlot(&slot, base, index, model, weights));
   if (!outcome.run_search) {
     ++stats_.refreshes_skipped;
-    if (outcome.commit_without_search) CommitSlot(&slot, base, weights);
+    if (outcome.commit_without_search) {
+      CommitSlot(&slot, base, weights, /*searched=*/false);
+    }
     return util::Status::OK();
   }
   ++stats_.searches_run;
   Q_RETURN_NOT_OK(slot.view->RunSearch(catalog, weights, slot.engine.get()));
-  CommitSlot(&slot, base, weights);
+  CommitSlot(&slot, base, weights, /*searched=*/true);
   return util::Status::OK();
 }
 

@@ -18,6 +18,32 @@
 
 namespace q::core {
 
+// Outcome of testing one coalesced weight delta against a view's
+// relevance certificate (see ClassifyDeltaRelevance).
+struct RelevanceDecision {
+  // The delta provably cannot change the view's output: skip the refresh
+  // without touching the snapshot.
+  bool skip = false;
+  // Some repriced edge lies inside the certificate neighborhood.
+  bool touched_certificate = false;
+  // Total net cost decrease over edges outside the neighborhood.
+  double net_decrease = 0.0;
+};
+
+// Applies the certificate's safety rule to a previewed delta (the
+// would-be RepricedEdge set from FastSteinerEngine::PreviewDelta): the
+// view may be skipped iff no repriced edge is in `cert.edges` and the
+// summed decrease is zero (pure increases are always safe — returned
+// trees keep bitwise-identical costs and every other tree only gets more
+// expensive) or strictly inside `cert.gap` with a small relative margin
+// (so no outside tree can reach, or float-tie with, the k-th returned
+// cost; a delta landing exactly on the slack boundary falls through).
+// `cert.valid` must be checked by the caller. Pure function, exposed for
+// the boundary tests in tests/relevance_gating_test.cc.
+RelevanceDecision ClassifyDeltaRelevance(
+    const steiner::RelevanceCertificate& cert,
+    const std::vector<steiner::RepricedEdge>& repriced);
+
 // Aggregate counters for observability and the perf benches; cumulative
 // over the engine's lifetime.
 struct RefreshEngineStats {
@@ -44,6 +70,20 @@ struct RefreshEngineStats {
   std::size_t views_full_recost = 0;
   // Edge costs actually moved by delta re-costs.
   std::size_t edges_repriced = 0;
+
+  // --- relevance gate (alpha-neighborhood gating) ------------------------
+  // Views skipped because their relevance certificate proved the delta
+  // cannot change their top-k output (the kSkippedIrrelevant class): the
+  // delta repriced edges, but none inside the certificate neighborhood
+  // and any net decrease stayed strictly inside the slack. Unlike
+  // views_skipped_delta, the snapshot is deliberately left stale (lazy
+  // repair: the journals replay from the same baseline next refresh).
+  std::size_t views_skipped_irrelevant = 0;
+  // Relevance previews that ran (certificate valid, pure weight delta).
+  std::size_t relevance_checks = 0;
+  // Previews whose delta touched the certificate or exceeded the slack
+  // and therefore fell through to the delta re-cost path.
+  std::size_t relevance_fallthroughs = 0;
   // Base-edge mutations propagated into cached query graphs in place of
   // full rebuilds (the kEdgeMutated structural-delta path).
   std::size_t structural_edges_propagated = 0;
@@ -85,9 +125,22 @@ struct RefreshEngineStats {
 //                     repriced edge can change;
 //   * skip          — nothing moved, or the delta provably repriced no
 //                     edge of this view's snapshot: no re-cost, no
-//                     search, results provably identical.
+//                     search, results provably identical;
+//   * skip (irrelevant) — the delta does reprice edges of the snapshot,
+//                     but the view's relevance certificate (see
+//                     steiner::RelevanceCertificate and
+//                     ClassifyDeltaRelevance) proves none of them can
+//                     change its top-k output: no edge inside the
+//                     certificate neighborhood moved and any net decrease
+//                     stays strictly inside the slack. The snapshot is
+//                     deliberately left stale — the slot's revisions are
+//                     NOT committed, so the journals replay the
+//                     accumulated delta from the same baseline on every
+//                     later refresh until one finally touches the
+//                     certificate (or the journal truncates) and the view
+//                     falls through to the re-cost paths (lazy repair).
 //
-// All four classifications produce bit-identical output to N independent
+// All classifications produce bit-identical output to N independent
 // TopKView::Refresh calls; they only change how much work reproducing it
 // costs — proportional to the size of the change, not of the system.
 //
@@ -109,6 +162,14 @@ class RefreshEngine {
   explicit RefreshEngine(util::ThreadPool* pool = nullptr) : pool_(pool) {}
 
   void set_pool(util::ThreadPool* pool) { pool_ = pool; }
+
+  // Enables/disables the relevance gate (on by default). Gating never
+  // changes results — a skipped view's output is provably identical to a
+  // refreshed one — only how much work reproducing them costs; the switch
+  // exists for A/B benchmarking (bench_view_refresh) and as an escape
+  // hatch.
+  void set_relevance_gating(bool enabled) { relevance_gating_ = enabled; }
+  bool relevance_gating() const { return relevance_gating_; }
 
   // Registers a view and reserves its snapshot slot; the snapshot itself
   // is built lazily on the first refresh. The view must outlive the
@@ -157,6 +218,13 @@ class RefreshEngine {
     // otherwise commit the view's stale pre-failure results as up to
     // date. The retry must re-run the search instead.
     bool dirty = false;
+    // Serial of the view certificate produced by the last search this
+    // engine committed. The relevance gate requires the view's current
+    // certificate to carry this serial: an out-of-band TopKView::Refresh
+    // re-stamps the certificate against weights this slot's snapshot was
+    // never reconciled with, so its gap is meaningless relative to the
+    // snapshot's baseline costs.
+    std::uint64_t certificate_serial = 0;
   };
 
   struct PrepareOutcome {
@@ -182,8 +250,13 @@ class RefreshEngine {
                                            graph::CostModel* model,
                                            const graph::WeightVector& weights);
 
+  // `searched` marks a commit that followed a successful RunSearch: the
+  // view's certificate now describes this slot's snapshot, so its serial
+  // is recorded for the relevance gate. Commits without a search leave
+  // the recorded serial in place (the snapshot provably did not move, so
+  // the previously recorded certificate still matches it).
   void CommitSlot(Slot* slot, const graph::SearchGraph& base,
-                  const graph::WeightVector& weights);
+                  const graph::WeightVector& weights, bool searched);
 
   // Observes the base revisions, bumping generation() when either moved
   // since the last refresh.
@@ -191,11 +264,15 @@ class RefreshEngine {
                         const graph::WeightVector& weights);
 
   util::ThreadPool* pool_ = nullptr;
+  bool relevance_gating_ = true;
   std::uint64_t generation_ = 0;
   bool observed_any_ = false;
   std::uint64_t last_graph_revision_ = 0;
   std::uint64_t last_weight_revision_ = 0;
   std::vector<Slot> slots_;
+  // Scratch for PreviewDelta results, reused across views (serial phase 1
+  // only).
+  std::vector<steiner::RepricedEdge> preview_scratch_;
   RefreshEngineStats stats_;
 };
 

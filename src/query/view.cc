@@ -1,5 +1,6 @@
 #include "query/view.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -22,6 +23,9 @@ util::Status TopKView::RebuildQueryGraph(const graph::SearchGraph& base,
   Q_ASSIGN_OR_RETURN(query_graph_,
                      BuildQueryGraph(base, index, keywords_, model, weights,
                                      config_.query_graph));
+  // The certificate's edge ids refer to the replaced graph; it is rebuilt
+  // by the next RunSearch.
+  certificate_.valid = false;
   return util::Status::OK();
 }
 
@@ -53,9 +57,10 @@ util::Status TopKView::RunSearch(const relational::Catalog& catalog,
   // Build into locals and swap on success only: a mid-search failure must
   // not leave trees_/queries_/results_ mutually inconsistent (results_
   // rows index queries_ by position — see ApplyInvalidFeedback).
+  steiner::RelevanceCertificate certificate;
   std::vector<steiner::SteinerTree> trees = steiner::TopKSteinerTrees(
       query_graph_.graph, weights, query_graph_.keyword_nodes,
-      config_.top_k, shared_engine);
+      config_.top_k, shared_engine, &certificate);
   std::vector<ConjunctiveQuery> queries;
   std::vector<std::vector<relational::Row>> per_query_rows;
   Executor executor(&catalog, config_.executor);
@@ -75,6 +80,30 @@ util::Status TopKView::RunSearch(const relational::Catalog& catalog,
   }
   results_ = DisjointUnion(query_graph_, weights, queries, per_query_rows,
                            config_.union_similarity_threshold);
+  // Augment the search certificate with every edge DisjointUnion's
+  // schema-unification prices: all edges incident to each select-list
+  // attribute's node (FindCompatibleColumn walks them for association
+  // edges under the similarity threshold). Relation-level keyword matches
+  // select an attribute whose node need not be in any tree, so tree
+  // adjacency alone would miss these reads.
+  if (certificate.valid) {
+    for (const ConjunctiveQuery& cq : queries) {
+      for (const OutputColumn& col : cq.select_list) {
+        auto node = query_graph_.graph.FindAttributeNode(col.attr);
+        if (!node.has_value()) continue;
+        const std::vector<graph::EdgeId>& incident =
+            query_graph_.graph.edges_of(*node);
+        certificate.edges.insert(certificate.edges.end(), incident.begin(),
+                                 incident.end());
+      }
+    }
+    std::sort(certificate.edges.begin(), certificate.edges.end());
+    certificate.edges.erase(
+        std::unique(certificate.edges.begin(), certificate.edges.end()),
+        certificate.edges.end());
+  }
+  certificate.serial = ++certificate_serial_;
+  certificate_ = std::move(certificate);
   trees_ = std::move(trees);
   queries_ = std::move(queries);
   refreshed_ = true;

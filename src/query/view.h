@@ -1,6 +1,7 @@
 #ifndef Q_QUERY_VIEW_H_
 #define Q_QUERY_VIEW_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,18 @@ class TopKView {
   const RankedResults& results() const { return results_; }
   bool refreshed() const { return refreshed_; }
 
+  // Relevance certificate of the last successful RunSearch, augmented
+  // with every edge the ranked union's schema-unification reads (the
+  // association edges incident to each compiled query's select-list
+  // attributes), so it covers *all* weight-sensitive reads behind
+  // trees()/queries()/results(). `certificate().serial` identifies the
+  // search it describes; the RefreshEngine compares it against the serial
+  // it committed to detect certificates from out-of-band refreshes.
+  // Invalid until the first search and after every query-graph rebuild.
+  const steiner::RelevanceCertificate& certificate() const {
+    return certificate_;
+  }
+
   // Cost of the k-th top-scoring answer: the alpha bound driving
   // Algorithm 2's neighborhood pruning. Infinity before the first refresh
   // or when fewer than k answers exist (any alignment could then enter
@@ -103,6 +116,8 @@ class TopKView {
   std::vector<steiner::SteinerTree> trees_;
   std::vector<ConjunctiveQuery> queries_;
   RankedResults results_;
+  steiner::RelevanceCertificate certificate_;
+  std::uint64_t certificate_serial_ = 0;
   bool refreshed_ = false;
 };
 

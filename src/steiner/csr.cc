@@ -136,4 +136,16 @@ void CsrGraph::RecostEdges(const graph::SearchGraph& graph,
   }
 }
 
+void CsrGraph::PreviewRecostEdges(const graph::SearchGraph& graph,
+                                  const graph::WeightVector& weights,
+                                  const std::vector<graph::EdgeId>& edges,
+                                  std::vector<RepricedEdge>* repriced) const {
+  Q_CHECK(graph.num_nodes() == num_nodes && graph.num_edges() == num_edges);
+  for (graph::EdgeId e : edges) {
+    double fresh = graph.EdgeCost(e, weights);
+    if (fresh == edge_cost[e]) continue;
+    repriced->push_back(RepricedEdge{e, edge_cost[e], fresh});
+  }
+}
+
 }  // namespace q::steiner

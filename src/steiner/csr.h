@@ -89,6 +89,16 @@ struct CsrGraph {
                    const graph::WeightVector& weights,
                    const std::vector<graph::EdgeId>& edges,
                    std::vector<RepricedEdge>* repriced);
+
+  // Read-only twin of RecostEdges: appends the would-be RepricedEdge
+  // records (same EdgeCost evaluation) without patching anything. The
+  // relevance gate uses this to decide whether a delta can change a
+  // view's output before committing to touch its snapshot at all (see
+  // docs/query_engine.md, "Relevance-scoped refresh").
+  void PreviewRecostEdges(const graph::SearchGraph& graph,
+                          const graph::WeightVector& weights,
+                          const std::vector<graph::EdgeId>& edges,
+                          std::vector<RepricedEdge>* repriced) const;
 };
 
 }  // namespace q::steiner

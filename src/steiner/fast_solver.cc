@@ -481,11 +481,10 @@ void FastSteinerEngine::Recost(const graph::SearchGraph& graph,
   if (cache_ != nullptr) cache_->BumpGeneration();
 }
 
-FastSteinerEngine::RecostDeltaOutcome FastSteinerEngine::RecostDelta(
-    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+bool FastSteinerEngine::CollectDeltaCandidates(
+    const graph::SearchGraph& graph,
     const std::vector<graph::FeatureDelta>& deltas,
     const std::vector<graph::EdgeId>& extra_edges) {
-  RecostDeltaOutcome outcome;
   touched_scratch_.clear();
   for (const graph::FeatureDelta& d : deltas) {
     touched_scratch_.push_back(d.id);
@@ -511,11 +510,20 @@ FastSteinerEngine::RecostDeltaOutcome FastSteinerEngine::RecostDelta(
   candidate_scratch_.erase(
       std::unique(candidate_scratch_.begin(), candidate_scratch_.end()),
       candidate_scratch_.end());
-  outcome.candidate_edges = candidate_scratch_.size();
 
   // Dense deltas gain nothing over a full pass but still pay the cache
   // scan; hand them back to Recost.
-  if (candidate_scratch_.size() > csr_.num_edges / 2) {
+  return candidate_scratch_.size() <= csr_.num_edges / 2;
+}
+
+FastSteinerEngine::RecostDeltaOutcome FastSteinerEngine::RecostDelta(
+    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+    const std::vector<graph::FeatureDelta>& deltas,
+    const std::vector<graph::EdgeId>& extra_edges) {
+  RecostDeltaOutcome outcome;
+  bool sparse = CollectDeltaCandidates(graph, deltas, extra_edges);
+  outcome.candidate_edges = candidate_scratch_.size();
+  if (!sparse) {
     return outcome;  // applied == false
   }
   outcome.applied = true;
@@ -535,6 +543,22 @@ FastSteinerEngine::RecostDeltaOutcome FastSteinerEngine::RecostDelta(
                                &outcome.cache_entries_dropped);
   }
   return outcome;
+}
+
+bool FastSteinerEngine::PreviewDelta(
+    const graph::SearchGraph& graph, const graph::WeightVector& weights,
+    const std::vector<graph::FeatureDelta>& deltas,
+    std::vector<RepricedEdge>* repriced) {
+  // Shares the collection (and its dense-delta threshold) with
+  // RecostDelta, so a declined preview and a declined re-cost classify
+  // the same deltas. A gate fall-through re-collects in the subsequent
+  // RecostDelta; that duplicate walk is bounded by the candidate count
+  // and dwarfed by the search the fall-through implies.
+  if (!CollectDeltaCandidates(graph, deltas, /*extra_edges=*/{})) {
+    return false;
+  }
+  csr_.PreviewRecostEdges(graph, weights, candidate_scratch_, repriced);
+  return true;
 }
 
 FastSolveStats FastSteinerEngine::stats() const {

@@ -88,6 +88,20 @@ class FastSteinerEngine {
       const std::vector<graph::FeatureDelta>& deltas,
       const std::vector<graph::EdgeId>& extra_edges = {});
 
+  // Read-only twin of RecostDelta for the relevance gate: maps the delta
+  // through the same feature->edge postings and appends the would-be
+  // RepricedEdge records to `repriced` without patching the snapshot or
+  // touching the shortest-path cache. Returns false (and leaves
+  // `repriced` untouched) when the delta is dense (candidates above half
+  // the snapshot, the same threshold RecostDelta declines at) — the
+  // caller must then take the ordinary re-cost paths. Same FeatureVec
+  // precondition as RecostDelta; callers with mutated edges must not
+  // preview (the gate only runs on pure weight deltas).
+  bool PreviewDelta(const graph::SearchGraph& graph,
+                    const graph::WeightVector& weights,
+                    const std::vector<graph::FeatureDelta>& deltas,
+                    std::vector<RepricedEdge>* repriced);
+
   // Drops the feature->edge postings index (rebuilt from the graph on
   // the next RecostDelta). Required after any edge FeatureVec mutation.
   void InvalidateFeatureIndex() { feature_index_.reset(); }
@@ -118,6 +132,15 @@ class FastSteinerEngine {
   FastSolveStats stats() const;
 
  private:
+  // Shared front half of RecostDelta/PreviewDelta: maps the deltas'
+  // touched features through the (lazily built) postings index into
+  // candidate_scratch_ (sorted, deduped, plus extra_edges). Returns
+  // false when the delta is dense — candidates above half the snapshot —
+  // and selective repricing would gain nothing.
+  bool CollectDeltaCandidates(const graph::SearchGraph& graph,
+                              const std::vector<graph::FeatureDelta>& deltas,
+                              const std::vector<graph::EdgeId>& extra_edges);
+
   CsrGraph csr_;
   std::uint64_t generation_ = 0;
   std::unique_ptr<ShortestPathCache> cache_;  // null when caching disabled

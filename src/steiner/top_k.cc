@@ -35,6 +35,35 @@ using SolveFn = std::function<std::optional<SteinerTree>(
     const std::vector<graph::EdgeId>& forced,
     const std::vector<graph::EdgeId>& banned)>;
 
+// The node/edge neighborhood of the returned trees: every tree edge,
+// plus every edge incident to a node some tree (or terminal) touches.
+// Edges outside this set cannot appear in any returned tree, so the only
+// way a change to them can alter the output is by pulling a non-returned
+// tree under the k-th returned cost — exactly what the certificate's gap
+// bounds.
+std::vector<graph::EdgeId> CertificateNeighborhood(
+    const graph::SearchGraph& graph,
+    const std::vector<graph::NodeId>& terminals,
+    const std::vector<SteinerTree>& output) {
+  std::vector<graph::NodeId> nodes(terminals.begin(), terminals.end());
+  for (const SteinerTree& tree : output) {
+    for (graph::EdgeId e : tree.edges) {
+      nodes.push_back(graph.edge(e).u);
+      nodes.push_back(graph.edge(e).v);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  std::vector<graph::EdgeId> edges;
+  for (graph::NodeId n : nodes) {
+    const std::vector<graph::EdgeId>& incident = graph.edges_of(n);
+    edges.insert(edges.end(), incident.begin(), incident.end());
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
 }  // namespace
 
 std::vector<SteinerTree> TopKSteinerTrees(
@@ -47,7 +76,8 @@ std::vector<SteinerTree> TopKSteinerTrees(
 std::vector<SteinerTree> TopKSteinerTrees(
     const graph::SearchGraph& graph, const graph::WeightVector& weights,
     const std::vector<graph::NodeId>& terminals, const TopKConfig& config,
-    FastSteinerEngine* shared_engine) {
+    FastSteinerEngine* shared_engine, RelevanceCertificate* certificate) {
+  if (certificate != nullptr) *certificate = RelevanceCertificate{};
   std::vector<SteinerTree> output;
   if (terminals.empty() || config.k <= 0) return output;
 
@@ -156,6 +186,41 @@ std::vector<SteinerTree> TopKSteinerTrees(
       heap.push(Subproblem{std::move(*child_tree[i]),
                            std::move(child_forced[i]),
                            std::move(child_banned[i])});
+    }
+  }
+
+  if (certificate != nullptr) {
+    // A certificate is only provable when the output is exactly the k
+    // cheapest proper trees: the exact solver guarantees each subspace
+    // optimum, and an enumeration cut short by max_subproblems (heap
+    // nonempty, fewer than k trees emitted) proves nothing about the
+    // unexplored remainder. KMB pivots are heuristic end to end — any
+    // cost change, even an increase far from the result, can reroute its
+    // shortest paths — so approximate runs never certify.
+    const bool truncated =
+        !heap.empty() && output.size() < static_cast<std::size_t>(config.k);
+    // The output-identity argument is exact, but the enumeration
+    // *mechanism* has one cost-dependent knob: max_subproblems. A
+    // certified-safe delta can still reshape which pivots pop below the
+    // k-th cost (an outside change moves improper pivots), so a fresh
+    // run's expansion count can differ from this one's; a run that used
+    // more than half the cap therefore never certifies, leaving 2x
+    // headroom so the reshaped enumeration cannot hit the cap and
+    // truncate to different output.
+    const bool cap_headroom = expansions * 2 <= config.max_subproblems;
+    if (!use_kmb && !truncated && cap_headroom) {
+      certificate->valid = true;
+      certificate->edges = CertificateNeighborhood(graph, terminals, output);
+      if (heap.empty()) {
+        // Space exhausted: every proper tree is in the output, so no cost
+        // movement outside them can surface a new one.
+        certificate->gap = std::numeric_limits<double>::infinity();
+      } else {
+        // Exact subspace optima pop in nondecreasing cost order, so the
+        // heap top lower-bounds every tree not returned.
+        certificate->gap = heap.top().tree.cost -
+                           (output.empty() ? 0.0 : output.back().cost);
+      }
     }
   }
   return output;

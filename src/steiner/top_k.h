@@ -2,6 +2,8 @@
 #define Q_STEINER_TOP_K_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "graph/search_graph.h"
@@ -55,6 +57,44 @@ std::vector<SteinerTree> TopKSteinerTrees(
 
 class FastSteinerEngine;
 
+// Proof object letting a later weight delta be tested for relevance to
+// this search's output without re-running it (the alpha-neighborhood gate
+// of docs/query_engine.md). Emitted by TopKSteinerTrees when the
+// enumeration ran the *exact* substrate to completion; `valid` stays false
+// for KMB/approximate runs and for enumerations truncated by
+// `max_subproblems`, whose output is not provably the k cheapest proper
+// trees and therefore admits no safety argument.
+//
+// The certificate makes the following claim about the costs the search
+// ran against (the baseline): any cost change confined to edges outside
+// `edges` that (a) only increases costs, or (b) decreases them by a total
+// magnitude strictly inside `gap`, produces a search (and downstream
+// compile/union) output bit-identical to the baseline output. See
+// "Relevance-scoped refresh" in docs/query_engine.md for the proof
+// obligations; core::ClassifyDeltaRelevance applies the rule.
+struct RelevanceCertificate {
+  // True iff the enumeration's output is provably the k cheapest proper
+  // trees under deterministic tie-breaking (exact solver, not truncated)
+  // AND the run used at most half of max_subproblems — the 2x expansion
+  // headroom keeps a delta-reshaped enumeration from hitting the cap
+  // (the one cost-dependent mechanism knob) and truncating.
+  bool valid = false;
+  // Monotone per-view search counter, stamped by TopKView::RunSearch so
+  // consumers can tell which search the certificate describes.
+  std::uint64_t serial = 0;
+  // Sorted, deduped: every edge of every returned tree, every edge
+  // incident to a node some returned tree (or terminal) touches, and —
+  // after TopKView augments it — every edge the ranked union's
+  // schema-unification reads. A delta touching any of these edges can
+  // change the output and must fall through to a real refresh.
+  std::vector<graph::EdgeId> edges;
+  // Slack: cost(k+1-th candidate) − cost(k-th returned tree), or +inf
+  // when the enumeration exhausted the space (every proper tree is
+  // already in the output). Lower-bounds how far any non-returned tree
+  // sits above the returned set.
+  double gap = std::numeric_limits<double>::infinity();
+};
+
 // Same enumeration, but served from a caller-owned CSR snapshot instead of
 // building one per call (the RefreshEngine's batched-refresh substrate).
 // `shared_engine` must have been built (or last Recost) from exactly this
@@ -62,11 +102,14 @@ class FastSteinerEngine;
 // calls, which never changes output (any valid entry equals a fresh
 // computation — the determinism contract of docs/query_engine.md). A null
 // engine, or config.engine == kLegacy, falls back to the self-contained
-// overload above.
+// overload above. When `certificate` is non-null it is overwritten with
+// this search's relevance certificate (valid only for untruncated exact
+// runs; see RelevanceCertificate).
 std::vector<SteinerTree> TopKSteinerTrees(
     const graph::SearchGraph& graph, const graph::WeightVector& weights,
     const std::vector<graph::NodeId>& terminals, const TopKConfig& config,
-    FastSteinerEngine* shared_engine);
+    FastSteinerEngine* shared_engine,
+    RelevanceCertificate* certificate = nullptr);
 
 }  // namespace q::steiner
 

@@ -334,14 +334,25 @@ TEST(RefreshEngineTest, SparseWeightUpdateClassifiesSkipOrDelta) {
 
   EXPECT_EQ(after.snapshots_built, before.snapshots_built);  // zero rebuilds
   EXPECT_EQ(after.views_full_recost, before.views_full_recost);
-  EXPECT_EQ(after.views_delta_recost - before.views_delta_recost,
+  // A view carrying the feature is either delta-recosted or — when its
+  // relevance certificate proves the repriced edges cannot change its
+  // output — skipped as irrelevant; a view not carrying it is skipped as
+  // a delta-proven no-op.
+  EXPECT_EQ((after.views_delta_recost + after.views_skipped_irrelevant) -
+                (before.views_delta_recost + before.views_skipped_irrelevant),
             expect_delta);
   EXPECT_EQ(after.views_skipped_delta - before.views_skipped_delta,
             h.view_ids.size() - expect_delta);
-  EXPECT_EQ((after.views_skipped_delta + after.views_delta_recost) -
-                (before.views_skipped_delta + before.views_delta_recost),
+  EXPECT_EQ((after.views_skipped_delta + after.views_delta_recost +
+             after.views_skipped_irrelevant) -
+                (before.views_skipped_delta + before.views_delta_recost +
+                 before.views_skipped_irrelevant),
             h.view_ids.size());
-  EXPECT_GE(after.edges_repriced - before.edges_repriced, expect_delta);
+  // Every view that took the delta-recost path repriced at least one
+  // edge (that is what put it there); relevance-skipped views reprice
+  // nothing by design.
+  EXPECT_GE(after.edges_repriced - before.edges_repriced,
+            after.views_delta_recost - before.views_delta_recost);
 
   auto batched = h.BatchedStates();
   auto independent = h.IndependentRefresh();
@@ -366,9 +377,9 @@ TEST(RefreshEngineTest, FeedbackStepNeverRebuildsSnapshots) {
 
   EXPECT_EQ(after.snapshots_built, before.snapshots_built);
   EXPECT_EQ((after.views_skipped_delta + after.views_delta_recost +
-             after.views_full_recost) -
+             after.views_full_recost + after.views_skipped_irrelevant) -
                 (before.views_skipped_delta + before.views_delta_recost +
-                 before.views_full_recost),
+                 before.views_full_recost + before.views_skipped_irrelevant),
             h.view_ids.size());
 
   auto batched = h.BatchedStates();
@@ -407,9 +418,9 @@ TEST(RefreshEngineTest, EdgeMutationPropagatesWithoutRebuild) {
   EXPECT_GT(after.structural_edges_propagated,
             before.structural_edges_propagated);
   EXPECT_EQ((after.views_skipped_delta + after.views_delta_recost +
-             after.views_full_recost) -
+             after.views_full_recost + after.views_skipped_irrelevant) -
                 (before.views_skipped_delta + before.views_delta_recost +
-                 before.views_full_recost),
+                 before.views_full_recost + before.views_skipped_irrelevant),
             h.view_ids.size());
 
   auto batched = h.BatchedStates();
@@ -497,8 +508,10 @@ TEST(RefreshEngineTest, RandomizedDeltaSequenceMatchesIndependent) {
   // The sequence must have exercised the delta pipeline, not only
   // wholesale paths.
   auto end = engine.stats();
-  EXPECT_GT(end.views_delta_recost + end.views_skipped_delta,
-            start.views_delta_recost + start.views_skipped_delta);
+  EXPECT_GT(end.views_delta_recost + end.views_skipped_delta +
+                end.views_skipped_irrelevant,
+            start.views_delta_recost + start.views_skipped_delta +
+                start.views_skipped_irrelevant);
 }
 
 }  // namespace

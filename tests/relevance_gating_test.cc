@@ -1,0 +1,441 @@
+// Relevance-scoped view refresh (alpha-neighborhood gating): views the
+// RefreshEngine classifies as kSkippedIrrelevant — repriced edges, but
+// provably outside the view's top-k neighborhood and slack — must keep
+// results bit-identical to a from-scratch refresh, including across
+// accumulated (uncommitted) skip rounds and adversarial deltas landing
+// exactly on the slack boundary. The boundary rule itself
+// (core::ClassifyDeltaRelevance) is unit-tested with exact doubles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/q_system.h"
+#include "data/interpro_go.h"
+#include "util/random.h"
+
+namespace q::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- ClassifyDeltaRelevance boundary semantics ------------------------------
+
+steiner::RelevanceCertificate MakeCert(std::vector<graph::EdgeId> edges,
+                                       double gap) {
+  steiner::RelevanceCertificate cert;
+  cert.valid = true;
+  cert.edges = std::move(edges);
+  cert.gap = gap;
+  return cert;
+}
+
+TEST(ClassifyDeltaRelevanceTest, TouchingTheCertificateNeverSkips) {
+  auto cert = MakeCert({2, 5, 9}, kInf);
+  // Even a pure increase of a certificate edge falls through: it changes
+  // a returned tree's cost.
+  auto d = ClassifyDeltaRelevance(cert, {{5, 1.0, 2.0}});
+  EXPECT_FALSE(d.skip);
+  EXPECT_TRUE(d.touched_certificate);
+}
+
+TEST(ClassifyDeltaRelevanceTest, PureIncreasesOutsideAlwaysSkip) {
+  // Gap zero: the k+1-th candidate ties the k-th tree, so no decrease is
+  // tolerable — but increases keep every outside tree at least as far.
+  auto cert = MakeCert({2, 5, 9}, 0.0);
+  auto d = ClassifyDeltaRelevance(cert, {{3, 1.0, 5.0}, {7, 0.5, 0.6}});
+  EXPECT_TRUE(d.skip);
+  EXPECT_EQ(d.net_decrease, 0.0);
+}
+
+TEST(ClassifyDeltaRelevanceTest, DecreaseStrictlyInsideSlackSkips) {
+  auto cert = MakeCert({2, 5, 9}, 1.0);
+  auto d = ClassifyDeltaRelevance(cert, {{3, 2.0, 1.75}, {7, 1.0, 0.9}});
+  EXPECT_TRUE(d.skip);
+  EXPECT_DOUBLE_EQ(d.net_decrease, 0.35);
+}
+
+TEST(ClassifyDeltaRelevanceTest, DecreaseExactlyOnTheSlackBoundaryFallsThrough) {
+  // net decrease == gap exactly: an outside tree could now tie the k-th
+  // returned cost and re-rank under the deterministic tie-break.
+  auto cert = MakeCert({2, 5, 9}, 1.0);
+  auto d = ClassifyDeltaRelevance(cert, {{3, 2.0, 1.5}, {7, 1.0, 0.5}});
+  EXPECT_DOUBLE_EQ(d.net_decrease, 1.0);
+  EXPECT_FALSE(d.skip);
+  EXPECT_FALSE(d.touched_certificate);
+}
+
+TEST(ClassifyDeltaRelevanceTest, DecreaseWithinFloatMarginOfSlackFallsThrough) {
+  auto cert = MakeCert({}, 1.0);
+  // Inside the gap, but by less than the relative safety margin.
+  auto d = ClassifyDeltaRelevance(cert, {{3, 2.0, 1.0 + 1e-13}});
+  EXPECT_FALSE(d.skip);
+}
+
+TEST(ClassifyDeltaRelevanceTest, AnyDecreaseAtZeroGapFallsThrough) {
+  auto cert = MakeCert({}, 0.0);
+  auto d = ClassifyDeltaRelevance(cert, {{3, 1.0, 1.0 - 1e-12}});
+  EXPECT_FALSE(d.skip);
+}
+
+TEST(ClassifyDeltaRelevanceTest, ExhaustedEnumerationToleratesAnyDecrease) {
+  // gap == +inf: every proper tree is already in the output, so outside
+  // decreases cannot surface a new one.
+  auto cert = MakeCert({2}, kInf);
+  auto d = ClassifyDeltaRelevance(cert, {{3, 100.0, 0.001}});
+  EXPECT_TRUE(d.skip);
+}
+
+TEST(ClassifyDeltaRelevanceTest, IncreasesDoNotOffsetDecreases) {
+  // The rule sums only decreases: a large increase elsewhere buys no
+  // slack back.
+  auto cert = MakeCert({}, 1.0);
+  auto d = ClassifyDeltaRelevance(cert, {{3, 1.0, 10.0}, {7, 5.0, 3.5}});
+  EXPECT_DOUBLE_EQ(d.net_decrease, 1.5);
+  EXPECT_FALSE(d.skip);
+}
+
+// --- system-level harness ---------------------------------------------------
+
+data::InterProGoConfig SmallDataset() {
+  data::InterProGoConfig config;
+  config.num_go_terms = 80;
+  config.num_entries = 60;
+  config.num_pubs = 50;
+  config.num_journals = 10;
+  config.num_methods = 40;
+  config.interpro2go_links = 120;
+  config.entry2pub_links = 100;
+  config.method2pub_links = 80;
+  return config;
+}
+
+struct ViewState {
+  std::vector<steiner::SteinerTree> trees;
+  std::vector<std::string> columns;
+  std::vector<query::ResultRow> rows;
+};
+
+ViewState Capture(const query::TopKView& view) {
+  return ViewState{view.trees(), view.results().columns,
+                   view.results().rows};
+}
+
+void ExpectSameState(const ViewState& a, const ViewState& b,
+                     const std::string& label) {
+  ASSERT_EQ(a.trees.size(), b.trees.size()) << label;
+  for (std::size_t i = 0; i < a.trees.size(); ++i) {
+    EXPECT_EQ(a.trees[i].edges, b.trees[i].edges) << label << " tree " << i;
+    EXPECT_EQ(a.trees[i].cost, b.trees[i].cost) << label << " tree " << i;
+  }
+  EXPECT_EQ(a.columns, b.columns) << label;
+  ASSERT_EQ(a.rows.size(), b.rows.size()) << label;
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].cost, b.rows[i].cost) << label << " row " << i;
+    EXPECT_EQ(a.rows[i].query_index, b.rows[i].query_index)
+        << label << " row " << i;
+    EXPECT_EQ(a.rows[i].values, b.rows[i].values) << label << " row " << i;
+  }
+}
+
+std::unique_ptr<QSystem> BuildSystem(const data::InterProGoDataset& dataset,
+                                     int k, bool relevance_gating) {
+  QSystemConfig config;
+  config.steiner_threads = -1;  // deterministic work orders for debugging
+  config.view.top_k.k = k;
+  config.view.query_graph.min_similarity = 0.5;
+  config.view.query_graph.max_matches_per_keyword = 6;
+  config.relevance_gating = relevance_gating;
+  auto q = std::make_unique<QSystem>(config);
+  for (const auto& src : dataset.catalog.sources()) {
+    Q_CHECK_OK(q->RegisterSource(src));
+  }
+  Q_CHECK_OK(q->RunInitialAlignment());
+  return q;
+}
+
+// Two QSystems built identically from the same dataset: `gated` refreshes
+// through the RefreshEngine (relevance gate on), `reference` refreshes
+// every view from scratch via TopKView::Refresh. Construction is
+// deterministic, so feature ids line up and identical nudges can be
+// applied to both.
+struct Twin {
+  data::InterProGoDataset dataset;
+  std::unique_ptr<QSystem> gated;
+  std::unique_ptr<QSystem> reference;
+  std::vector<std::size_t> view_ids;
+
+  explicit Twin(int k, std::size_t num_views) {
+    dataset = data::BuildInterProGo(SmallDataset());
+    gated = BuildSystem(dataset, k, /*relevance_gating=*/true);
+    reference = BuildSystem(dataset, k, /*relevance_gating=*/true);
+    for (std::size_t i = 0;
+         i < num_views && i < dataset.keyword_queries.size(); ++i) {
+      auto a = gated->CreateView(dataset.keyword_queries[i]);
+      auto b = reference->CreateView(dataset.keyword_queries[i]);
+      Q_CHECK(a.ok() == b.ok());
+      if (a.ok()) {
+        Q_CHECK(*a == *b);
+        view_ids.push_back(*a);
+      }
+    }
+    Q_CHECK(!view_ids.empty());
+  }
+
+  void Nudge(graph::FeatureId f, double delta) {
+    gated->mutable_weights().Nudge(f, delta);
+    reference->mutable_weights().Nudge(f, delta);
+  }
+
+  // Gated path refreshes through the engine; the reference rebuilds every
+  // view from scratch (independent Refresh bypasses the engine and its
+  // gate entirely).
+  void RefreshBoth() {
+    ASSERT_TRUE(gated->RefreshAllViews().ok());
+    for (std::size_t id : view_ids) {
+      ASSERT_TRUE(reference->view(id)
+                      .Refresh(reference->search_graph(),
+                               reference->catalog(),
+                               reference->text_index(),
+                               &reference->cost_model(),
+                               reference->weights())
+                      .ok());
+    }
+  }
+
+  void ExpectIdentical(const std::string& label) {
+    for (std::size_t id : view_ids) {
+      ExpectSameState(Capture(reference->view(id)), Capture(gated->view(id)),
+                      label + " view " + std::to_string(id));
+    }
+  }
+};
+
+// Feature ids carried by at least one edge of the graph.
+std::set<graph::FeatureId> GraphFeatures(const graph::SearchGraph& g) {
+  std::set<graph::FeatureId> features;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (const auto& [id, value] : g.edge(e).features.entries()) {
+      features.insert(id);
+    }
+  }
+  return features;
+}
+
+// A non-default feature carried by >= 1 edge of the view's query graph,
+// with none of its carrying edges inside the view's certificate. Nudging
+// it reprices snapshot edges the certificate proves irrelevant. Returns
+// false when no such feature exists.
+bool FindOutsideFeature(const query::TopKView& view, graph::FeatureId* out,
+                        double* value_sum) {
+  const graph::SearchGraph& g = view.query_graph().graph;
+  const auto& cert = view.certificate();
+  if (!cert.valid) return false;
+  std::set<graph::EdgeId> cert_edges(cert.edges.begin(), cert.edges.end());
+  std::set<graph::FeatureId> inside;
+  for (graph::EdgeId e : cert.edges) {
+    if (e >= g.num_edges()) continue;
+    for (const auto& [id, value] : g.edge(e).features.entries()) {
+      inside.insert(id);
+    }
+  }
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (cert_edges.count(e) > 0) continue;
+    for (const auto& [id, value] : g.edge(e).features.entries()) {
+      if (id == graph::FeatureSpace::kDefaultFeature) continue;
+      if (inside.count(id) > 0) continue;  // also on a certificate edge
+      double sum = 0.0;
+      for (graph::EdgeId e2 = 0; e2 < g.num_edges(); ++e2) {
+        sum += g.edge(e2).features.ValueOf(id);
+      }
+      *out = id;
+      *value_sum = sum;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- certificate emission ---------------------------------------------------
+
+TEST(RelevanceCertificateTest, ExactSearchEmitsValidCertificate) {
+  Twin t(/*k=*/2, /*num_views=*/2);
+  for (std::size_t id : t.view_ids) {
+    const auto& view = t.gated->view(id);
+    const auto& cert = view.certificate();
+    ASSERT_TRUE(view.refreshed());
+    EXPECT_TRUE(cert.valid);
+    EXPECT_GE(cert.gap, 0.0);
+    EXPECT_GT(cert.serial, 0u);
+    // Every returned tree edge is inside the neighborhood.
+    for (const auto& tree : view.trees()) {
+      for (graph::EdgeId e : tree.edges) {
+        EXPECT_TRUE(std::binary_search(cert.edges.begin(), cert.edges.end(),
+                                       e))
+            << "tree edge " << e << " missing from certificate";
+      }
+    }
+  }
+}
+
+TEST(RelevanceCertificateTest, ApproximateSearchNeverCertifies) {
+  auto dataset = data::BuildInterProGo(SmallDataset());
+  QSystemConfig config;
+  config.steiner_threads = -1;
+  config.view.top_k.approximate = true;  // KMB substrate: heuristic output
+  config.view.query_graph.min_similarity = 0.5;
+  config.view.query_graph.max_matches_per_keyword = 6;
+  QSystem q(config);
+  for (const auto& src : dataset.catalog.sources()) {
+    ASSERT_TRUE(q.RegisterSource(src).ok());
+  }
+  ASSERT_TRUE(q.RunInitialAlignment().ok());
+  auto id = q.CreateView(dataset.keyword_queries[0]);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(q.view(*id).refreshed());
+  EXPECT_FALSE(q.view(*id).certificate().valid);
+
+  // And with the gate structurally unable to certify, a weight update must
+  // never classify kSkippedIrrelevant.
+  q.mutable_weights().Nudge(1, 0.02);
+  ASSERT_TRUE(q.RefreshAllViews().ok());
+  EXPECT_EQ(q.refresh_engine().stats().views_skipped_irrelevant, 0u);
+}
+
+// --- gating behavior --------------------------------------------------------
+
+// An increase confined to edges outside a view's certificate must be
+// skipped as irrelevant — without committing — and the stored results
+// must equal a from-scratch refresh bit for bit.
+TEST(RelevanceGatingTest, OutsideIncreaseSkipsAndStaysIdentical) {
+  Twin t(/*k=*/2, /*num_views=*/3);
+  graph::FeatureId outside = 0;
+  double value_sum = 0.0;
+  ASSERT_TRUE(
+      FindOutsideFeature(t.gated->view(t.view_ids[0]), &outside, &value_sum))
+      << "dataset produced no feature outside the certificate";
+
+  auto before = t.gated->refresh_engine().stats();
+  t.Nudge(outside, 0.05);
+  t.RefreshBoth();
+  auto after = t.gated->refresh_engine().stats();
+
+  EXPECT_GT(after.relevance_checks, before.relevance_checks);
+  EXPECT_GT(after.views_skipped_irrelevant, before.views_skipped_irrelevant)
+      << "outside increase was not gated as irrelevant";
+  t.ExpectIdentical("outside increase");
+
+  // A second refresh replays the (uncommitted) delta from the same
+  // baseline and must skip again, still identical.
+  auto mid = t.gated->refresh_engine().stats();
+  ASSERT_TRUE(t.gated->RefreshAllViews().ok());
+  auto final_stats = t.gated->refresh_engine().stats();
+  EXPECT_GT(final_stats.views_skipped_irrelevant,
+            mid.views_skipped_irrelevant);
+  t.ExpectIdentical("outside increase, replayed");
+}
+
+// With gating disabled the same delta takes the PR 3 delta-recost path.
+TEST(RelevanceGatingTest, DisabledGateFallsBackToDeltaRecost) {
+  auto dataset = data::BuildInterProGo(SmallDataset());
+  auto q = BuildSystem(dataset, /*k=*/2, /*relevance_gating=*/false);
+  auto id = q->CreateView(dataset.keyword_queries[0]);
+  ASSERT_TRUE(id.ok());
+  graph::FeatureId outside = 0;
+  double value_sum = 0.0;
+  ASSERT_TRUE(FindOutsideFeature(q->view(*id), &outside, &value_sum));
+
+  auto before = q->refresh_engine().stats();
+  q->mutable_weights().Nudge(outside, 0.05);
+  ASSERT_TRUE(q->RefreshAllViews().ok());
+  auto after = q->refresh_engine().stats();
+  EXPECT_EQ(after.views_skipped_irrelevant, before.views_skipped_irrelevant);
+  EXPECT_EQ(after.relevance_checks, before.relevance_checks);
+  EXPECT_GT(after.views_delta_recost, before.views_delta_recost);
+}
+
+// Outside *decreases* accumulate across uncommitted skips: each round
+// replays the coalesced journal from the same baseline, so once the
+// cumulative decrease crosses the slack the view must fall through and
+// actually re-search. Results match the reference at every round.
+TEST(RelevanceGatingTest, StaleCertificateAccumulatesUntilSlackExhausted) {
+  // k=1 keeps the gap a real cost difference (the best and second-best
+  // trees differ by actual edges); at larger k the boundary candidates
+  // often tie to within float dust, and the gate's absolute margin
+  // rightly refuses to certify decreases against a rounding-residue
+  // slack.
+  Twin t(/*k=*/1, /*num_views=*/1);
+  const query::TopKView& view = t.gated->view(t.view_ids[0]);
+  ASSERT_TRUE(view.certificate().valid);
+  double gap = view.certificate().gap;
+  if (!std::isfinite(gap) || gap <= 1e-6) {
+    GTEST_SKIP() << "no usable slack to exhaust (gap=" << gap << ")";
+  }
+  graph::FeatureId outside = 0;
+  double value_sum = 0.0;
+  ASSERT_TRUE(FindOutsideFeature(view, &outside, &value_sum));
+  ASSERT_GT(value_sum, 0.0);
+
+  // Each nudge decreases the carrying edges' summed cost by about
+  // gap / 2.5 (clamping can only shrink it), so the cumulative replayed
+  // decrease crosses the slack within a handful of rounds.
+  const double step = -gap / (2.5 * value_sum);
+  bool skipped = false;
+  bool fell_through = false;
+  for (int round = 0; round < 12 && !fell_through; ++round) {
+    auto before = t.gated->refresh_engine().stats();
+    t.Nudge(outside, step);
+    t.RefreshBoth();
+    auto after = t.gated->refresh_engine().stats();
+    if (after.views_skipped_irrelevant > before.views_skipped_irrelevant) {
+      skipped = true;
+    }
+    if (after.views_delta_recost + after.views_full_recost >
+        before.views_delta_recost + before.views_full_recost) {
+      fell_through = true;
+    }
+    t.ExpectIdentical("decrease round " + std::to_string(round));
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_TRUE(skipped) << "no round was gated as irrelevant";
+  EXPECT_TRUE(fell_through)
+      << "cumulative decreases never exhausted the slack";
+}
+
+// Randomized differential suite: sparse weight updates in both
+// directions; whatever mix of skip / irrelevant-skip / delta-recost /
+// full-recost the gate picks, gated output must equal the from-scratch
+// reference bit for bit after every step.
+TEST(RelevanceGatingTest, RandomizedSparseUpdatesStayIdentical) {
+  Twin t(/*k=*/2, /*num_views=*/3);
+  util::Rng rng(20260728);
+  std::vector<graph::FeatureId> features;
+  for (graph::FeatureId f : GraphFeatures(t.gated->search_graph())) {
+    if (f != graph::FeatureSpace::kDefaultFeature) features.push_back(f);
+  }
+  ASSERT_FALSE(features.empty());
+
+  for (int step = 0; step < 16; ++step) {
+    auto f = features[rng.Uniform(features.size())];
+    // Two thirds increases (always gate-safe when outside), one third
+    // small decreases (exercise the slack test and its fall-through).
+    double magnitude = 0.005 + 0.03 * rng.UniformDouble();
+    double delta = rng.Uniform(3) == 0 ? -magnitude : magnitude;
+    t.Nudge(f, delta);
+    t.RefreshBoth();
+    t.ExpectIdentical("random step " + std::to_string(step));
+    if (HasFatalFailure()) return;
+  }
+  // The run must actually have exercised the gate, both ways.
+  auto stats = t.gated->refresh_engine().stats();
+  EXPECT_GT(stats.relevance_checks, 0u);
+  EXPECT_GT(stats.views_skipped_irrelevant, 0u)
+      << "no view was ever gated as irrelevant; gate never fired";
+}
+
+}  // namespace
+}  // namespace q::core
