@@ -13,6 +13,14 @@
 // in-place Recost (forced by truncating the weight journal), so the two
 // kernels isolate exactly the delta-vs-full re-cost strategy.
 //
+// Also measures the feedback-ack scenario (the async refresh contract):
+// 64 open views, one user's MIRA endorsement per round; synchronous mode
+// repairs every affected view before ApplyFeedback returns, async mode
+// returns after journal append + relevance classification and repairs in
+// the background. The ack-latency ratio should track roughly
+// #affected / #total views. Quiescent async output is verified
+// bit-identical to the synchronous twin before timing.
+//
 // Emits JSON lines to --json=PATH (default
 // bench/out/BENCH_view_refresh.json):
 //   {"kernel":"view_refresh_independent_8","n":...,"median_us":...}
@@ -21,7 +29,13 @@
 //   {"kernel":"view_refresh_full_recost_8","n":...,"median_us":...}
 //   {"kernel":"view_refresh_delta_recost_8","n":...,"median_us":...}
 //   {"kernel":"view_refresh_delta_speedup","n":8,"ratio":...}
-// Exits non-zero if batched/delta and independent outputs ever diverge.
+//   {"kernel":"view_refresh_unscoped_64","n":...,"median_us":...}
+//   {"kernel":"view_refresh_scoped_64","n":...,"median_us":...}
+//   {"kernel":"view_refresh_relevance_speedup","n":64,"ratio":...}
+//   {"kernel":"feedback_ack_sync_64","n":...,"median_us":...}
+//   {"kernel":"feedback_ack_async_64","n":...,"median_us":...}
+//   {"kernel":"feedback_ack_speedup","n":64,"ratio":...}
+// Exits non-zero if batched/delta/async and reference outputs diverge.
 //
 // Usage: bench_view_refresh [--json=PATH] [--smoke] [--views=N]
 //        [--synthetic=N]
@@ -39,6 +53,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/q_system.h"
 #include "core/refresh_engine.h"
 #include "data/gbco.h"
 #include "data/synthetic.h"
@@ -328,13 +343,14 @@ int main(int argc, char** argv) {
   // Correctness gate: a delta-refreshed batch must match the independent
   // reference after the same sparse update — and must actually have taken
   // the delta classification, not a wholesale fallback.
-  const auto& stats = w.engine.stats();
+  auto stats_before = w.engine.stats();
   std::size_t delta_before =
-      stats.views_delta_recost + stats.views_skipped_delta;
-  std::size_t full_before = stats.views_full_recost;
+      stats_before.views_delta_recost + stats_before.views_skipped_delta;
+  std::size_t full_before = stats_before.views_full_recost;
   w.NudgeSparseWeights(sparse);
   w.RefreshBatched();
-  Q_CHECK_MSG(stats.views_delta_recost + stats.views_skipped_delta >
+  Q_CHECK_MSG(w.engine.stats().views_delta_recost +
+                      w.engine.stats().views_skipped_delta >
                   delta_before,
               "sparse update did not take the delta re-cost path");
   auto delta_states = Capture(w);
@@ -358,7 +374,7 @@ int main(int argc, char** argv) {
   w.weights->set_max_journal_entries(2);
   w.NudgeSparseWeights(sparse);
   w.RefreshBatched();
-  Q_CHECK_MSG(stats.views_full_recost > full_before,
+  Q_CHECK_MSG(w.engine.stats().views_full_recost > full_before,
               "journal truncation did not force the full re-cost path");
   double full_us = MedianMicros([&] {
     w.NudgeSparseWeights(sparse);
@@ -370,6 +386,7 @@ int main(int argc, char** argv) {
   std::printf("%-28s speedup=%.2fx (full/delta), output %s\n",
               ("view_refresh_delta_speedup" + suffix).c_str(), delta_ratio,
               delta_ok ? "verified identical" : "MISMATCH");
+  auto stats = w.engine.stats();
   std::printf("delta pipeline: %zu delta re-costs, %zu delta skips, %zu "
               "full re-costs, %zu edges repriced, %zu cache entries "
               "retained / %zu dropped\n",
@@ -523,13 +540,14 @@ int main(int argc, char** argv) {
     rw.engine.set_relevance_gating(true);
     nudge();
     rw.RefreshBatched();
-    const auto& rstats = rw.engine.stats();
-    std::size_t skipped_before = rstats.views_skipped_irrelevant;
-    std::size_t searches_before = rstats.searches_run;
-    std::size_t checks_before = rstats.relevance_checks;
-    std::size_t fallthrough_before = rstats.relevance_fallthroughs;
+    auto gate_before = rw.engine.stats();
+    std::size_t skipped_before = gate_before.views_skipped_irrelevant;
+    std::size_t searches_before = gate_before.searches_run;
+    std::size_t checks_before = gate_before.relevance_checks;
+    std::size_t fallthrough_before = gate_before.relevance_fallthroughs;
     nudge();
     rw.RefreshBatched();
+    auto rstats = rw.engine.stats();
     std::size_t searched_per_round = rstats.searches_run - searches_before;
     std::printf("gated round: %zu searches, %zu checks, %zu fallthroughs, "
                 "%zu irrelevant skips\n",
@@ -564,12 +582,110 @@ int main(int argc, char** argv) {
     std::printf("%-28s speedup=%.2fx (unscoped/scoped), %zu searches/round, "
                 "%zu irrelevant skips, output %s\n",
                 "view_refresh_relevance_speedup", relevance_ratio,
-                searched_per_round, rstats.views_skipped_irrelevant,
+                searched_per_round,
+                rw.engine.stats().views_skipped_irrelevant,
                 relevance_ok ? "verified identical" : "MISMATCH");
     std::fprintf(json,
                  "{\"kernel\":\"view_refresh_relevance_speedup\","
                  "\"n\":%zu,\"ratio\":%.3f}\n",
                  rw.views.size(), relevance_ratio);
+  }
+
+  // --- feedback-ack latency: async refresh vs synchronous repair ----------
+  // The async refresh contract's headline number: with 64 open views, how
+  // long does one user's ApplyFeedback hold the interactive path? Sync
+  // mode repairs every affected view inline; async mode returns after the
+  // journal append + relevance classification and repairs on the
+  // scheduler's pool. Both pay the same MIRA update (its own k-best
+  // search), so the ratio isolates the refresh work moved off the path.
+  {
+    q::data::GbcoConfig gconfig;
+    gconfig.base_rows = 150;
+    auto dataset = q::data::BuildGbco(gconfig);
+    auto build_system = [&](bool async) {
+      q::core::QSystemConfig config;
+      config.steiner_threads = -1;  // repairs parallelize via the scheduler
+      config.async_refresh = async;
+      config.async_repair_threads = async ? 2 : 0;
+      config.view.top_k.k = 3;
+      config.view.query_graph.max_matches_per_keyword = 6;
+      auto qs = std::make_unique<q::core::QSystem>(config);
+      for (const auto& src : dataset.catalog.sources()) {
+        Q_CHECK_OK(qs->RegisterSource(src));
+      }
+      // No matcher bootstrap: the FK/membership graph already answers the
+      // trial keywords, and alignment is not what this scenario measures.
+      for (std::size_t i = 0; i < 64; ++i) {
+        const auto& keywords =
+            dataset.trials[i % dataset.trials.size()].keywords;
+        Q_CHECK_OK(qs->CreateView(keywords).status());
+      }
+      return qs;
+    };
+    auto sync_q = build_system(false);
+    auto async_q = build_system(true);
+
+    // One feedback round, identical on both systems: endorse the current
+    // best tree of a rotating view.
+    auto endorse = [](q::core::QSystem& qs, int round) {
+      std::size_t view = (static_cast<std::size_t>(round) * 17) % 64;
+      auto state = qs.ReadView(view).state;
+      if (state->trees.empty()) return;
+      Q_CHECK_OK(qs.ApplyFeedback(view, state->trees[0]));
+    };
+
+    // Correctness gate first: after identical feedback sequences, the
+    // drained async system must match the synchronous one bit for bit.
+    for (int r = 0; r < 3; ++r) {
+      endorse(*sync_q, r);
+      endorse(*async_q, r);
+    }
+    Q_CHECK_OK(async_q->DrainRefreshes());
+    bool ack_ok = true;
+    for (std::size_t v = 0; v < 64; ++v) {
+      auto s = sync_q->ReadView(v).state;
+      auto a = async_q->ReadView(v).state;
+      if (s->trees.size() != a->trees.size() ||
+          s->results.rows.size() != a->results.rows.size()) {
+        ack_ok = false;
+        break;
+      }
+      for (std::size_t t = 0; t < s->trees.size(); ++t) {
+        ack_ok &= s->trees[t].edges == a->trees[t].edges &&
+                  s->trees[t].cost == a->trees[t].cost;
+      }
+      for (std::size_t r = 0; r < s->results.rows.size(); ++r) {
+        ack_ok &= s->results.rows[r].cost == a->results.rows[r].cost &&
+                  s->results.rows[r].values == a->results.rows[r].values;
+      }
+      if (!ack_ok) break;
+    }
+    if (!ack_ok) {
+      std::printf("MISMATCH: async quiescent state differs from sync\n");
+      ok = false;
+    }
+
+    int sync_round = 100;
+    double sync_us = MedianMicros([&] { endorse(*sync_q, sync_round++); });
+    emit("feedback_ack_sync_64", 64, sync_us);
+    int async_round = 100;
+    double async_us =
+        MedianMicros([&] { endorse(*async_q, async_round++); });
+    emit("feedback_ack_async_64", 64, async_us);
+    Q_CHECK_OK(async_q->DrainRefreshes());
+
+    const q::core::AsyncRefreshStats astats =
+        async_q->async_scheduler()->stats();
+    double ack_ratio = async_us > 0.0 ? sync_us / async_us : 0.0;
+    std::printf("%-28s speedup=%.2fx (sync/async ack), %zu repairs run, "
+                "%zu no-search validations, output %s\n",
+                "feedback_ack_speedup", ack_ratio, astats.repairs_run,
+                astats.validations_without_search,
+                ack_ok ? "verified identical" : "MISMATCH");
+    std::fprintf(json,
+                 "{\"kernel\":\"feedback_ack_speedup\",\"n\":64,"
+                 "\"ratio\":%.3f}\n",
+                 ack_ratio);
   }
 
   std::fclose(json);

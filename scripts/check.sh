@@ -123,6 +123,20 @@ run_gate bench/baselines/BENCH_view_refresh.json \
 run_gate bench/baselines/BENCH_view_refresh.json \
          bench/out/BENCH_view_refresh.json '*scoped*'
 
+# Feedback-ack latency (async scheduler vs synchronous repair, 64 views).
+# The async kernel is the interactive-path cost the scheduler exists to
+# bound; the sync kernel is its baseline.
+run_gate bench/baselines/BENCH_view_refresh.json \
+         bench/out/BENCH_view_refresh.json '*ack*'
+ack_ratio="$(awk 'match($0, /"kernel":"feedback_ack_speedup"/) {
+                    if (match($0, /"ratio":[0-9.]+/))
+                      print substr($0, RSTART + 8, RLENGTH - 8) }' \
+             bench/out/BENCH_view_refresh.json)"
+if [[ -n "${ack_ratio}" ]] && \
+   awk -v r="${ack_ratio}" 'BEGIN { exit !(r < 1.5) }'; then
+  echo "check.sh: WARNING — feedback-ack speedup ${ack_ratio}x < 1.5x"
+fi
+
 if [[ "${gate_failed}" == "1" ]]; then
   echo "check.sh: FAIL — gated kernel regressed >25% vs committed baseline"
   exit 1

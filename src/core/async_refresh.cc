@@ -1,0 +1,202 @@
+#include "core/async_refresh.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace q::core {
+
+AsyncRefreshScheduler::AsyncRefreshScheduler(
+    RefreshEngine* engine, util::ThreadPool* pool, int dedicated_threads,
+    const graph::SearchGraph* base, const relational::Catalog* catalog,
+    const text::TextIndex* index, graph::CostModel* model,
+    const graph::WeightVector* weights)
+    : engine_(engine),
+      owned_pool_(pool == nullptr || dedicated_threads > 0
+                      ? std::make_unique<util::ThreadPool>(
+                            std::max(1, dedicated_threads))
+                      : nullptr),
+      pool_(owned_pool_ != nullptr ? owned_pool_.get() : pool),
+      base_(base),
+      catalog_(catalog),
+      index_(index),
+      model_(model),
+      weights_(weights),
+      queue_(pool_) {}
+
+AsyncRefreshScheduler::~AsyncRefreshScheduler() { queue_.Drain(); }
+
+void AsyncRefreshScheduler::TrackView(std::size_t slot,
+                                      query::TopKView* view) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (views_.size() <= slot) {
+    views_.resize(slot + 1, nullptr);
+    validated_.resize(slot + 1, 0);
+  }
+  views_[slot] = view;
+  validated_[slot] = epoch_;
+}
+
+void AsyncRefreshScheduler::NotifyBaseChanged() {
+  std::vector<std::size_t> repairs;
+  std::vector<std::size_t> serial;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.feedback_rounds;
+    ++epoch_;
+    engine_->BeginAsyncRound(*base_, *weights_);
+    for (std::size_t slot = 0; slot < views_.size(); ++slot) {
+      if (queue_.Busy(slot)) {
+        // A repair is in flight or parked: its engine slot is not safe to
+        // classify from here, and it may have started from an older
+        // frozen epoch. Queue another pass — the queue coalesces it away
+        // if the pending one has not started yet.
+        repairs.push_back(slot);
+        continue;
+      }
+      switch (engine_->ClassifyViewForAsync(slot, *base_, *weights_)) {
+        case AsyncViewClass::kUpToDate:
+          validated_[slot] = epoch_;
+          break;
+        case AsyncViewClass::kValidatedWithoutSearch:
+          // Delta-proven no-op or relevance-gated: the published output
+          // is provably what a fresh search would return, so the view is
+          // fresh at this epoch without running one.
+          ++stats_.validations_without_search;
+          validated_[slot] = epoch_;
+          break;
+        case AsyncViewClass::kRepair:
+          repairs.push_back(slot);
+          break;
+        case AsyncViewClass::kSerialOnly:
+          serial.push_back(slot);
+          break;
+      }
+    }
+    if (!repairs.empty()) {
+      // Freeze the weight vector for this epoch's repairs: the copy
+      // equals the live vector (values and journal) right now and never
+      // changes, so repairs can read it while the feedback thread keeps
+      // applying MIRA updates to the live one. Skipped when every view
+      // validated in place — the copy is O(features + journal) and would
+      // sit on the ack's critical path for nothing. (Busy views are in
+      // `repairs`, so any task that will re-run gets a fresh copy.)
+      frozen_weights_ =
+          std::make_shared<const graph::WeightVector>(*weights_);
+    }
+  }
+  cv_.notify_all();
+
+  if (!serial.empty()) {
+    // Rebuilds mutate the shared feature space (and structural
+    // propagation the cached query graph), which concurrent repairs may
+    // be reading: quiesce first. The owner's feedback lock keeps new
+    // notifications out while we run.
+    queue_.Drain();
+    for (std::size_t slot : serial) {
+      util::Status status = engine_->RefreshView(
+          slot, *base_, *catalog_, *index_, model_, *weights_);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.serial_repairs;
+      if (status.ok()) {
+        validated_[slot] = epoch_;
+      } else if (repair_error_.ok()) {
+        repair_error_ = status;
+      }
+    }
+    cv_.notify_all();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t slot : repairs) {
+      ++stats_.repairs_scheduled;
+      queue_.Submit(slot, [this, slot] { RepairOne(slot); });
+    }
+  }
+}
+
+void AsyncRefreshScheduler::RepairOne(std::size_t slot) {
+  std::uint64_t target = 0;
+  std::shared_ptr<const graph::WeightVector> frozen;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.repairs_run;
+    // Reconcile to the *latest* epoch, not the one that queued us: the
+    // frozen copy carries the full journal, so a repair that absorbed
+    // two feedback updates commits both — exactly what coalescing means.
+    target = epoch_;
+    frozen = frozen_weights_;
+  }
+  util::Status status =
+      engine_->RepairViewAsync(slot, *base_, *catalog_, *frozen);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status.ok()) {
+      validated_[slot] = std::max(validated_[slot], target);
+    } else if (repair_error_.ok()) {
+      // Sticky until a SyncBarrier repairs the view synchronously (its
+      // slot never committed, so the barrier retries from scratch).
+      repair_error_ = status;
+    }
+  }
+  cv_.notify_all();
+}
+
+query::ViewResult AsyncRefreshScheduler::Read(std::size_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  query::ViewResult result;
+  // Untracked slots read as empty (state == nullptr), not UB.
+  if (slot >= views_.size() || views_[slot] == nullptr) return result;
+  result.state = views_[slot]->Snapshot();
+  result.generation = validated_[slot];
+  result.stale = validated_[slot] < epoch_;
+  return result;
+}
+
+bool AsyncRefreshScheduler::WaitFresh(std::size_t slot,
+                                      std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (slot >= views_.size() || views_[slot] == nullptr) return false;
+  const std::uint64_t target = epoch_;
+  cv_.wait_for(lock, timeout, [&] {
+    return validated_[slot] >= target || !repair_error_.ok();
+  });
+  return validated_[slot] >= target;
+}
+
+util::Status AsyncRefreshScheduler::Drain() {
+  queue_.Drain();
+  std::lock_guard<std::mutex> lock(mu_);
+  return repair_error_;
+}
+
+void AsyncRefreshScheduler::Quiesce() { queue_.Drain(); }
+
+util::Status AsyncRefreshScheduler::SyncBarrier() {
+  queue_.Drain();
+  util::Status status =
+      engine_->RefreshAll(*base_, *catalog_, *index_, model_, *weights_);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.sync_barriers;
+  ++epoch_;
+  if (status.ok()) {
+    for (std::size_t slot = 0; slot < validated_.size(); ++slot) {
+      validated_[slot] = epoch_;
+    }
+    repair_error_ = util::Status::OK();
+  }
+  cv_.notify_all();
+  return status;
+}
+
+std::uint64_t AsyncRefreshScheduler::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+AsyncRefreshStats AsyncRefreshScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace q::core

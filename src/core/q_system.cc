@@ -55,6 +55,13 @@ void QSystem::EnsureSteinerPool() {
   }
 }
 
+void QSystem::EnsureScheduler() {
+  if (!config_.async_refresh || scheduler_ != nullptr) return;
+  scheduler_ = std::make_unique<AsyncRefreshScheduler>(
+      &refresh_, steiner_pool_.get(), config_.async_repair_threads, &graph_,
+      &catalog_, &index_, &model_, &weights_);
+}
+
 std::vector<match::Matcher*> QSystem::EnabledMatchers() {
   std::vector<match::Matcher*> matchers;
   if (config_.use_metadata_matcher) matchers.push_back(metadata_matcher_.get());
@@ -64,6 +71,16 @@ std::vector<match::Matcher*> QSystem::EnabledMatchers() {
 
 util::Status QSystem::RegisterSource(
     std::shared_ptr<relational::DataSource> source) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  return RegisterSourceLocked(std::move(source));
+}
+
+util::Status QSystem::RegisterSourceLocked(
+    std::shared_ptr<relational::DataSource> source) {
+  // Structural mutation: the catalog, index, and graph are read lock-free
+  // by in-flight repairs, so quiesce them first (the feedback lock keeps
+  // new ones from being scheduled meanwhile).
+  if (scheduler_ != nullptr) scheduler_->Quiesce();
   Q_RETURN_NOT_OK(catalog_.AddSource(source));
   for (const auto& table : source->tables()) {
     index_.IndexTable(*table);
@@ -75,6 +92,13 @@ util::Status QSystem::RegisterSource(
 
 util::Status QSystem::AddAssociations(
     const std::vector<match::AlignmentCandidate>& candidates) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  return AddAssociationsLocked(candidates);
+}
+
+util::Status QSystem::AddAssociationsLocked(
+    const std::vector<match::AlignmentCandidate>& candidates) {
+  if (scheduler_ != nullptr) scheduler_->Quiesce();
   for (const match::AlignmentCandidate& c : candidates) {
     auto na = graph_.FindAttributeNode(c.a);
     auto nb = graph_.FindAttributeNode(c.b);
@@ -140,14 +164,15 @@ void QSystem::ReconcileMissingMatcherFeatures() {
 }
 
 util::Status QSystem::RunInitialAlignment() {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
   std::vector<const relational::Table*> tables;
   for (const auto& t : catalog_.AllTables()) tables.push_back(t.get());
   for (match::Matcher* matcher : EnabledMatchers()) {
     Q_ASSIGN_OR_RETURN(std::vector<match::AlignmentCandidate> candidates,
                        matcher->InduceAlignments(tables, config_.top_y));
-    Q_RETURN_NOT_OK(AddAssociations(candidates));
+    Q_RETURN_NOT_OK(AddAssociationsLocked(candidates));
   }
-  return RefreshAllViews();
+  return RefreshAllViewsLocked();
 }
 
 align::AlignContext QSystem::ContextFromView(
@@ -186,22 +211,28 @@ util::Result<align::AlignerStats> QSystem::AlignAgainstViews(
       for (auto& c : candidates) all.push_back(std::move(c));
     }
   }
-  Q_RETURN_NOT_OK(
-      AddAssociations(match::TopYPerAttribute(std::move(all), config_.top_y)));
+  Q_RETURN_NOT_OK(AddAssociationsLocked(
+      match::TopYPerAttribute(std::move(all), config_.top_y)));
   return stats;
 }
 
 util::Result<align::AlignerStats> QSystem::RegisterAndAlignSource(
     std::shared_ptr<relational::DataSource> source) {
-  Q_RETURN_NOT_OK(RegisterSource(source));
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  Q_RETURN_NOT_OK(RegisterSourceLocked(source));
   Q_ASSIGN_OR_RETURN(align::AlignerStats stats, AlignAgainstViews(*source));
-  Q_RETURN_NOT_OK(RefreshAllViews());
+  Q_RETURN_NOT_OK(RefreshAllViewsLocked());
   return stats;
 }
 
 util::Result<std::size_t> QSystem::CreateView(
     std::vector<std::string> keywords) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
   EnsureSteinerPool();
+  EnsureScheduler();
+  // Registration grows the engine's slot table and the initial refresh
+  // interns features: both require quiescence in async mode.
+  if (scheduler_ != nullptr) scheduler_->Quiesce();
   auto view = std::make_unique<query::TopKView>(std::move(keywords),
                                                 config_.view);
   // Register-then-refresh keeps the new view's CSR snapshot warm for the
@@ -213,16 +244,59 @@ util::Result<std::size_t> QSystem::CreateView(
     refresh_.UnregisterLastView();
     return status;
   }
+  if (scheduler_ != nullptr) scheduler_->TrackView(slot, view.get());
   views_.push_back(std::move(view));
   return views_.size() - 1;
 }
 
 util::Status QSystem::RefreshAllViews() {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  return RefreshAllViewsLocked();
+}
+
+util::Status QSystem::RefreshAllViewsLocked() {
+  if (scheduler_ != nullptr) return scheduler_->SyncBarrier();
   return refresh_.RefreshAll(graph_, catalog_, index_, &model_, weights_);
+}
+
+util::Status QSystem::RefreshAfterFeedbackLocked() {
+  if (scheduler_ != nullptr) {
+    // The ack path: journals are appended, the scheduler classifies and
+    // queues repairs, and feedback returns without waiting for searches.
+    scheduler_->NotifyBaseChanged();
+    return util::Status::OK();
+  }
+  return RefreshAllViewsLocked();
+}
+
+query::ViewResult QSystem::ReadView(std::size_t id) const {
+  // Unknown ids return an empty result (state == nullptr) rather than
+  // UB, mirroring the Status the mutating APIs return. The async path
+  // bounds-checks under the scheduler lock (its tracked set is what a
+  // concurrent CreateView grows).
+  if (scheduler_ != nullptr) return scheduler_->Read(id);
+  if (id >= views_.size()) return query::ViewResult{};
+  query::ViewResult result;
+  result.state = views_[id]->Snapshot();
+  result.generation = refresh_.generation();
+  result.stale = false;
+  return result;
+}
+
+bool QSystem::WaitViewFresh(std::size_t id,
+                            std::chrono::milliseconds timeout) {
+  if (scheduler_ != nullptr) return scheduler_->WaitFresh(id, timeout);
+  return id < views_.size();
+}
+
+util::Status QSystem::DrainRefreshes() {
+  if (scheduler_ == nullptr) return util::Status::OK();
+  return scheduler_->Drain();
 }
 
 util::Status QSystem::ApplyFeedback(std::size_t view_id,
                                     const steiner::SteinerTree& endorsed) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
   if (view_id >= views_.size()) {
     return util::Status::InvalidArgument("no such view");
   }
@@ -232,25 +306,29 @@ util::Status QSystem::ApplyFeedback(std::size_t view_id,
                               &weights_);
   Q_RETURN_NOT_OK(info.status());
   log_.Record(feedback::FeedbackEvent{v.keywords()});
-  return RefreshAllViews();
+  return RefreshAfterFeedbackLocked();
 }
 
 util::Status QSystem::ApplyInvalidFeedback(std::size_t view_id,
                                            std::size_t row_index) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
   if (view_id >= views_.size()) {
     return util::Status::InvalidArgument("no such view");
   }
   query::TopKView& v = *views_[view_id];
-  if (row_index >= v.results().rows.size()) {
+  // Read through one snapshot: rows index queries by position, and a
+  // concurrent repair publishing mid-call must not tear that pairing.
+  auto state = v.Snapshot();
+  if (row_index >= state->results.rows.size()) {
     return util::Status::OutOfRange("no such result row");
   }
   // Generalize the tuple to its originating query tree via provenance.
-  std::size_t bad_query = v.results().rows[row_index].query_index;
-  const steiner::SteinerTree& bad_tree = v.queries()[bad_query].tree;
+  std::size_t bad_query = state->results.rows[row_index].query_index;
+  const steiner::SteinerTree& bad_tree = state->queries[bad_query].tree;
   // Target: the cheapest tree that is not the invalid one; the MIRA
   // margin then pushes the invalid tree's cost above it.
   const steiner::SteinerTree* target = nullptr;
-  for (const auto& tree : v.trees()) {
+  for (const auto& tree : state->trees) {
     if (!(tree == bad_tree)) {
       target = &tree;
       break;
@@ -264,24 +342,26 @@ util::Status QSystem::ApplyInvalidFeedback(std::size_t view_id,
                                      *target, &weights_);
   Q_RETURN_NOT_OK(info.status());
   log_.Record(feedback::FeedbackEvent{v.keywords()});
-  return RefreshAllViews();
+  return RefreshAfterFeedbackLocked();
 }
 
 util::Status QSystem::ApplyRankingFeedback(std::size_t view_id,
                                            std::size_t better_row,
                                            std::size_t worse_row) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
   if (view_id >= views_.size()) {
     return util::Status::InvalidArgument("no such view");
   }
   query::TopKView& v = *views_[view_id];
-  const auto& rows = v.results().rows;
+  auto state = v.Snapshot();
+  const auto& rows = state->results.rows;
   if (better_row >= rows.size() || worse_row >= rows.size()) {
     return util::Status::OutOfRange("no such result row");
   }
   const steiner::SteinerTree& better =
-      v.queries()[rows[better_row].query_index].tree;
+      state->queries[rows[better_row].query_index].tree;
   const steiner::SteinerTree& worse =
-      v.queries()[rows[worse_row].query_index].tree;
+      state->queries[rows[worse_row].query_index].tree;
   if (better == worse) {
     return util::Status::InvalidArgument(
         "both rows come from the same query; ranking constraint is vacuous");
@@ -290,17 +370,19 @@ util::Status QSystem::ApplyRankingFeedback(std::size_t view_id,
                                      &weights_);
   Q_RETURN_NOT_OK(info.status());
   log_.Record(feedback::FeedbackEvent{v.keywords()});
-  return RefreshAllViews();
+  return RefreshAfterFeedbackLocked();
 }
 
 util::Result<bool> QSystem::ApplyGoldFeedback(
     std::size_t view_id, const feedback::SimulatedUser& user) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
   if (view_id >= views_.size()) {
     return util::Status::InvalidArgument("no such view");
   }
   query::TopKView& v = *views_[view_id];
+  auto state = v.Snapshot();
   auto endorsed =
-      user.EndorseForLearning(v.query_graph(), v.trees(), weights_);
+      user.EndorseForLearning(v.query_graph(), state->trees, weights_);
   if (!endorsed.has_value()) return false;
   // Sec. 4: the user "may notice a few results that seem either clearly
   // correct or clearly implausible". The expert marks the endorsed answer
@@ -311,7 +393,7 @@ util::Result<bool> QSystem::ApplyGoldFeedback(
   // query endorses.
   std::vector<steiner::SteinerTree> implausible;
   std::vector<steiner::SteinerTree> valid;
-  for (const steiner::SteinerTree& t : v.trees()) {
+  for (const steiner::SteinerTree& t : state->trees) {
     if (user.IsGoldConsistent(v.query_graph(), t)) {
       valid.push_back(t);
     } else {
@@ -333,7 +415,7 @@ util::Result<bool> QSystem::ApplyGoldFeedback(
     Q_RETURN_NOT_OK(extra.status());
   }
   log_.Record(feedback::FeedbackEvent{v.keywords()});
-  Q_RETURN_NOT_OK(RefreshAllViews());
+  Q_RETURN_NOT_OK(RefreshAfterFeedbackLocked());
   return true;
 }
 

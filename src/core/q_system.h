@@ -1,12 +1,15 @@
 #ifndef Q_CORE_Q_SYSTEM_H_
 #define Q_CORE_Q_SYSTEM_H_
 
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "align/aligner.h"
 #include "align/view_context.h"
+#include "core/async_refresh.h"
 #include "core/refresh_engine.h"
 #include "feedback/feedback_log.h"
 #include "feedback/simulated_user.h"
@@ -60,6 +63,20 @@ struct QSystemConfig {
   // docs/query_engine.md, "Relevance-scoped refresh"), only refresh
   // cost; off is the PR 3 delta-recost behavior.
   bool relevance_gating = true;
+  // Async view refresh behind the feedback loop (docs/query_engine.md,
+  // "Async refresh contract"): ApplyFeedback* returns once the weight
+  // journals are appended and the relevance gate has classified views;
+  // affected views are repaired in the background while reads keep
+  // serving the last committed, epoch-tagged results (ReadView /
+  // WaitViewFresh / DrainRefreshes below). At quiescence, results are
+  // bit-identical to the synchronous mode. Off (default) keeps the
+  // fully synchronous behavior: feedback returns only after every view
+  // is repaired.
+  bool async_refresh = false;
+  // Worker threads for async repair tasks: 0 shares the steiner pool
+  // (with a 1-thread fallback when that pool does not exist), > 0 gives
+  // the scheduler a dedicated pool of that size.
+  int async_repair_threads = 0;
 };
 
 // The Q system facade (Fig. 1): owns the catalog, text index, search
@@ -107,11 +124,36 @@ class QSystem {
   // Refreshes every view through the batched RefreshEngine: one CSR
   // snapshot reconciliation per view per generation (weight-only updates
   // re-cost in place), searches fanned out across the steiner pool.
-  // Output is bit-identical to refreshing each view independently.
+  // Output is bit-identical to refreshing each view independently. In
+  // async mode this is the sync barrier: it quiesces in-flight repairs
+  // first and validates every view at a fresh epoch (retrying any view
+  // whose background repair failed).
   util::Status RefreshAllViews();
+
+  // Epoch-tagged, never-blocking read of a view's last committed output
+  // (the async serving path; also valid in sync mode, where results are
+  // never stale). The returned snapshot stays alive and internally
+  // consistent for as long as the caller holds it, even across
+  // concurrent repairs.
+  query::ViewResult ReadView(std::size_t id) const;
+
+  // Async mode: blocks until view `id` reflects every feedback update
+  // committed before this call, or `timeout` elapses (returns false).
+  // Sync mode: views are always fresh; returns true.
+  bool WaitViewFresh(std::size_t id, std::chrono::milliseconds timeout);
+
+  // Async mode: waits for all queued repairs and returns the first
+  // repair failure since the last successful sync barrier (stale views
+  // behind a failure are retried by RefreshAllViews). Sync mode: no-op.
+  util::Status DrainRefreshes();
 
   // The batched-refresh substrate (snapshot generations + stats).
   const RefreshEngine& refresh_engine() const { return refresh_; }
+
+  // The async scheduler (null until the first CreateView in async mode).
+  const AsyncRefreshScheduler* async_scheduler() const {
+    return scheduler_.get();
+  }
 
   // --- feedback -------------------------------------------------------------
   // The user endorsed the answer produced by `endorsed` in view
@@ -159,6 +201,19 @@ class QSystem {
   // Lazily creates the shared top-k thread pool (first view creation) per
   // QSystemConfig::steiner_threads and wires it into config_.view.
   void EnsureSteinerPool();
+  // Lazily creates the async scheduler (first view creation, async mode).
+  void EnsureScheduler();
+  // Implementations for callers already holding feedback_mu_ (the public
+  // wrappers lock; compound operations like RegisterAndAlignSource lock
+  // once and compose these).
+  util::Status RegisterSourceLocked(
+      std::shared_ptr<relational::DataSource> source);
+  util::Status AddAssociationsLocked(
+      const std::vector<match::AlignmentCandidate>& candidates);
+  util::Status RefreshAllViewsLocked();
+  // Post-MIRA refresh: async mode acks via the scheduler, sync mode
+  // refreshes in line.
+  util::Status RefreshAfterFeedbackLocked();
   // Adds/removes per-matcher missing-vote penalty features so every
   // association edge carries, for each enabled matcher, either its
   // confidence bin or the missing penalty (see Sec. 3.4 discussion in
@@ -168,6 +223,11 @@ class QSystem {
   align::AlignContext ContextFromView(const query::TopKView& view) const;
 
   QSystemConfig config_;
+  // Serializes every base-state mutation (feedback, registration,
+  // association installation, view creation, sync barriers) against each
+  // other and against the async scheduler's classification step. Reads
+  // (ReadView / accessors at quiescence) never take it.
+  std::mutex feedback_mu_;
   // Shared by all views' top-k searches; must outlive views_.
   std::unique_ptr<util::ThreadPool> steiner_pool_;
   graph::FeatureSpace space_;
@@ -185,6 +245,9 @@ class QSystem {
   std::vector<std::unique_ptr<query::TopKView>> views_;
   // Parallel to views_: views_[i] is registered as refresh_ slot i.
   RefreshEngine refresh_;
+  // Declared last so it is destroyed first: its destructor drains every
+  // in-flight repair while the engine, views, and pools are still alive.
+  std::unique_ptr<AsyncRefreshScheduler> scheduler_;
 };
 
 }  // namespace q::core

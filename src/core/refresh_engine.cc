@@ -74,9 +74,62 @@ void RefreshEngine::ObserveRevisions(const graph::SearchGraph& base,
   }
 }
 
+void RefreshEngine::MergeStats(const RefreshEngineStats& delta) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.snapshots_built += delta.snapshots_built;
+  stats_.snapshots_recosted += delta.snapshots_recosted;
+  stats_.refreshes_skipped += delta.refreshes_skipped;
+  stats_.searches_run += delta.searches_run;
+  stats_.views_skipped_delta += delta.views_skipped_delta;
+  stats_.views_delta_recost += delta.views_delta_recost;
+  stats_.views_full_recost += delta.views_full_recost;
+  stats_.edges_repriced += delta.edges_repriced;
+  stats_.views_skipped_irrelevant += delta.views_skipped_irrelevant;
+  stats_.relevance_checks += delta.relevance_checks;
+  stats_.relevance_fallthroughs += delta.relevance_fallthroughs;
+  stats_.structural_edges_propagated += delta.structural_edges_propagated;
+  stats_.sp_cache_entries_retained += delta.sp_cache_entries_retained;
+  stats_.sp_cache_entries_dropped += delta.sp_cache_entries_dropped;
+}
+
+RefreshEngine::GateOutcome RefreshEngine::RunRelevanceGate(
+    Slot* slot, const graph::WeightVector& weights,
+    const std::vector<graph::FeatureDelta>& deltas,
+    RefreshEngineStats* stats) {
+  query::TopKView& view = *slot->view;
+  ++stats->relevance_checks;
+  // Call-local: the gate runs concurrently from distinct slots' repair
+  // tasks, so no engine-level scratch may back it.
+  std::vector<steiner::RepricedEdge> preview;
+  if (slot->engine->PreviewDelta(view.query_graph().graph, weights, deltas,
+                                 &preview)) {
+    if (preview.empty()) {
+      // Nothing would move: identical to the delta-proven no-op skip, and
+      // the snapshot is already reconciled.
+      ++stats->views_skipped_delta;
+      return GateOutcome::kNothingRepriced;
+    }
+    RelevanceDecision decision =
+        ClassifyDeltaRelevance(view.certificate(), preview);
+    if (decision.skip) {
+      // Edges of this snapshot did move, but none the output depends on.
+      ++stats->views_skipped_irrelevant;
+      return GateOutcome::kSkip;
+    }
+    ++stats->relevance_fallthroughs;
+  } else {
+    // Dense delta: the preview declined (RecostDelta's threshold), so the
+    // view falls through to the wholesale paths. Counted so
+    // checks == skips + fallthroughs always holds.
+    ++stats->relevance_fallthroughs;
+  }
+  return GateOutcome::kFallthrough;
+}
+
 util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
-    Slot* slot, const graph::SearchGraph& base, const text::TextIndex& index,
-    graph::CostModel* model, const graph::WeightVector& weights) {
+    Slot* slot, const graph::SearchGraph& base, const text::TextIndex* index,
+    graph::CostModel* model, const graph::WeightVector& weights,
+    bool allow_rebuild, bool run_gate, RefreshEngineStats* stats) {
   query::TopKView& view = *slot->view;
   const bool graph_moved = !slot->built ||
                            slot->graph_revision != base.revision();
@@ -106,6 +159,14 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
   // --- classify the structural delta ------------------------------------
   bool rebuild = !slot->built || !weight_independent_topology;
   std::vector<graph::EdgeId> mutated_edges;
+  if ((rebuild || graph_moved) && !allow_rebuild) {
+    // Async repairs handle pure weight deltas only: a rebuild mutates the
+    // shared feature space and a structural propagation mutates the
+    // cached query graph other threads may be reading. The scheduler
+    // routes these through the serial path instead.
+    return util::Status::Internal(
+        "view needs the serial refresh path (rebuild or structural delta)");
+  }
   if (!rebuild && graph_moved) {
     std::vector<graph::GraphDelta> graph_deltas;
     if (!base.DeltaSince(slot->graph_revision, &graph_deltas)) {
@@ -132,7 +193,7 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
       // postings stale, so drop the index (rebuilt from the patched
       // graph on the next delta re-cost).
       if (view.PropagateBaseEdges(base, mutated_edges)) {
-        stats_.structural_edges_propagated += mutated_edges.size();
+        stats->structural_edges_propagated += mutated_edges.size();
         slot->engine->InvalidateFeatureIndex();
         slot->dirty = true;
       } else {
@@ -142,10 +203,10 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
   }
 
   if (rebuild) {
-    Q_RETURN_NOT_OK(view.RebuildQueryGraph(base, index, model, weights));
+    Q_RETURN_NOT_OK(view.RebuildQueryGraph(base, *index, model, weights));
     slot->engine = std::make_unique<steiner::FastSteinerEngine>(
         view.query_graph().graph, weights, view.config().top_k.use_sp_cache);
-    ++stats_.snapshots_built;
+    ++stats->snapshots_built;
     slot->dirty = true;
     outcome.run_search = true;
     return outcome;
@@ -173,39 +234,24 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
   // the baseline the certificate's gap was computed against), and a
   // certificate stamped by the last search this engine committed (an
   // out-of-band refresh re-stamps it against foreign weights).
-  if (relevance_gating_ && have_weight_deltas && !slot->dirty &&
+  if (run_gate && relevance_gating_ && have_weight_deltas && !slot->dirty &&
       mutated_edges.empty() && view.refreshed() &&
       view.certificate().valid &&
       view.certificate().serial == slot->certificate_serial) {
-    ++stats_.relevance_checks;
-    preview_scratch_.clear();
-    if (slot->engine->PreviewDelta(view.query_graph().graph, weights,
-                                   weight_deltas, &preview_scratch_)) {
-      if (preview_scratch_.empty()) {
-        // Nothing would move: identical to the delta-proven no-op below,
-        // and the snapshot is already reconciled, so commit the observed
+    switch (RunRelevanceGate(slot, weights, weight_deltas, stats)) {
+      case GateOutcome::kNothingRepriced:
+        // The snapshot is already reconciled, so commit the observed
         // revisions without a search.
-        ++stats_.views_skipped_delta;
         outcome.commit_without_search = true;
         return outcome;
-      }
-      RelevanceDecision decision =
-          ClassifyDeltaRelevance(view.certificate(), preview_scratch_);
-      if (decision.skip) {
-        // Edges of this snapshot did move, but none the output depends
-        // on. Skip without committing: the snapshot keeps its baseline
+      case GateOutcome::kSkip:
+        // Skip without committing: the snapshot keeps its baseline
         // costs, and the next refresh replays the journals from the same
         // revisions (certificate staleness accumulates until a delta
         // touches the neighborhood or the journal truncates).
-        ++stats_.views_skipped_irrelevant;
         return outcome;
-      }
-      ++stats_.relevance_fallthroughs;
-    } else {
-      // Dense delta: the preview declined (RecostDelta's threshold), so
-      // the view falls through to the wholesale paths. Counted so
-      // checks == skips + fallthroughs always holds.
-      ++stats_.relevance_fallthroughs;
+      case GateOutcome::kFallthrough:
+        break;
     }
   }
 
@@ -213,9 +259,9 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
     auto delta = slot->engine->RecostDelta(view.query_graph().graph, weights,
                                            weight_deltas, mutated_edges);
     if (delta.applied) {
-      stats_.edges_repriced += delta.edges_repriced;
-      stats_.sp_cache_entries_retained += delta.cache_entries_retained;
-      stats_.sp_cache_entries_dropped += delta.cache_entries_dropped;
+      stats->edges_repriced += delta.edges_repriced;
+      stats->sp_cache_entries_retained += delta.cache_entries_retained;
+      stats->sp_cache_entries_dropped += delta.cache_entries_dropped;
       if (delta.edges_repriced == 0 && !was_dirty) {
         // No edge of this view's snapshot moved: every downstream read
         // (tree search, compilation, ranked union) prices query-graph
@@ -225,13 +271,13 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
         // Forbidden when the slot entered dirty: a previous
         // failed-search attempt already patched the snapshot, so
         // "nothing repriced" does not mean the view's results match it.
-        ++stats_.views_skipped_delta;
+        ++stats->views_skipped_delta;
         outcome.commit_without_search = true;
         return outcome;
       }
       if (delta.edges_repriced > 0) {
-        ++stats_.snapshots_recosted;
-        ++stats_.views_delta_recost;
+        ++stats->snapshots_recosted;
+        ++stats->views_delta_recost;
         slot->dirty = true;
       }
       outcome.run_search = true;
@@ -242,8 +288,8 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
   // Weight journal truncated or the delta was dense: re-cost wholesale in
   // place (still no graph copy / text-index matching / CSR extraction).
   slot->engine->Recost(view.query_graph().graph, weights);
-  ++stats_.snapshots_recosted;
-  ++stats_.views_full_recost;
+  ++stats->snapshots_recosted;
+  ++stats->views_full_recost;
   slot->dirty = true;
   outcome.run_search = true;
   return outcome;
@@ -269,18 +315,24 @@ util::Status RefreshEngine::RefreshAll(const graph::SearchGraph& base,
   // Phase 1 (serial, in registration order — feature interning follows
   // the same order as N independent refreshes would): reconcile every
   // snapshot with the current base state.
+  RefreshEngineStats local;
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
-    Q_ASSIGN_OR_RETURN(PrepareOutcome outcome,
-                       PrepareSlot(&slots_[i], base, index, model, weights));
-    if (outcome.run_search) {
+    auto prepared = PrepareSlot(&slots_[i], base, &index, model, weights,
+                                /*allow_rebuild=*/true, /*run_gate=*/true,
+                                &local);
+    if (!prepared.ok()) {
+      MergeStats(local);
+      return prepared.status();
+    }
+    if (prepared->run_search) {
       pending.push_back(i);
     } else {
-      ++stats_.refreshes_skipped;
+      ++local.refreshes_skipped;
       // A delta-proven no-op still reconciled the slot: commit so the
       // journals are not replayed (and the proof redone) next refresh.
       // (Relevance skips deliberately do NOT commit — see PrepareSlot.)
-      if (outcome.commit_without_search) {
+      if (prepared->commit_without_search) {
         CommitSlot(&slots_[i], base, weights, /*searched=*/false);
       }
     }
@@ -305,7 +357,8 @@ util::Status RefreshEngine::RefreshAll(const graph::SearchGraph& base,
   } else {
     for (std::size_t j = 0; j < pending.size(); ++j) run_one(j);
   }
-  stats_.searches_run += pending.size();
+  local.searches_run += pending.size();
+  MergeStats(local);
   // Commit only the slots whose search succeeded; failed ones keep their
   // old revisions and are re-prepared (and re-searched) next refresh
   // instead of being skipped as up to date.
@@ -331,16 +384,130 @@ util::Status RefreshEngine::RefreshView(std::size_t slot_id,
   }
   ObserveRevisions(base, weights);
   Slot& slot = slots_[slot_id];
-  Q_ASSIGN_OR_RETURN(PrepareOutcome outcome,
-                     PrepareSlot(&slot, base, index, model, weights));
-  if (!outcome.run_search) {
-    ++stats_.refreshes_skipped;
-    if (outcome.commit_without_search) {
+  RefreshEngineStats local;
+  auto prepared = PrepareSlot(&slot, base, &index, model, weights,
+                              /*allow_rebuild=*/true, /*run_gate=*/true,
+                              &local);
+  if (!prepared.ok()) {
+    MergeStats(local);
+    return prepared.status();
+  }
+  if (!prepared->run_search) {
+    ++local.refreshes_skipped;
+    MergeStats(local);
+    if (prepared->commit_without_search) {
       CommitSlot(&slot, base, weights, /*searched=*/false);
     }
     return util::Status::OK();
   }
-  ++stats_.searches_run;
+  ++local.searches_run;
+  MergeStats(local);
+  Q_RETURN_NOT_OK(slot.view->RunSearch(catalog, weights, slot.engine.get()));
+  CommitSlot(&slot, base, weights, /*searched=*/true);
+  return util::Status::OK();
+}
+
+AsyncViewClass RefreshEngine::ClassifyViewForAsync(
+    std::size_t slot_id, const graph::SearchGraph& base,
+    const graph::WeightVector& weights) {
+  Slot& slot = slots_[slot_id];
+  query::TopKView& view = *slot.view;
+  RefreshEngineStats local;
+  AsyncViewClass result;
+
+  const bool weight_independent_topology =
+      view.config().query_graph.association_cost_threshold ==
+      std::numeric_limits<double>::infinity();
+  const bool graph_moved = !slot.built ||
+                           slot.graph_revision != base.revision();
+  const bool weights_moved = !slot.built ||
+                             slot.weight_revision != weights.revision();
+
+  if (!slot.built || !weight_independent_topology) {
+    // First-touch build, or topology that depends on the weights: every
+    // reconcile re-expands the query graph.
+    result = AsyncViewClass::kSerialOnly;
+  } else if (!graph_moved && !weights_moved && view.refreshed()) {
+    ++local.refreshes_skipped;
+    result = AsyncViewClass::kUpToDate;
+  } else if (graph_moved) {
+    // Structural deltas (even in-place edge mutations) patch the cached
+    // query graph, which the feedback thread reads for MIRA updates:
+    // serial path only.
+    result = AsyncViewClass::kSerialOnly;
+  } else if (slot.dirty) {
+    // A previous repair mutated the snapshot without its search landing;
+    // the gate's baseline is gone, but the in-place repair path replays
+    // the journals fine.
+    result = AsyncViewClass::kRepair;
+  } else {
+    std::vector<graph::FeatureDelta> deltas;
+    if (!weights.DeltaSince(slot.weight_revision, &deltas)) {
+      result = AsyncViewClass::kRepair;  // truncated: repair re-costs fully
+    } else {
+      graph::CoalesceFeatureDeltas(&deltas);
+      if (relevance_gating_ && view.refreshed() &&
+          view.certificate().valid &&
+          view.certificate().serial == slot.certificate_serial) {
+        switch (RunRelevanceGate(&slot, weights, deltas, &local)) {
+          case GateOutcome::kNothingRepriced:
+            // Same rule as the serial paths: a delta-proven no-op commits
+            // so the journals are not replayed next round.
+            CommitSlot(&slot, base, weights, /*searched=*/false);
+            ++local.refreshes_skipped;
+            result = AsyncViewClass::kValidatedWithoutSearch;
+            break;
+          case GateOutcome::kSkip:
+            // Lazy repair: no commit, staleness accumulates against the
+            // same baseline (see PrepareSlot).
+            ++local.refreshes_skipped;
+            result = AsyncViewClass::kValidatedWithoutSearch;
+            break;
+          case GateOutcome::kFallthrough:
+            result = AsyncViewClass::kRepair;
+            break;
+        }
+      } else {
+        result = AsyncViewClass::kRepair;
+      }
+    }
+  }
+  MergeStats(local);
+  return result;
+}
+
+util::Status RefreshEngine::RepairViewAsync(std::size_t slot_id,
+                                            const graph::SearchGraph& base,
+                                            const relational::Catalog& catalog,
+                                            const graph::WeightVector& weights) {
+  if (slot_id >= slots_.size()) {
+    return util::Status::InvalidArgument("no such view slot");
+  }
+  Slot& slot = slots_[slot_id];
+  RefreshEngineStats local;
+  // run_gate=false: the scheduler's classification already ran the gate
+  // for this delta and decided a repair is needed — re-previewing here
+  // would duplicate the work and double-count the gate stats vs sync
+  // mode. (Deltas accumulated since classification are simply repaired;
+  // the queued search was unavoidable anyway.)
+  auto prepared = PrepareSlot(&slot, base, /*index=*/nullptr,
+                              /*model=*/nullptr, weights,
+                              /*allow_rebuild=*/false, /*run_gate=*/false,
+                              &local);
+  if (!prepared.ok()) {
+    MergeStats(local);
+    return prepared.status();
+  }
+  if (!prepared->run_search) {
+    ++local.refreshes_skipped;
+    MergeStats(local);
+    if (prepared->commit_without_search) {
+      CommitSlot(&slot, base, weights, /*searched=*/false);
+    }
+    return util::Status::OK();
+  }
+  ++local.searches_run;
+  MergeStats(local);
   Q_RETURN_NOT_OK(slot.view->RunSearch(catalog, weights, slot.engine.get()));
   CommitSlot(&slot, base, weights, /*searched=*/true);
   return util::Status::OK();

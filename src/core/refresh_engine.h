@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "graph/cost_model.h"
@@ -91,6 +92,32 @@ struct RefreshEngineStats {
   // invalidation across delta re-costs.
   std::size_t sp_cache_entries_retained = 0;
   std::size_t sp_cache_entries_dropped = 0;
+};
+
+// Read-only classification of one view against the current base state,
+// computed by RefreshEngine::ClassifyViewForAsync on the feedback thread
+// so the async scheduler can acknowledge a feedback update before any
+// repair work runs (docs/query_engine.md, "Async refresh contract").
+enum class AsyncViewClass {
+  // Slot revisions match the base state and the view is refreshed:
+  // nothing to do, the published output is current.
+  kUpToDate,
+  // The delta provably cannot change the view's output — either it
+  // repriced no edge of the snapshot (the slot is then committed), or the
+  // relevance certificate proved it irrelevant (the slot is deliberately
+  // left stale, the lazy-repair rule). Either way the published output is
+  // valid for the new epoch without a search.
+  kValidatedWithoutSearch,
+  // A weight-only reconcile is needed and is safe to run as a background
+  // repair task (RepairViewAsync): re-cost in place + re-search, no
+  // query-graph rebuild, no shared-feature-space mutation.
+  kRepair,
+  // The view needs the serial path (first-touch build, weight-dependent
+  // topology, or a structural/graph delta): repairing it re-expands the
+  // query graph, which mutates the shared feature space and the view's
+  // cached query graph — unsafe concurrent with other views' searches.
+  // The scheduler must quiesce and route it through RefreshView.
+  kSerialOnly,
 };
 
 // Batched view-refresh substrate (the feedback loop's hot path): owns one
@@ -201,7 +228,49 @@ class RefreshEngine {
   // graph or weight revision moved. Fresh engines start at 0.
   std::uint64_t generation() const { return generation_; }
 
-  const RefreshEngineStats& stats() const { return stats_; }
+  // Counter snapshot (by value: repairs mutate the counters from pool
+  // threads, so a reference would race with them).
+  RefreshEngineStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+
+  // --- async task decomposition (core::AsyncRefreshScheduler) -------------
+  // The scheduler splits RefreshAll's per-view work into a serial
+  // classification step (feedback thread, cheap, read-mostly) and
+  // per-view repair tasks (pool threads). Calling contract: the caller
+  // serializes classification calls, guarantees per-slot exclusivity
+  // between a slot's classification and its repair (no repair in flight
+  // when classifying it), and keeps the base state immutable while any
+  // repair runs. Distinct slots' repairs may run concurrently.
+
+  // Observes the base revisions at the start of one async round (the
+  // same generation bookkeeping RefreshAll does internally).
+  void BeginAsyncRound(const graph::SearchGraph& base,
+                       const graph::WeightVector& weights) {
+    ObserveRevisions(base, weights);
+  }
+
+  // Classifies `slot` against the base state without running any search.
+  // kValidatedWithoutSearch may commit the slot (the delta-proven no-op
+  // case); no other class mutates it beyond engine scratch.
+  AsyncViewClass ClassifyViewForAsync(std::size_t slot,
+                                      const graph::SearchGraph& base,
+                                      const graph::WeightVector& weights);
+
+  // Brings one view up to date in place — delta or full re-cost of its
+  // snapshot plus RunSearch — against `weights`, which is typically the
+  // scheduler's frozen copy of the weight vector at the repair's target
+  // epoch (value- and journal-identical to the live vector at that
+  // revision, immutable afterwards, so repairs never race live MIRA
+  // updates). Never rebuilds the query graph and never touches the
+  // shared cost model or text index; callers must have classified the
+  // slot kRepair (a slot needing the serial path returns an Internal
+  // error and stays repairable via RefreshView).
+  util::Status RepairViewAsync(std::size_t slot,
+                               const graph::SearchGraph& base,
+                               const relational::Catalog& catalog,
+                               const graph::WeightVector& weights);
 
  private:
   struct Slot {
@@ -236,19 +305,49 @@ class RefreshEngine {
     bool commit_without_search = false;
   };
 
+  // Outcome of one relevance-gate preview (eligibility is checked by the
+  // call sites; the helper only runs for eligible slots).
+  enum class GateOutcome {
+    kNothingRepriced,  // preview proved the delta reprices nothing here
+    kSkip,             // certificate proves the output cannot change
+    kFallthrough,      // touched the certificate / slack spent / dense
+  };
+
+  // Runs the relevance gate for a clean slot against a coalesced pure
+  // weight delta, updating `stats` counters. Shared by PrepareSlot and
+  // ClassifyViewForAsync so the two paths can never diverge on what the
+  // gate admits.
+  GateOutcome RunRelevanceGate(Slot* slot,
+                               const graph::WeightVector& weights,
+                               const std::vector<graph::FeatureDelta>& deltas,
+                               RefreshEngineStats* stats);
+
   // Brings `slot`'s query graph + CSR snapshot up to date with (base,
   // weights), classifying the change as rebuild / full re-cost / delta
   // re-cost / skip from the delta journals (see class comment).
-  // Serial-only (may mutate the model's feature space). Does NOT commit
-  // the observed revisions unless the outcome says so — CommitSlot does,
-  // and only after the view's search succeeded, so a failed refresh can
+  // Serial-only unless `allow_rebuild` is false (may mutate the model's
+  // feature space); with `allow_rebuild` false — the async repair path —
+  // any classification that needs the rebuild/structural machinery
+  // returns an Internal error instead (and `index`/`model` may be
+  // null). `run_gate` lets that path skip the relevance gate when the
+  // caller's classification already ran it for this delta (avoiding a
+  // duplicate preview and double-counted gate stats). Stat deltas land
+  // in `stats` (merged by the caller under stats_mu_, so concurrent
+  // repairs don't race). Does NOT commit the
+  // observed revisions unless the outcome says so — CommitSlot does, and
+  // only after the view's search succeeded, so a failed refresh can
   // never be mistaken for an up-to-date one on the next pass (the
   // snapshot work itself is idempotent and simply redone).
   util::Result<PrepareOutcome> PrepareSlot(Slot* slot,
                                            const graph::SearchGraph& base,
-                                           const text::TextIndex& index,
+                                           const text::TextIndex* index,
                                            graph::CostModel* model,
-                                           const graph::WeightVector& weights);
+                                           const graph::WeightVector& weights,
+                                           bool allow_rebuild, bool run_gate,
+                                           RefreshEngineStats* stats);
+
+  // Adds `delta`'s counters into stats_ under stats_mu_.
+  void MergeStats(const RefreshEngineStats& delta);
 
   // `searched` marks a commit that followed a successful RunSearch: the
   // view's certificate now describes this slot's snapshot, so its serial
@@ -270,10 +369,8 @@ class RefreshEngine {
   std::uint64_t last_graph_revision_ = 0;
   std::uint64_t last_weight_revision_ = 0;
   std::vector<Slot> slots_;
-  // Scratch for PreviewDelta results, reused across views (serial phase 1
-  // only).
-  std::vector<steiner::RepricedEdge> preview_scratch_;
-  RefreshEngineStats stats_;
+  mutable std::mutex stats_mu_;
+  RefreshEngineStats stats_;  // guarded by stats_mu_
 };
 
 }  // namespace q::core

@@ -18,11 +18,23 @@ struct MiraConfig {
   //   min ||w - w_prev||^2  s.t.  C(T,w) - C(T_r,w) >= L(T_r,T).
   int max_hildreth_passes = 100;
   double hildreth_tolerance = 1e-9;
-  // After each update, raise the shared default-feature weight until every
-  // learnable edge in the graph costs at least this much (the positivity
-  // constraint of Algorithm 4, maintained through the uniform offset).
+  // After each update, every learnable edge must cost at least this much
+  // (the positivity constraint of Algorithm 4).
   double positivity_epsilon = 1e-4;
   bool enforce_positivity = true;
+  // How positivity is maintained: edges driven below the floor enter the
+  // same Hildreth QP as the margin constraints — one constraint
+  // w · f(e) >= epsilon per violating edge, riding that edge's own
+  // features — re-solved jointly with the margins, for at most this many
+  // add-violators-and-resolve rounds. The legacy alternative (raise the
+  // shared default feature until the minimum clears the floor) is kept
+  // only as a last-resort fallback: the default feature sits on *every*
+  // learnable edge, so a bump turns an otherwise-sparse MIRA delta dense
+  // — snapshot holders must re-cost every view wholesale and the
+  // relevance gate can never skip (the repriced set hits every
+  // certificate). Constraint-based flooring keeps the journal delta on
+  // the handful of features the update actually touched.
+  int max_positivity_rounds = 4;
   // Exclude the shared default feature from the constraint vectors. The
   // default weight is the uniform positivity offset, not a discriminative
   // feature: letting MIRA move it interacts badly with the positivity
@@ -43,6 +55,10 @@ struct MiraUpdateInfo {
   std::size_t constraints = 0;
   std::size_t violated_before = 0;
   std::size_t violated_after = 0;
+  // Edges whose positivity floor entered the QP as constraints.
+  std::size_t positivity_constraints = 0;
+  // Nonzero only when the constraint-based flooring could not restore
+  // positivity and the dense fallback fired (see MiraConfig).
   double default_weight_bump = 0.0;
   // Weight revision observed before / after the update.
   std::uint64_t weight_revision_before = 0;

@@ -54,9 +54,12 @@ bool TopKView::PropagateBaseEdges(const graph::SearchGraph& base,
 util::Status TopKView::RunSearch(const relational::Catalog& catalog,
                                  const graph::WeightVector& weights,
                                  steiner::FastSteinerEngine* shared_engine) {
-  // Build into locals and swap on success only: a mid-search failure must
-  // not leave trees_/queries_/results_ mutually inconsistent (results_
-  // rows index queries_ by position — see ApplyInvalidFeedback).
+  // Build into a fresh snapshot and swap on success only: a mid-search
+  // failure must not leave trees/queries/results mutually inconsistent
+  // (result rows index queries by position — see ApplyInvalidFeedback) —
+  // and concurrent readers holding the previous Snapshot() must keep a
+  // complete result set until the new one is published whole (the
+  // double-buffered half of the async refresh contract).
   steiner::RelevanceCertificate certificate;
   std::vector<steiner::SteinerTree> trees = steiner::TopKSteinerTrees(
       query_graph_.graph, weights, query_graph_.keyword_nodes,
@@ -78,8 +81,9 @@ util::Status TopKView::RunSearch(const relational::Catalog& catalog,
     }
     queries.push_back(std::move(cq));
   }
-  results_ = DisjointUnion(query_graph_, weights, queries, per_query_rows,
-                           config_.union_similarity_threshold);
+  RankedResults results =
+      DisjointUnion(query_graph_, weights, queries, per_query_rows,
+                    config_.union_similarity_threshold);
   // Augment the search certificate with every edge DisjointUnion's
   // schema-unification prices: all edges incident to each select-list
   // attribute's node (FindCompatibleColumn walks them for association
@@ -104,8 +108,15 @@ util::Status TopKView::RunSearch(const relational::Catalog& catalog,
   }
   certificate.serial = ++certificate_serial_;
   certificate_ = std::move(certificate);
-  trees_ = std::move(trees);
-  queries_ = std::move(queries);
+  auto next = std::make_shared<ViewSnapshot>();
+  next->trees = std::move(trees);
+  next->queries = std::move(queries);
+  next->results = std::move(results);
+  next->search_serial = certificate_serial_;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state_ = std::move(next);
+  }
   refreshed_ = true;
   return util::Status::OK();
 }
@@ -117,10 +128,10 @@ double TopKView::Alpha() const {
   // answers, any relevant new source could enter the top-k, so nothing
   // may be pruned.
   std::size_t k = static_cast<std::size_t>(config_.top_k.k);
-  if (!refreshed_ || results_.rows.size() < k) {
+  if (!refreshed_ || state_->results.rows.size() < k) {
     return std::numeric_limits<double>::infinity();
   }
-  return results_.rows[k - 1].cost;
+  return state_->results.rows[k - 1].cost;
 }
 
 }  // namespace q::query

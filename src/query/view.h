@@ -2,7 +2,10 @@
 #define Q_QUERY_VIEW_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "query/conjunctive_query.h"
@@ -21,6 +24,33 @@ struct ViewConfig {
   // Similarity-edge cost threshold for output-schema unification (t of
   // Sec. 2.2).
   double union_similarity_threshold = 2.0;
+};
+
+// One search's complete observable output, published as an immutable unit
+// (the async refresh contract's "no read ever mixes generations"):
+// trees, the queries compiled from them, and the ranked rows — all from
+// the same RunSearch, so rows' query_index values always index `queries`
+// and `trees` consistently. `search_serial` is the view's monotone
+// per-search counter (the same counter that stamps the relevance
+// certificate), letting readers assert publication monotonicity.
+struct ViewSnapshot {
+  std::vector<steiner::SteinerTree> trees;
+  std::vector<ConjunctiveQuery> queries;
+  RankedResults results;
+  std::uint64_t search_serial = 0;
+};
+
+// An epoch-tagged read of a view (see core::AsyncRefreshScheduler):
+// `state` is the last committed snapshot — held alive by the shared_ptr
+// for as long as the reader keeps it, even across concurrent repairs —
+// `generation` the staleness epoch the output was last validated at
+// (repaired, or proven unchanged by the relevance gate), and `stale`
+// whether base state has moved past that epoch without the view having
+// been revalidated yet.
+struct ViewResult {
+  std::shared_ptr<const ViewSnapshot> state;
+  std::uint64_t generation = 0;
+  bool stale = false;
 };
 
 // A persistent keyword-query view (Sec. 2.3): the user's ongoing
@@ -86,9 +116,25 @@ class TopKView {
   const std::vector<std::string>& keywords() const { return keywords_; }
   const ViewConfig& config() const { return config_; }
   const QueryGraph& query_graph() const { return query_graph_; }
-  const std::vector<steiner::SteinerTree>& trees() const { return trees_; }
-  const std::vector<ConjunctiveQuery>& queries() const { return queries_; }
-  const RankedResults& results() const { return results_; }
+
+  // The view's output state is double-buffered: RunSearch builds the next
+  // ViewSnapshot off to the side and swaps it in atomically, so a reader
+  // holding Snapshot() keeps a complete, internally consistent result set
+  // while a concurrent repair publishes the next one. Snapshot() is the
+  // only accessor safe against a concurrent RunSearch; the reference
+  // accessors below read through the current buffer and require external
+  // quiescence (no repair in flight), which every synchronous path has.
+  std::shared_ptr<const ViewSnapshot> Snapshot() const {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return state_;
+  }
+  const std::vector<steiner::SteinerTree>& trees() const {
+    return state_->trees;
+  }
+  const std::vector<ConjunctiveQuery>& queries() const {
+    return state_->queries;
+  }
+  const RankedResults& results() const { return state_->results; }
   bool refreshed() const { return refreshed_; }
 
   // Relevance certificate of the last successful RunSearch, augmented
@@ -113,9 +159,12 @@ class TopKView {
   std::vector<std::string> keywords_;
   ViewConfig config_;
   QueryGraph query_graph_;
-  std::vector<steiner::SteinerTree> trees_;
-  std::vector<ConjunctiveQuery> queries_;
-  RankedResults results_;
+  // Current published snapshot; swapped under state_mu_ by RunSearch.
+  // Starts non-null (empty) so the reference accessors never dereference
+  // null before the first refresh.
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const ViewSnapshot> state_ =
+      std::make_shared<ViewSnapshot>();
   steiner::RelevanceCertificate certificate_;
   std::uint64_t certificate_serial_ = 0;
   bool refreshed_ = false;

@@ -275,9 +275,14 @@ bool PrepareSubproblem(const CsrGraph& csr,
 
 // Fills s.sp with one shortest-path tree per deduped terminal, shared
 // through the cache. `full` requests complete (non-early-stopped) trees —
-// the exact DP seeds its singleton slices from them.
+// the exact DP seeds its singleton slices from them. `cache_generation`
+// is the generation captured by the solve's SnapshotPin: lookups and
+// inserts keyed under it can only meet entries computed over the same
+// pinned costs, even if a concurrent re-cost has already moved the cache
+// to a newer generation.
 void AcquireSpTrees(const CsrGraph& csr, ShortestPathCache* cache,
-                    SolverScratch& s, bool full) {
+                    std::uint64_t cache_generation, SolverScratch& s,
+                    bool full) {
   const std::size_t t = s.terminals.size();
   s.sp.clear();
   s.sp_refs.clear();
@@ -285,14 +290,14 @@ void AcquireSpTrees(const CsrGraph& csr, ShortestPathCache* cache,
   for (std::size_t i = 0; i < t; ++i) {
     std::shared_ptr<const SpTree> ref;
     if (cache != nullptr) {
-      ref = cache->Lookup(s.terminals[i], s.forced_sorted, s.banned_sorted,
-                          csr.edge_cost, s.terminals, full);
+      ref = cache->Lookup(cache_generation, s.terminals[i], s.forced_sorted,
+                          s.banned_sorted, csr.edge_cost, s.terminals, full);
       if (ref == nullptr && cache->HasRoom()) {
         auto fresh = std::make_shared<SpTree>();
         ComputeSpTree(csr, s.edge_flag, s.is_target, t, !full,
                       s.terminals[i], s.heap, fresh.get());
-        cache->Insert(s.terminals[i], s.forced_sorted, s.banned_sorted,
-                      fresh);
+        cache->Insert(cache_generation, s.terminals[i], s.forced_sorted,
+                      s.banned_sorted, fresh);
         ref = std::move(fresh);
       }
     }
@@ -470,13 +475,36 @@ std::optional<SteinerTree> KmbFromTrees(const CsrGraph& csr,
 FastSteinerEngine::FastSteinerEngine(const graph::SearchGraph& graph,
                                      const graph::WeightVector& weights,
                                      bool use_cache)
-    : csr_(CsrGraph::Build(graph, weights)) {
+    : csr_(std::make_shared<CsrGraph>(CsrGraph::Build(graph, weights))) {
   if (use_cache) cache_ = std::make_unique<ShortestPathCache>();
+}
+
+FastSteinerEngine::SnapshotPin FastSteinerEngine::Pin() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  SnapshotPin pin;
+  pin.csr = csr_;
+  pin.generation = generation_;
+  pin.cache_generation = cache_ != nullptr ? cache_->generation() : 0;
+  return pin;
+}
+
+bool FastSteinerEngine::BeginMutation() {
+  // Caller holds snapshot_mu_. use_count > 1 means some SnapshotPin is
+  // alive (every other owner is a pin — the engine holds exactly one
+  // reference itself): clone so the pinned holders keep reading their
+  // frozen costs while we patch the copy.
+  if (csr_.use_count() > 1) {
+    csr_ = std::make_shared<CsrGraph>(*csr_);
+    return true;
+  }
+  return false;
 }
 
 void FastSteinerEngine::Recost(const graph::SearchGraph& graph,
                                const graph::WeightVector& weights) {
-  csr_.Recost(graph, weights);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  BeginMutation();
+  csr_->Recost(graph, weights);
   ++generation_;
   if (cache_ != nullptr) cache_->BumpGeneration();
 }
@@ -513,7 +541,7 @@ bool FastSteinerEngine::CollectDeltaCandidates(
 
   // Dense deltas gain nothing over a full pass but still pay the cache
   // scan; hand them back to Recost.
-  return candidate_scratch_.size() <= csr_.num_edges / 2;
+  return candidate_scratch_.size() <= csr_->num_edges / 2;
 }
 
 FastSteinerEngine::RecostDeltaOutcome FastSteinerEngine::RecostDelta(
@@ -528,19 +556,32 @@ FastSteinerEngine::RecostDeltaOutcome FastSteinerEngine::RecostDelta(
   }
   outcome.applied = true;
 
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  const bool cloned = BeginMutation();
   repriced_scratch_.clear();
-  csr_.RecostEdges(graph, weights, candidate_scratch_, &repriced_scratch_);
+  csr_->RecostEdges(graph, weights, candidate_scratch_, &repriced_scratch_);
   outcome.edges_repriced = repriced_scratch_.size();
   if (repriced_scratch_.empty()) {
     // Nothing moved: the snapshot (and any cached tree) is bitwise
-    // unchanged, so neither generation advances.
+    // unchanged, so neither generation advances. (A defensive clone from
+    // BeginMutation is then byte-identical to the pinned original.)
     return outcome;
   }
   ++generation_;
   if (cache_ != nullptr) {
-    cache_->InvalidateRepriced(repriced_scratch_,
-                               &outcome.cache_entries_retained,
-                               &outcome.cache_entries_dropped);
+    if (cloned) {
+      // Pinned solves of the old snapshot may still be populating the
+      // current cache generation; selective invalidation re-judges those
+      // entries under costs they were never computed for. Move to a
+      // fresh generation instead — old-generation traffic stays coherent
+      // under its own keys, new solves start cold.
+      outcome.cache_entries_dropped = cache_->size();
+      cache_->BumpGeneration();
+    } else {
+      cache_->InvalidateRepriced(repriced_scratch_,
+                                 &outcome.cache_entries_retained,
+                                 &outcome.cache_entries_dropped);
+    }
   }
   return outcome;
 }
@@ -557,7 +598,7 @@ bool FastSteinerEngine::PreviewDelta(
   if (!CollectDeltaCandidates(graph, deltas, /*extra_edges=*/{})) {
     return false;
   }
-  csr_.PreviewRecostEdges(graph, weights, candidate_scratch_, repriced);
+  csr_->PreviewRecostEdges(graph, weights, candidate_scratch_, repriced);
   return true;
 }
 
@@ -575,27 +616,35 @@ std::optional<SteinerTree> FastSteinerEngine::SolveKmb(
     const std::vector<graph::NodeId>& terminals,
     const std::vector<graph::EdgeId>& forced,
     const std::vector<graph::EdgeId>& banned) {
+  // Pin the snapshot for the whole solve: a concurrent re-cost
+  // copies-on-write, so `csr` below stays bitwise frozen and the cache
+  // traffic stays keyed under the pinned generation.
+  const SnapshotPin pin = Pin();
+  const CsrGraph& csr = *pin.csr;
   SolverScratch& s = GetScratch();
   SteinerTree result;
-  if (!PrepareSubproblem(csr_, terminals, forced, banned, s, &result)) {
+  if (!PrepareSubproblem(csr, terminals, forced, banned, s, &result)) {
     return std::nullopt;
   }
   if (s.terminals.size() <= 1) {
     result.Canonicalize();
     return result;
   }
-  OverlayGuard overlay(s, csr_);
-  AcquireSpTrees(csr_, cache_.get(), s, /*full=*/false);
-  return KmbFromTrees(csr_, s, std::move(result));
+  OverlayGuard overlay(s, csr);
+  AcquireSpTrees(csr, cache_.get(), pin.cache_generation, s, /*full=*/false);
+  return KmbFromTrees(csr, s, std::move(result));
 }
 
 std::optional<SteinerTree> FastSteinerEngine::SolveExact(
     const std::vector<graph::NodeId>& terminals,
     const std::vector<graph::EdgeId>& forced,
     const std::vector<graph::EdgeId>& banned) {
+  // Same pinning rule as SolveKmb.
+  const SnapshotPin pin = Pin();
+  const CsrGraph& csr = *pin.csr;
   SolverScratch& s = GetScratch();
   SteinerTree result;
-  if (!PrepareSubproblem(csr_, terminals, forced, banned, s, &result)) {
+  if (!PrepareSubproblem(csr, terminals, forced, banned, s, &result)) {
     return std::nullopt;
   }
   const std::size_t t = s.terminals.size();
@@ -603,15 +652,15 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExact(
     result.Canonicalize();
     return result;
   }
-  OverlayGuard overlay(s, csr_);
+  OverlayGuard overlay(s, csr);
 
   // Acquire complete per-terminal shortest-path trees once; they serve
   // triple duty: the KMB upper bound (terminals disconnected iff KMB fails
   // iff the DP would fail), the eligibility filter, and the DP's singleton
   // slices dp[{i}] = dist(t_i, .) — so those 2^0-subsets need no grow pass
   // at all.
-  AcquireSpTrees(csr_, cache_.get(), s, /*full=*/true);
-  auto kmb = KmbFromTrees(csr_, s, result);
+  AcquireSpTrees(csr, cache_.get(), pin.cache_generation, s, /*full=*/true);
+  auto kmb = KmbFromTrees(csr, s, result);
   if (!kmb.has_value()) return std::nullopt;
   double bound = kmb->cost - result.cost;  // overlay-space upper bound
   // Relative slack absorbs float summation-order differences between the
@@ -631,7 +680,7 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExact(
   for (int attempt = 0; attempt < 2 && !terminals_covered; ++attempt) {
     double threshold = attempt == 0 ? bound : kInf;
     s.elig_nodes.clear();
-    for (std::uint32_t v = 0; v < csr_.num_nodes; ++v) {
+    for (std::uint32_t v = 0; v < csr.num_nodes; ++v) {
       bool ok = true;
       for (std::size_t i = 0; i < t; ++i) {
         if (s.sp[i]->dist[v] > threshold) {
@@ -645,9 +694,9 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExact(
       std::fill(s.local_stamp.begin(), s.local_stamp.end(), 0);
       s.stamp = 1;
     }
-    if (s.local_stamp.size() < csr_.num_nodes) {
-      s.local_stamp.resize(csr_.num_nodes, 0);
-      s.local_of.resize(csr_.num_nodes);
+    if (s.local_stamp.size() < csr.num_nodes) {
+      s.local_stamp.resize(csr.num_nodes, 0);
+      s.local_of.resize(csr.num_nodes);
     }
     n_e = static_cast<std::uint32_t>(s.elig_nodes.size());
     for (std::uint32_t i = 0; i < n_e; ++i) {
@@ -673,16 +722,16 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExact(
   s.mini_cost.clear();
   for (std::uint32_t i = 0; i < n_e; ++i) {
     std::uint32_t v = s.elig_nodes[i];
-    const std::uint32_t end = csr_.offsets[v + 1];
-    for (std::uint32_t a = csr_.offsets[v]; a < end; ++a) {
-      std::uint32_t to = csr_.arc_head[a];
+    const std::uint32_t end = csr.offsets[v + 1];
+    for (std::uint32_t a = csr.offsets[v]; a < end; ++a) {
+      std::uint32_t to = csr.arc_head[a];
       if (s.local_stamp[to] != s.stamp) continue;
-      graph::EdgeId e = csr_.arc_edge[a];
+      graph::EdgeId e = csr.arc_edge[a];
       std::uint8_t flag = s.edge_flag[e];
       if (flag == kBanned) continue;
       s.mini_head.push_back(s.local_of[to]);
       s.mini_edge.push_back(e);
-      s.mini_cost.push_back(flag == kForced ? 0.0 : csr_.arc_cost[a]);
+      s.mini_cost.push_back(flag == kForced ? 0.0 : csr.arc_cost[a]);
     }
     s.mini_offsets[i + 1] = static_cast<std::uint32_t>(s.mini_head.size());
   }

@@ -2,7 +2,9 @@
 #define Q_STEINER_FAST_SOLVER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -35,14 +37,25 @@ struct FastSolveStats {
 // rule. Cache state never changes solver output (any valid entry equals a
 // fresh computation), which is what keeps cached/parallel runs
 // byte-identical to sequential uncached runs.
+//
+// Concurrency (the async refresh scheduler's contract): any number of
+// Solve* calls may run concurrently with each other AND with one
+// mutator (Recost/RecostDelta) — each solve pins the CSR snapshot at
+// entry (see Pin) and runs to completion against those costs even if a
+// re-cost lands mid-solve; the mutator copies-on-write when pins are
+// outstanding, so a search never observes a half-repriced snapshot.
+// Mutators and PreviewDelta must still be externally serialized against
+// each other (they share the engine's scratch and postings index);
+// per-view task ordering provides that upstream.
 class FastSteinerEngine {
  public:
   FastSteinerEngine(const graph::SearchGraph& graph,
                     const graph::WeightVector& weights, bool use_cache);
 
   // Weight-only snapshot refresh: re-costs every CSR edge in place
-  // (topology arrays untouched) and moves the shortest-path cache to a new
-  // generation so no tree computed under the old weights can be served.
+  // (topology arrays untouched; copy-on-write when a SnapshotPin is
+  // outstanding) and moves the shortest-path cache to a new generation so
+  // no tree computed under the old weights can be served.
   // Precondition: `graph` has exactly the node/edge set this engine was
   // built from. Far cheaper than rebuilding the engine and — because arc
   // order is preserved and the cache is generation-keyed — produces
@@ -114,6 +127,24 @@ class FastSteinerEngine {
   // servable).
   std::uint64_t generation() const { return generation_; }
 
+  // A pinned read handle on the engine's current CSR snapshot. While any
+  // pin is alive, mutators copy-on-write instead of patching in place
+  // (and move the shortest-path cache to a new generation), so the
+  // pinned CsrGraph — and with it the generation the pin captured — stays
+  // bitwise frozen for as long as the holder keeps the handle. Solve*
+  // pin internally; external holders (e.g. an in-flight search that must
+  // outlive a concurrent re-cost) just keep the struct alive.
+  struct SnapshotPin {
+    std::shared_ptr<const CsrGraph> csr;
+    // Engine generation at pin time.
+    std::uint64_t generation = 0;
+    // Shortest-path cache generation at pin time; the pinned solve's
+    // cache lookups and inserts are keyed under it (see sp_cache.h), so
+    // they can never mix with entries of other cost snapshots.
+    std::uint64_t cache_generation = 0;
+  };
+  SnapshotPin Pin() const;
+
   // KMB 2-approximation (the contraction semantics of SolveKmbSteiner).
   // Returns nullopt when the subproblem is infeasible (forced edges banned
   // or cyclic, or terminals disconnected).
@@ -128,7 +159,9 @@ class FastSteinerEngine {
       const std::vector<graph::EdgeId>& forced,
       const std::vector<graph::EdgeId>& banned);
 
-  const CsrGraph& csr() const { return csr_; }
+  // The current snapshot. Valid only while no mutator runs concurrently;
+  // concurrent readers must hold a Pin instead.
+  const CsrGraph& csr() const { return *csr_; }
   FastSolveStats stats() const;
 
  private:
@@ -141,7 +174,17 @@ class FastSteinerEngine {
                               const std::vector<graph::FeatureDelta>& deltas,
                               const std::vector<graph::EdgeId>& extra_edges);
 
-  CsrGraph csr_;
+  // Takes snapshot_mu_, and clones csr_ first when pins are outstanding
+  // (copy-on-write: the old buffer stays alive under its holders'
+  // shared_ptrs). Returns whether a clone happened — the caller must then
+  // bump the cache generation wholesale instead of invalidating
+  // selectively, because solves of the old snapshot may still be
+  // populating the old generation.
+  bool BeginMutation();
+
+  // COW under snapshot_mu_: holders of a SnapshotPin share this pointer.
+  std::shared_ptr<CsrGraph> csr_;
+  mutable std::mutex snapshot_mu_;
   std::uint64_t generation_ = 0;
   std::unique_ptr<ShortestPathCache> cache_;  // null when caching disabled
   // Lazily built by RecostDelta; reset by InvalidateFeatureIndex.

@@ -79,9 +79,12 @@ void ShortestPathCache::InvalidateRepriced(
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t kept = 0;
   std::size_t lost = 0;
-  // Every live entry is of the current generation (BumpGeneration purges
-  // older ones), so the scan covers exactly the entries a future lookup
-  // could serve.
+  // The scan covers every live entry. Current-generation entries are the
+  // point: their validity must be re-proved under the new costs because a
+  // delta re-cost moves costs without moving the generation. Older
+  // generations (possible only from pinned solves inserting after a bump)
+  // are valid for their own pinned costs forever, so re-judging them here
+  // can only drop them spuriously — a miss, never a wrong tree.
   auto survives = [&](const Entry& entry) {
     for (const RepricedEdge& r : repriced) {
       if (std::binary_search(entry.forced.begin(), entry.forced.end(),
@@ -125,12 +128,13 @@ void ShortestPathCache::InvalidateRepriced(
 }
 
 std::shared_ptr<const SpTree> ShortestPathCache::Lookup(
-    std::uint32_t terminal, const std::vector<graph::EdgeId>& forced_sorted,
+    std::uint64_t generation, std::uint32_t terminal,
+    const std::vector<graph::EdgeId>& forced_sorted,
     const std::vector<graph::EdgeId>& banned_sorted,
     const std::vector<double>& edge_cost,
     const std::vector<std::uint32_t>& required, bool require_complete) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = by_key_.find(Key(generation_, terminal));
+  auto it = by_key_.find(Key(generation, terminal));
   if (it != by_key_.end()) {
     for (const Entry& entry : it->second) {
       if (Valid(entry, forced_sorted, banned_sorted, edge_cost, required,
@@ -149,14 +153,15 @@ bool ShortestPathCache::HasRoom() const {
   return num_entries_ < max_entries_;
 }
 
-void ShortestPathCache::Insert(std::uint32_t terminal,
+void ShortestPathCache::Insert(std::uint64_t generation,
+                               std::uint32_t terminal,
                                std::vector<graph::EdgeId> forced_sorted,
                                std::vector<graph::EdgeId> banned_sorted,
                                std::shared_ptr<const SpTree> tree) {
   std::lock_guard<std::mutex> lock(mu_);
   if (num_entries_ >= max_entries_) return;
   ++num_entries_;
-  by_key_[Key(generation_, terminal)].push_back(Entry{
+  by_key_[Key(generation, terminal)].push_back(Entry{
       std::move(forced_sorted), std::move(banned_sorted), std::move(tree)});
 }
 

@@ -76,15 +76,15 @@ class ShortestPathCache {
   explicit ShortestPathCache(std::size_t max_entries = 1024)
       : max_entries_(max_entries) {}
 
-  // Moves the cache to a new cost snapshot: subsequent Lookup/Insert are
-  // keyed under the new generation, and entries of older generations are
-  // purged (they could never match again — the generation is part of the
-  // key — so dropping them just reclaims their memory and capacity).
-  // The purge is the operative invariant; the generation in the key
-  // additionally documents which snapshot each entry belongs to. Callers
-  // must not bump concurrently with in-flight solves (the RefreshEngine
-  // re-costs in its serial phase): an insert racing a bump would stamp an
-  // old-cost tree with the new generation.
+  // Moves the cache to a new cost snapshot: generation() advances and
+  // entries of older generations are purged (a current-generation lookup
+  // could never match them — the generation is part of the key — so
+  // dropping them reclaims their memory and capacity). Solves in flight
+  // across a bump are safe as long as they pass the generation they
+  // pinned: their lookups and inserts stay keyed under the old
+  // generation, so an old-cost tree can never satisfy a new-generation
+  // lookup (inserts after the purge linger as capacity-bounded garbage
+  // until the next bump).
   void BumpGeneration();
   std::uint64_t generation() const;
 
@@ -107,17 +107,28 @@ class ShortestPathCache {
   // tree edge, drops the entry. Surviving entries stay keyed under the
   // current generation and remain bitwise identical to fresh
   // computations under the new costs, so cache hits after a delta
-  // re-cost still never change solver output. Same concurrency rule as
-  // BumpGeneration: callers must not invalidate while solves are in
-  // flight. `retained`/`dropped` (optional) receive the entry counts.
+  // re-cost still never change solver output. Unlike BumpGeneration this
+  // re-judges current-generation entries under new costs, so callers must
+  // not invalidate while a solve of the *same generation* is in flight —
+  // FastSteinerEngine enforces this by bumping instead whenever its
+  // snapshot is pinned. `retained`/`dropped` (optional) receive the
+  // entry counts.
   void InvalidateRepriced(const std::vector<RepricedEdge>& repriced,
                           std::size_t* retained, std::size_t* dropped);
 
   // A valid cached tree for `terminal` under the (sorted) overlay sets
   // with every node of `required` settled, or nullptr. `edge_cost` is the
   // CSR base cost array used for the zero-cost forced-set rule.
+  //
+  // `generation` names the cost snapshot the caller is solving against —
+  // normally generation(), but a solver holding a SnapshotPin passes the
+  // generation captured at pin time, so a solve that outlives a
+  // concurrent re-cost keeps hitting (and populating) only entries of its
+  // own pinned costs and can never be served a tree from a different
+  // snapshot (see FastSteinerEngine::Pin).
   std::shared_ptr<const SpTree> Lookup(
-      std::uint32_t terminal, const std::vector<graph::EdgeId>& forced_sorted,
+      std::uint64_t generation, std::uint32_t terminal,
+      const std::vector<graph::EdgeId>& forced_sorted,
       const std::vector<graph::EdgeId>& banned_sorted,
       const std::vector<double>& edge_cost,
       const std::vector<std::uint32_t>& required, bool require_complete);
@@ -126,11 +137,14 @@ class ShortestPathCache {
   // materializing entries that would be dropped anyway.
   bool HasRoom() const;
 
-  // Registers a freshly computed tree for (terminal, forced, banned).
-  // Drops the insert once `max_entries` is reached (entries stay valid for
-  // the lifetime of the cache, so eviction is not needed within one top-k
-  // enumeration, which is the cache's scope).
-  void Insert(std::uint32_t terminal,
+  // Registers a freshly computed tree for (terminal, forced, banned)
+  // under `generation` (same pin rule as Lookup: a pinned solve inserts
+  // under its pinned generation, so stale-cost trees can never satisfy
+  // current-generation lookups). Drops the insert once `max_entries` is
+  // reached (entries stay valid for the lifetime of their generation, so
+  // eviction is not needed within one top-k enumeration, which is the
+  // cache's scope).
+  void Insert(std::uint64_t generation, std::uint32_t terminal,
               std::vector<graph::EdgeId> forced_sorted,
               std::vector<graph::EdgeId> banned_sorted,
               std::shared_ptr<const SpTree> tree);

@@ -14,13 +14,22 @@ namespace q::util {
 
 // Bounded worker pool for CPU-parallel fan-out of independent tasks.
 //
-// The only synchronization primitive callers need is RunAll: it executes a
-// batch of tasks across the workers *and* the calling thread, returning
-// once every task has finished. Because the caller participates, RunAll
-// makes progress even on a pool with zero or busy workers, and nested
-// RunAll calls cannot deadlock (the nested caller just runs its own batch).
-// Task results must be written into caller-owned slots; merging them in
-// index order afterwards keeps parallel pipelines deterministic.
+// Two entry points:
+//
+//   * RunAll — the synchronous batch primitive: executes a batch of tasks
+//     across the workers *and* the calling thread, returning once every
+//     task has finished. Because the caller participates, RunAll makes
+//     progress even on a pool with zero or busy workers, and nested
+//     RunAll calls cannot deadlock (the nested caller just runs its own
+//     batch). Task results must be written into caller-owned slots;
+//     merging them in index order afterwards keeps parallel pipelines
+//     deterministic.
+//
+//   * Submit — fire-and-forget: enqueues one task for a worker thread and
+//     returns immediately (the async refresh scheduler's repair tasks).
+//     Submitted tasks still pending at destruction are run to completion
+//     by the draining workers, never dropped; callers needing completion
+//     signals layer their own (see util::KeyedTaskQueue).
 class ThreadPool {
  public:
   // `num_threads` <= 0 picks the hardware concurrency.
@@ -48,6 +57,18 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues one task for execution on a worker thread and returns
+  // immediately. Tasks run in submission order relative to other Submit
+  // calls only as far as worker availability allows — callers needing
+  // per-key ordering should go through util::KeyedTaskQueue.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
 
   // Runs `tasks` to completion using the pool plus the calling thread.
   void RunAll(const std::vector<std::function<void()>>& tasks) {

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "core/q_system.h"
+#include "data/interpro_go.h"
+#include "data/synthetic.h"
 #include "graph/search_graph.h"
 #include "learn/evaluation.h"
 #include "learn/mira.h"
@@ -113,6 +118,52 @@ TEST(MiraTest, PositivityMaintained) {
   }
 }
 
+// Positivity must ride the violating edges' own features (as QP
+// constraints re-solved with the margins), never the shared default
+// feature: the default sits on every learnable edge, so a bump turns an
+// otherwise-sparse MIRA delta dense — full re-costs everywhere and no
+// relevance gating downstream (the ROADMAP regression this test pins).
+TEST(MiraTest, PositivityRidesConstraintFeaturesNotTheDefault) {
+  Diamond d(2.0, 1.0);  // bottom path cheapest, user endorses top
+  steiner::SteinerTree target{{d.top_a, d.top_b}, 0.0};
+  target.Canonicalize();
+
+  MiraLearner learner;
+  double default_before =
+      d.weights->At(FeatureSpace::kDefaultFeature);
+  std::uint64_t rev = d.weights->revision();
+  // The margin pass must drive the endorsed path's features well below
+  // the floor (loss 4 against costs of order 1), forcing the positivity
+  // machinery to engage.
+  auto info = learner.Update(d.graph, {0, 3}, target, d.weights.get());
+  ASSERT_TRUE(info.ok());
+  EXPECT_GT(info->positivity_constraints, 0u);
+
+  // The fix: no dense fallback, the default feature is untouched, and
+  // the journal delta stays on the per-edge/constraint features.
+  EXPECT_EQ(info->default_weight_bump, 0.0);
+  EXPECT_EQ(d.weights->At(FeatureSpace::kDefaultFeature), default_before);
+  std::vector<graph::FeatureDelta> deltas;
+  ASSERT_TRUE(d.weights->DeltaSince(rev, &deltas));
+  graph::CoalesceFeatureDeltas(&deltas);
+  ASSERT_FALSE(deltas.empty());
+  for (const auto& delta : deltas) {
+    EXPECT_NE(delta.id, FeatureSpace::kDefaultFeature);
+  }
+
+  // And the constraint-based floor loses neither guarantee: every cost
+  // sits at or above epsilon (within the solver's tolerance) and the
+  // endorsed path still wins with the full margin.
+  for (graph::EdgeId e = 0; e < d.graph.num_edges(); ++e) {
+    EXPECT_GE(d.graph.EdgeCost(e, *d.weights), 1e-4 - 1e-7)
+        << "edge " << e;
+  }
+  steiner::SteinerTree other{{d.bottom_a, d.bottom_b}, 0.0};
+  double margin = steiner::TreeCost(d.graph, *d.weights, other) -
+                  steiner::TreeCost(d.graph, *d.weights, target);
+  EXPECT_GE(margin, 4.0 - 1e-6);
+}
+
 TEST(MiraTest, ZeroCostEdgesUntouched) {
   Diamond d(2.0, 1.0);
   // Add a fixed-zero membership edge; it must stay at exactly 0.
@@ -184,6 +235,102 @@ TEST_P(MiraPropertyTest, EndorsedPathWinsWithMargin) {
 
 INSTANTIATE_TEST_SUITE_P(RandomCosts, MiraPropertyTest,
                          ::testing::Range(0, 15));
+
+// End-to-end half of the positivity-batching regression: a MIRA feedback
+// step that does not bump the default feature must stay sparse through
+// the whole refresh pipeline — every view classifies as skip /
+// delta-recost / relevance-skip, never full-recost or rebuild. Before
+// the headroom batching, the bump re-armed on (nearly) every update and
+// its dense default-feature delta forced wholesale re-costs throughout.
+TEST(MiraEndToEndTest, SparseFeedbackStaysDeltaClassedEndToEnd) {
+  data::InterProGoConfig dconfig;
+  dconfig.num_go_terms = 80;
+  dconfig.num_entries = 60;
+  dconfig.num_pubs = 50;
+  dconfig.num_journals = 10;
+  dconfig.num_methods = 40;
+  dconfig.interpro2go_links = 120;
+  dconfig.entry2pub_links = 100;
+  dconfig.method2pub_links = 80;
+  auto dataset = data::BuildInterProGo(dconfig);
+
+  core::QSystemConfig config;
+  config.steiner_threads = -1;
+  config.view.query_graph.min_similarity = 0.5;
+  config.view.query_graph.max_matches_per_keyword = 6;
+  core::QSystem q(config);
+  for (const auto& src : dataset.catalog.sources()) {
+    Q_CHECK_OK(q.RegisterSource(src));
+  }
+  Q_CHECK_OK(q.RunInitialAlignment());
+  // Grow the catalog with synthetic two-attribute sources (the Sec. 5.1.2
+  // scaling shape) so the snapshots are much larger than any one tree: a
+  // MIRA step's features then price a small fraction of each view's
+  // edges, which is the regime the delta classification serves. On the
+  // raw schema graph every tree is a sizable fraction of the snapshot
+  // and dense fallbacks are correct.
+  {
+    util::Rng rng(2010);
+    std::vector<match::AlignmentCandidate> wires;
+    const std::vector<relational::AttributeId> targets = {
+        {"go", "go_term", "name"},
+        {"interpro", "entry", "name"},
+        {"interpro", "method", "name"},
+        {"interpro", "pub", "title"},
+    };
+    for (int i = 0; i < 150; ++i) {
+      std::string name = "syn" + std::to_string(i);
+      Q_CHECK_OK(q.RegisterSource(data::MakeSyntheticSource(name, 3, &rng)));
+      match::AlignmentCandidate c;
+      c.a = relational::AttributeId{name, "rel", "key"};
+      c.b = targets[i % targets.size()];
+      c.matcher = "synthetic";
+      c.confidence = 0.5;
+      wires.push_back(c);
+    }
+    Q_CHECK_OK(q.AddAssociations(wires));
+  }
+  std::vector<std::size_t> view_ids;
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto id = q.CreateView(dataset.keyword_queries[i]);
+    Q_CHECK_OK(id.status());
+    view_ids.push_back(*id);
+  }
+  ASSERT_TRUE(q.RefreshAllViews().ok());
+
+  // Warmup feedback absorbs any initial positivity bump (a bump is
+  // legitimately dense; headroom means it cannot recur on the very next
+  // steps).
+  ASSERT_FALSE(q.view(view_ids[0]).trees().empty());
+  ASSERT_TRUE(
+      q.ApplyFeedback(view_ids[0], q.view(view_ids[0]).trees()[0]).ok());
+
+  // The measured steps: endorse each view's current best. None may move
+  // the dense default feature, and every view must resolve inside the
+  // delta classes.
+  for (std::size_t round = 1; round < view_ids.size(); ++round) {
+    std::size_t view = view_ids[round];
+    ASSERT_FALSE(q.view(view).trees().empty());
+    auto before = q.refresh_engine().stats();
+    double default_before =
+        q.weights().At(graph::FeatureSpace::kDefaultFeature);
+    ASSERT_TRUE(q.ApplyFeedback(view, q.view(view).trees()[0]).ok());
+    auto after = q.refresh_engine().stats();
+    EXPECT_EQ(q.weights().At(graph::FeatureSpace::kDefaultFeature),
+              default_before)
+        << "round " << round << " bumped the default feature";
+    EXPECT_EQ(after.snapshots_built, before.snapshots_built)
+        << "round " << round;
+    EXPECT_EQ(after.views_full_recost, before.views_full_recost)
+        << "round " << round;
+    EXPECT_EQ((after.views_skipped_delta + after.views_delta_recost +
+               after.views_skipped_irrelevant) -
+                  (before.views_skipped_delta + before.views_delta_recost +
+                   before.views_skipped_irrelevant),
+              view_ids.size())
+        << "round " << round;
+  }
+}
 
 // Evaluation utilities ------------------------------------------------------
 

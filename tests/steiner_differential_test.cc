@@ -9,11 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/q_system.h"
+#include "data/interpro_go.h"
 #include "graph/search_graph.h"
 #include "steiner/exact_solver.h"
 #include "steiner/fast_solver.h"
@@ -439,6 +443,137 @@ TEST(DeltaRecostCacheTest, SelectiveInvalidationRetainsProvablyValidTrees) {
     EXPECT_EQ(served[i].cost, rebuilt[i].cost);
   }
 }
+
+// --- long-horizon async-repair differential --------------------------------
+// Randomized interleavings of asynchronous repairs, reads, and feedback
+// against a live QSystem, seeded and replayable: a seeded schedule drives
+// {endorse feedback, epoch-tagged reads, WaitFresh, quiescence}, and at
+// every quiescence point each view's published output is compared against
+// a from-scratch TopKView rebuild over the current base state — the
+// strongest possible reference, sharing no snapshot, cache, or journal
+// state with the async pipeline.
+
+class AsyncScheduleDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsyncScheduleDifferentialTest, QuiescentStatesMatchFromScratch) {
+  util::Rng rng(41000 + GetParam());
+
+  data::InterProGoConfig dconfig;
+  dconfig.num_go_terms = 60;
+  dconfig.num_entries = 45;
+  dconfig.num_pubs = 40;
+  dconfig.num_journals = 8;
+  dconfig.num_methods = 30;
+  dconfig.interpro2go_links = 90;
+  dconfig.entry2pub_links = 75;
+  dconfig.method2pub_links = 60;
+  data::InterProGoDataset dataset = data::BuildInterProGo(dconfig);
+
+  core::QSystemConfig config;
+  config.view.query_graph.min_similarity = 0.5;
+  config.view.query_graph.max_matches_per_keyword = 6;
+  config.steiner_threads = -1;
+  config.async_refresh = true;
+  config.async_repair_threads = 2;
+  core::QSystem q(config);
+  for (const auto& src : dataset.catalog.sources()) {
+    Q_CHECK_OK(q.RegisterSource(src));
+  }
+  Q_CHECK_OK(q.RunInitialAlignment());
+  std::vector<std::size_t> view_ids;
+  for (std::size_t i = 0; i < 6; ++i) {
+    auto id = q.CreateView(
+        dataset.keyword_queries[i % dataset.keyword_queries.size()]);
+    Q_CHECK_OK(id.status());
+    view_ids.push_back(*id);
+  }
+
+  // Compares every view's published state against a from-scratch rebuild:
+  // a fresh TopKView over the same keywords, refreshed against the
+  // current graph/weights with no shared snapshot state. Valid only at
+  // quiescence (the rebuild interns no new features — the keywords are
+  // already expanded — but it must not race an in-flight repair).
+  auto expect_matches_fresh = [&](const std::string& label) {
+    for (std::size_t i = 0; i < view_ids.size(); ++i) {
+      query::ViewResult read = q.ReadView(view_ids[i]);
+      EXPECT_FALSE(read.stale) << label << " view " << i;
+      query::TopKView fresh(q.view(view_ids[i]).keywords(),
+                            q.config().view);
+      Q_CHECK_OK(fresh.Refresh(q.search_graph(), q.catalog(),
+                               q.text_index(), &q.cost_model(),
+                               q.weights()));
+      auto fresh_state = fresh.Snapshot();
+      ASSERT_EQ(read.state->trees.size(), fresh_state->trees.size())
+          << label << " view " << i;
+      for (std::size_t t = 0; t < fresh_state->trees.size(); ++t) {
+        EXPECT_EQ(read.state->trees[t].edges, fresh_state->trees[t].edges)
+            << label << " view " << i << " tree " << t;
+        EXPECT_EQ(read.state->trees[t].cost, fresh_state->trees[t].cost)
+            << label << " view " << i << " tree " << t;
+      }
+      ASSERT_EQ(read.state->results.rows.size(),
+                fresh_state->results.rows.size())
+          << label << " view " << i;
+      EXPECT_EQ(read.state->results.columns, fresh_state->results.columns)
+          << label << " view " << i;
+      for (std::size_t r = 0; r < fresh_state->results.rows.size(); ++r) {
+        EXPECT_EQ(read.state->results.rows[r].cost,
+                  fresh_state->results.rows[r].cost)
+            << label << " view " << i << " row " << r;
+        EXPECT_EQ(read.state->results.rows[r].values,
+                  fresh_state->results.rows[r].values)
+            << label << " view " << i << " row " << r;
+      }
+    }
+  };
+
+  // The seeded schedule: the op sequence (and every feedback's inputs)
+  // is a pure function of the seed, so a failure replays exactly.
+  int quiescence_points = 0;
+  for (int op = 0; op < 24; ++op) {
+    std::size_t view = view_ids[rng.Uniform(view_ids.size())];
+    switch (rng.Uniform(6)) {
+      case 0:
+      case 1: {  // endorse feedback on a possibly-stale read
+        query::ViewResult read = q.ReadView(view);
+        if (read.state->trees.empty()) break;
+        const auto& trees = read.state->trees;
+        ASSERT_TRUE(
+            q.ApplyFeedback(view, trees[rng.Uniform(trees.size())]).ok());
+        break;
+      }
+      case 2: {  // epoch-tagged read: internal consistency only
+        query::ViewResult read = q.ReadView(view);
+        ASSERT_NE(read.state, nullptr);
+        for (const auto& row : read.state->results.rows) {
+          ASSERT_LT(row.query_index, read.state->queries.size());
+        }
+        break;
+      }
+      case 3: {  // block until the view catches up
+        EXPECT_TRUE(
+            q.WaitViewFresh(view, std::chrono::milliseconds(30000)));
+        EXPECT_FALSE(q.ReadView(view).stale);
+        break;
+      }
+      default: {  // quiescence point: drain and compare everything
+        ASSERT_TRUE(q.DrainRefreshes().ok());
+        expect_matches_fresh("op " + std::to_string(op));
+        ++quiescence_points;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(q.DrainRefreshes().ok());
+  expect_matches_fresh("final");
+  EXPECT_GT(quiescence_points, 0);
+  // The schedule must have exercised the async pipeline, not only acks.
+  ASSERT_NE(q.async_scheduler(), nullptr);
+  EXPECT_GT(q.async_scheduler()->stats().feedback_rounds, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededSchedules, AsyncScheduleDifferentialTest,
+                         ::testing::Range(0, 4));
 
 }  // namespace
 }  // namespace q::steiner

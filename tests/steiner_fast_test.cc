@@ -229,5 +229,62 @@ TEST(FastSolverCacheTest, CacheHitsAndStaysConsistent) {
   EXPECT_EQ(banned_cached->cost, banned_uncached->cost);
 }
 
+// Snapshot pin/unpin (the async refresh scheduler's search-vs-recost
+// isolation): a pin freezes the CSR cost buffer, a concurrent re-cost
+// copies-on-write onto a fresh buffer and new cache generation, and a
+// solve that started under the pinned costs keeps producing exactly the
+// pinned snapshot's output.
+TEST(FastSolverPinTest, PinnedSnapshotSurvivesRecost) {
+  util::Rng rng(555);
+  RandomGraph g(&rng, 30, 70, 3, 0.0);
+  FastSteinerEngine engine(g.graph, *g.weights, /*use_cache=*/true);
+  auto before = engine.SolveKmb(g.terminals, {}, {});
+  ASSERT_TRUE(before.has_value());
+
+  // Pin, then re-cost under perturbed weights: the pinned buffer must
+  // keep the old costs byte for byte while the engine moves on.
+  FastSteinerEngine::SnapshotPin pin = engine.Pin();
+  std::vector<double> pinned_costs = pin.csr->edge_cost;
+  for (graph::FeatureId id = 1;
+       id < static_cast<graph::FeatureId>(g.space.size()); ++id) {
+    g.weights->Set(id, g.weights->At(id) * 1.5);
+  }
+  engine.Recost(g.graph, *g.weights);
+  EXPECT_EQ(pin.csr->edge_cost, pinned_costs);      // frozen
+  EXPECT_NE(&engine.csr(), pin.csr.get());          // copied on write
+  EXPECT_GT(engine.generation(), pin.generation);
+
+  // The engine serves the new weights; a twin engine pinned-equivalent
+  // at the old weights reproduces the pinned solve.
+  auto after = engine.SolveKmb(g.terminals, {}, {});
+  FastSteinerEngine fresh_new(g.graph, *g.weights, /*use_cache=*/true);
+  auto reference_new = fresh_new.SolveKmb(g.terminals, {}, {});
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->edges, reference_new->edges);
+  EXPECT_EQ(after->cost, reference_new->cost);
+
+  // Delta re-costs under a pin take the same copy-on-write path (and
+  // bump the cache generation wholesale instead of invalidating entries
+  // a pinned solve may still be populating).
+  FastSteinerEngine::SnapshotPin pin2 = engine.Pin();
+  std::vector<double> pinned2 = pin2.csr->edge_cost;
+  std::uint64_t rev = g.weights->revision();
+  g.weights->Set(1, g.weights->At(1) * 2.0);
+  std::vector<graph::FeatureDelta> deltas;
+  ASSERT_TRUE(g.weights->DeltaSince(rev, &deltas));
+  auto outcome = engine.RecostDelta(g.graph, *g.weights, deltas);
+  ASSERT_TRUE(outcome.applied);
+  if (outcome.edges_repriced > 0) {
+    EXPECT_EQ(pin2.csr->edge_cost, pinned2);
+    EXPECT_NE(&engine.csr(), pin2.csr.get());
+  }
+  // Released pins let the next mutation go back in place.
+  pin = FastSteinerEngine::SnapshotPin{};
+  pin2 = FastSteinerEngine::SnapshotPin{};
+  const CsrGraph* current = &engine.csr();
+  engine.Recost(g.graph, *g.weights);
+  EXPECT_EQ(&engine.csr(), current);  // unpinned: mutated in place
+}
+
 }  // namespace
 }  // namespace q::steiner

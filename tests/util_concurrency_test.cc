@@ -1,15 +1,22 @@
 // Tests for the query fast path's building blocks: the indexed 4-ary heap
-// (canonical (key, id) pop order, decrease-key, heapify) and the bounded
-// thread pool (RunAll completion, caller participation, nesting).
+// (canonical (key, id) pop order, decrease-key, heapify), the bounded
+// thread pool (RunAll completion, caller participation, nesting, Submit),
+// and the keyed task queue behind the async refresh scheduler (per-key
+// ordering, coalescing of superseded tasks, drain).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <limits>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "util/dary_heap.h"
 #include "util/random.h"
+#include "util/task_queue.h"
 #include "util/thread_pool.h"
 
 namespace q::util {
@@ -130,6 +137,90 @@ TEST(ThreadPoolTest, CallerMakesProgressOnTinyPool) {
   outer.push_back([&counter] { ++counter; });
   pool.RunAll(outer);
   EXPECT_EQ(counter.load(), 6);
+}
+
+TEST(ThreadPoolTest, SubmitRunsDetachedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] {
+      if (counter.fetch_add(1) + 1 == 50) {
+        // Notify under the mutex: the waiter checks the predicate under
+        // it, so the cv cannot be destroyed mid-notify.
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return counter.load() == 50; }));
+}
+
+TEST(KeyedTaskQueueTest, PerKeyOrderingAcrossConcurrentKeys) {
+  ThreadPool pool(4);
+  KeyedTaskQueue queue(&pool);
+  constexpr std::size_t kKeys = 5;
+  constexpr int kTasksPerKey = 40;
+  std::vector<std::vector<int>> seen(kKeys);
+  std::vector<std::mutex> mus(kKeys);
+  for (int i = 0; i < kTasksPerKey; ++i) {
+    for (std::size_t key = 0; key < kKeys; ++key) {
+      queue.Submit(key, [&, key, i] {
+        // Per-key ordering means no lock is needed for correctness; the
+        // mutex only gives the vector a sane cross-thread view.
+        std::lock_guard<std::mutex> lock(mus[key]);
+        seen[key].push_back(i);
+      });
+      // Tasks that queue behind a running one may be coalesced; slow the
+      // producer enough that most run. Ordering is what this asserts —
+      // executed indices must be strictly increasing per key.
+      if (i % 8 == 0) std::this_thread::yield();
+    }
+  }
+  queue.Drain();
+  for (std::size_t key = 0; key < kKeys; ++key) {
+    std::lock_guard<std::mutex> lock(mus[key]);
+    ASSERT_FALSE(seen[key].empty()) << "key " << key;
+    for (std::size_t j = 1; j < seen[key].size(); ++j) {
+      EXPECT_LT(seen[key][j - 1], seen[key][j]) << "key " << key;
+    }
+    // Nothing runs after drain, and the last submission for a key is
+    // never coalesced away — it is exactly the one that must win.
+    EXPECT_EQ(seen[key].back(), kTasksPerKey - 1) << "key " << key;
+  }
+}
+
+TEST(KeyedTaskQueueTest, SupersededPendingTasksCoalesce) {
+  ThreadPool pool(1);
+  KeyedTaskQueue queue(&pool);
+  // Block the key's running slot so every later submission parks as the
+  // single pending task and supersedes the previous one.
+  std::mutex gate_mu;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> last_ran{-1};
+  queue.Submit(1, [&] {
+    std::unique_lock<std::mutex> lock(gate_mu);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  });
+  for (int i = 0; i < 10; ++i) {
+    queue.Submit(1, [&, i] { last_ran.store(i); });
+  }
+  EXPECT_TRUE(queue.Busy(1));
+  {
+    std::lock_guard<std::mutex> lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  queue.Drain();
+  // Of the 10 parked submissions only the last survives; the other 9
+  // were elided while pending.
+  EXPECT_EQ(last_ran.load(), 9);
+  EXPECT_EQ(queue.coalesced(), 9u);
+  EXPECT_FALSE(queue.Busy(1));
 }
 
 }  // namespace
