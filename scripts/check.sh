@@ -137,6 +137,45 @@ if [[ -n "${ack_ratio}" ]] && \
   echo "check.sh: WARNING — feedback-ack speedup ${ack_ratio}x < 1.5x"
 fi
 
+# --- warm restart (crash-safe persistence) -----------------------------------
+# Cold boot vs snapshot warm boot (docs/persistence.md warm-restart
+# contract). The binary doubles as a correctness gate: it exits non-zero
+# when the restore is incomplete or the warm system's lazily recreated
+# view diverges from the cold system's. warm_restart_speedup compares the
+# warm boot against the *charitable* cold replay (associations assumed
+# recoverable for free); it must stay >= 1.0 at every smoke scale. The
+# honest no-snapshot recovery (full matcher re-bootstrap) is reported as
+# warm_restart_realign_speedup and warns when the margin thins below 10x.
+# The replay comparison sits near its crossover at mid scales (the text
+# index rebuild dominates both paths), so < 1.25x only warns; < 0.9x — a
+# warm boot clearly paying work the snapshot exists to skip — fails.
+./build/bench_warm_restart --smoke --json=bench/out/BENCH_warm_restart.json
+while read -r warm_ratio; do
+  if awk -v r="${warm_ratio}" 'BEGIN { exit !(r < 0.9) }'; then
+    echo "check.sh: FAIL — warm restart slower than cold replay boot" \
+         "(${warm_ratio}x < 0.9x)"
+    gate_failed=1
+  elif awk -v r="${warm_ratio}" 'BEGIN { exit !(r < 1.25) }'; then
+    echo "check.sh: WARNING — warm restart speedup ${warm_ratio}x < 1.25x"
+  fi
+done < <(awk 'match($0, /"kernel":"warm_restart_speedup"/) {
+                if (match($0, /"ratio":[0-9.]+/))
+                  print substr($0, RSTART + 8, RLENGTH - 8) }' \
+         bench/out/BENCH_warm_restart.json)
+realign_ratio="$(awk 'match($0, /"kernel":"warm_restart_realign_speedup"/) {
+                        if (match($0, /"ratio":[0-9.]+/))
+                          print substr($0, RSTART + 8, RLENGTH - 8) }' \
+                 bench/out/BENCH_warm_restart.json)"
+if [[ -n "${realign_ratio}" ]] && \
+   awk -v r="${realign_ratio}" 'BEGIN { exit !(r < 10.0) }'; then
+  echo "check.sh: WARNING — warm restart vs full realignment speedup" \
+       "${realign_ratio}x < 10x"
+fi
+run_gate bench/baselines/BENCH_warm_restart.json \
+         bench/out/BENCH_warm_restart.json '*boot*'
+run_gate bench/baselines/BENCH_warm_restart.json \
+         bench/out/BENCH_warm_restart.json '*save*'
+
 if [[ "${gate_failed}" == "1" ]]; then
   echo "check.sh: FAIL — gated kernel regressed >25% vs committed baseline"
   exit 1
@@ -148,6 +187,8 @@ if [[ "${BENCH_UPDATE_BASELINE:-0}" == "1" ]]; then
      bench/baselines/BENCH_micro_kernels.json
   cp bench/out/BENCH_view_refresh.json \
      bench/baselines/BENCH_view_refresh.json
+  cp bench/out/BENCH_warm_restart.json \
+     bench/baselines/BENCH_warm_restart.json
   echo "perf gate: baselines updated from this run"
 fi
 

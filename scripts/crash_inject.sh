@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Kill-point loop for the crash-safety harness (docs/persistence.md).
+#
+# persist_fault_test already sweeps every injected kill point and a
+# corruption matrix under one seed; this script re-rolls that seed N
+# times so the randomized parts (torn-write prefix lengths, bit-flip
+# positions, workload feedback) cover fresh ground on every run. CI runs
+# it with the ASan/UBSan build so a surviving torn write that trips UB
+# fails loudly.
+#
+# Usage: scripts/crash_inject.sh [RUNS] [BUILD_DIR]
+#   RUNS      number of seed rotations (default 10)
+#   BUILD_DIR build tree containing persist_fault_test (default build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUNS="${1:-10}"
+BUILD_DIR="${2:-build}"
+BIN="${BUILD_DIR}/persist_fault_test"
+
+if [[ ! -x "${BIN}" ]]; then
+  echo "crash_inject.sh: ${BIN} not built (run cmake --build ${BUILD_DIR})"
+  exit 1
+fi
+
+# Deterministic seed schedule so a red CI run is reproducible locally by
+# rerunning the same script revision: seeds derive from the loop index,
+# not from time or PID.
+for ((i = 0; i < RUNS; ++i)); do
+  seed=$((90001 + i * 7919))
+  echo "crash_inject.sh: run $((i + 1))/${RUNS} (Q_PERSIST_FAULT_SEED=${seed})"
+  Q_PERSIST_FAULT_SEED="${seed}" "${BIN}" --gtest_brief=1
+done
+
+echo "crash_inject.sh: OK (${RUNS} seed rotations survived)"

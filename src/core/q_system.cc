@@ -301,11 +301,13 @@ util::Status QSystem::ApplyFeedback(std::size_t view_id,
     return util::Status::InvalidArgument("no such view");
   }
   query::TopKView& v = *views_[view_id];
+  const std::uint64_t rev_before = weights_.revision();
   auto info = learner_.Update(v.query_graph().graph,
                               v.query_graph().keyword_nodes, endorsed,
                               &weights_);
   Q_RETURN_NOT_OK(info.status());
-  log_.Record(feedback::FeedbackEvent{v.keywords()});
+  RecordFeedbackLocked(feedback::FeedbackKind::kEndorse, v.keywords(),
+                       rev_before);
   return RefreshAfterFeedbackLocked();
 }
 
@@ -338,10 +340,12 @@ util::Status QSystem::ApplyInvalidFeedback(std::size_t view_id,
     return util::Status::NotFound(
         "no alternative query to prefer over the invalid result");
   }
+  const std::uint64_t rev_before = weights_.revision();
   auto info = learner_.UpdateAgainst(v.query_graph().graph, {bad_tree},
                                      *target, &weights_);
   Q_RETURN_NOT_OK(info.status());
-  log_.Record(feedback::FeedbackEvent{v.keywords()});
+  RecordFeedbackLocked(feedback::FeedbackKind::kInvalid, v.keywords(),
+                       rev_before);
   return RefreshAfterFeedbackLocked();
 }
 
@@ -366,10 +370,12 @@ util::Status QSystem::ApplyRankingFeedback(std::size_t view_id,
     return util::Status::InvalidArgument(
         "both rows come from the same query; ranking constraint is vacuous");
   }
+  const std::uint64_t rev_before = weights_.revision();
   auto info = learner_.UpdateAgainst(v.query_graph().graph, {worse}, better,
                                      &weights_);
   Q_RETURN_NOT_OK(info.status());
-  log_.Record(feedback::FeedbackEvent{v.keywords()});
+  RecordFeedbackLocked(feedback::FeedbackKind::kRanking, v.keywords(),
+                       rev_before);
   return RefreshAfterFeedbackLocked();
 }
 
@@ -404,6 +410,7 @@ util::Result<bool> QSystem::ApplyGoldFeedback(
   // answer"): any gold edge shared between a valid tree and an
   // implausible one cancels out of the constraint difference, so only the
   // implausible tree's distinguishing (junk) edges are pushed up.
+  const std::uint64_t rev_before = weights_.revision();
   auto info = learner_.UpdateAgainst(v.query_graph().graph, implausible,
                                      *endorsed, &weights_);
   Q_RETURN_NOT_OK(info.status());
@@ -414,9 +421,223 @@ util::Result<bool> QSystem::ApplyGoldFeedback(
                                &weights_);
     Q_RETURN_NOT_OK(extra.status());
   }
-  log_.Record(feedback::FeedbackEvent{v.keywords()});
+  RecordFeedbackLocked(feedback::FeedbackKind::kGold, v.keywords(),
+                       rev_before);
   Q_RETURN_NOT_OK(RefreshAfterFeedbackLocked());
   return true;
+}
+
+void QSystem::RecordFeedbackLocked(feedback::FeedbackKind kind,
+                                   const std::vector<std::string>& keywords,
+                                   std::uint64_t revision_before) {
+  feedback::FeedbackEvent event;
+  event.kind = kind;
+  event.keywords = keywords;
+  event.weight_revision = weights_.revision();
+  std::vector<graph::FeatureDelta> deltas;
+  event.replayable = weights_.DeltaSince(revision_before, &deltas);
+  if (event.replayable) {
+    graph::CoalesceFeatureDeltas(&deltas);
+    event.deltas = std::move(deltas);
+  }
+  log_.Record(std::move(event));
+}
+
+util::Status QSystem::SaveSnapshot(const std::string& dir, util::Env* env) {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  // Async repairs read the graph and weights lock-free; a consistent
+  // snapshot requires them quiet, same as any structural mutation (the
+  // feedback lock keeps new repairs from being scheduled meanwhile).
+  if (scheduler_ != nullptr) scheduler_->Quiesce();
+  persist::SnapshotState state;
+  state.catalog = &catalog_;
+  state.space = &space_;
+  state.graph = &graph_;
+  state.weights = &weights_;
+  state.log = &log_;
+  return persist::SaveSnapshot(state, dir, env);
+}
+
+util::Result<std::unique_ptr<QSystem>> QSystem::OpenFromSnapshot(
+    const std::string& dir, QSystemConfig config, util::Env* env,
+    persist::SnapshotLoadReport* report) {
+  persist::SnapshotLoadReport scratch_report;
+  if (report == nullptr) report = &scratch_report;
+  *report = persist::SnapshotLoadReport{};
+
+  persist::LoadedSnapshot loaded;
+  util::Status read = persist::ReadSnapshotFile(dir, env, &loaded);
+  if (read.IsNotFound()) {
+    // No snapshot is not a degraded snapshot: the caller decides whether
+    // to cold-start (and from what data).
+    return read;
+  }
+
+  auto q = std::make_unique<QSystem>(std::move(config));
+  if (!read.ok()) {
+    // Header unusable (bad magic/CRC/version): nothing salvageable, so
+    // the system comes up clean and empty — the bottom of the ladder.
+    report->header = read;
+    report->cold_start = true;
+    util::Status skipped =
+        util::Status::Internal("skipped: snapshot header unusable");
+    report->catalog = skipped;
+    report->feature_space = skipped;
+    report->graph = skipped;
+    report->weights = skipped;
+    report->feedback = skipped;
+    report->notes.push_back("cold start: " + read.ToString());
+    return q;
+  }
+
+  std::lock_guard<std::mutex> lock(q->feedback_mu_);
+  Q_RETURN_NOT_OK(q->LoadFromSnapshotLocked(loaded, report));
+  return q;
+}
+
+util::Status QSystem::LoadFromSnapshotLocked(
+    const persist::LoadedSnapshot& loaded,
+    persist::SnapshotLoadReport* report) {
+  for (const std::string& err : loaded.outcome.section_errors) {
+    report->notes.push_back(err);
+  }
+  auto section_status = [&loaded](persist::SectionTag tag,
+                                  util::Status decoded) {
+    if (loaded.Find(tag) != nullptr) return decoded;
+    return util::Status::NotFound(std::string(persist::SectionTagName(
+                                      static_cast<std::uint32_t>(tag))) +
+                                  " section missing or failed checksum");
+  };
+  auto skipped = [](const char* why) {
+    return util::Status::Internal(std::string("skipped: ") + why);
+  };
+
+  // --- catalog: the anchor; nothing else is meaningful without it -------
+  const persist::ParsedSection* sec =
+      loaded.Find(persist::SectionTag::kCatalog);
+  {
+    // Decode into a scratch catalog so a mid-payload failure cannot leave
+    // a half-populated one behind.
+    relational::Catalog decoded;
+    util::Status status =
+        sec ? persist::DecodeCatalog(sec->payload, &decoded)
+            : section_status(persist::SectionTag::kCatalog, util::Status::OK());
+    report->catalog = status;
+    if (!status.ok()) {
+      report->cold_start = true;
+      report->feature_space = skipped("catalog unavailable");
+      report->graph = skipped("catalog unavailable");
+      report->weights = skipped("catalog unavailable");
+      report->feedback = skipped("catalog unavailable");
+      report->notes.push_back("cold start: catalog section unrecoverable (" +
+                              status.ToString() + ")");
+      return util::Status::OK();
+    }
+    catalog_ = std::move(decoded);
+  }
+  // The text and value-overlap indexes are derived state: rebuild them
+  // from the restored catalog (registration order is preserved, so the
+  // rebuilt index is identical to the saved system's).
+  index_.IndexCatalog(catalog_);
+  if (config_.use_value_overlap_filter) {
+    for (const auto& table : catalog_.AllTables()) {
+      overlap_.IndexTable(*table);
+    }
+  }
+
+  // --- feedback log: independent of the sections below, and the weights
+  // fallback needs it, so decode it early.
+  sec = loaded.Find(persist::SectionTag::kFeedback);
+  report->feedback = section_status(
+      persist::SectionTag::kFeedback,
+      sec ? persist::DecodeFeedback(sec->payload, &log_) : util::Status::OK());
+  if (!report->feedback.ok()) {
+    report->notes.push_back("feedback log lost (" +
+                            report->feedback.ToString() + ")");
+  }
+
+  // --- feature space: every persisted graph feature id and weight slot
+  // is an index into it; losing it invalidates both sections below.
+  sec = loaded.Find(persist::SectionTag::kFeatureSpace);
+  {
+    util::Status status = section_status(persist::SectionTag::kFeatureSpace,
+                                         util::Status::OK());
+    if (sec != nullptr) {
+      // Validate against a scratch space first: DecodeFeatureSpace
+      // interns as it goes, and a partially-interned real space would
+      // poison the cost model's feature ids.
+      graph::FeatureSpace probe;
+      status = persist::DecodeFeatureSpace(sec->payload, &probe);
+      if (status.ok()) {
+        status = persist::DecodeFeatureSpace(sec->payload, &space_);
+      }
+    }
+    report->feature_space = status;
+    if (!status.ok()) {
+      report->graph = skipped("feature space unavailable");
+      report->weights = skipped("feature space unavailable");
+      // Structural edges (membership, declared FKs) are derivable from
+      // the catalog; the learned capital is not.
+      graph_ = graph::BuildSearchGraph(catalog_, &model_);
+      report->notes.push_back(
+          "feature space unrecoverable: structural graph rebuilt; "
+          "associations and learned weights lost — re-run alignment and "
+          "feedback");
+      return util::Status::OK();
+    }
+  }
+
+  // --- search graph (with association edges + journal) ------------------
+  sec = loaded.Find(persist::SectionTag::kGraph);
+  {
+    graph::SearchGraph decoded;
+    util::Status status =
+        sec ? persist::DecodeGraph(sec->payload, space_.size(), &decoded)
+            : section_status(persist::SectionTag::kGraph, util::Status::OK());
+    report->graph = status;
+    if (status.ok()) {
+      graph_ = std::move(decoded);
+    } else {
+      graph_ = graph::BuildSearchGraph(catalog_, &model_);
+      report->notes.push_back("graph section unrecoverable (" +
+                              status.ToString() +
+                              "): structural graph rebuilt; association "
+                              "edges lost — re-run alignment");
+    }
+  }
+
+  // --- weights (+ journal), falling back to feedback replay -------------
+  sec = loaded.Find(persist::SectionTag::kWeights);
+  {
+    util::Status status =
+        sec ? persist::DecodeWeights(sec->payload, space_.size(), &weights_)
+            : section_status(persist::SectionTag::kWeights,
+                             util::Status::OK());
+    report->weights = status;
+    if (!status.ok()) {
+      report->notes.push_back("weights section unrecoverable (" +
+                              status.ToString() + ")");
+      if (report->feedback.ok() && !log_.empty()) {
+        util::Status replay = log_.ReplayInto(&weights_);
+        if (replay.ok()) {
+          report->weights_replayed = true;
+          report->notes.push_back(
+              log_.complete_history()
+                  ? "weights relearned by replaying the full feedback log"
+                  : "weights partially relearned by replaying the retained "
+                    "feedback window (older events were dropped by the "
+                    "sliding window)");
+        } else {
+          report->notes.push_back("feedback replay failed (" +
+                                  replay.ToString() +
+                                  "); weights reset to initial");
+        }
+      } else {
+        report->notes.push_back("weights reset to initial");
+      }
+    }
+  }
+  return util::Status::OK();
 }
 
 }  // namespace q::core

@@ -21,9 +21,11 @@
 #include "match/matcher.h"
 #include "match/metadata_matcher.h"
 #include "match/value_overlap.h"
+#include "persist/snapshot.h"
 #include "query/view.h"
 #include "relational/catalog.h"
 #include "text/text_index.h"
+#include "util/env.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -181,6 +183,36 @@ class QSystem {
   util::Result<bool> ApplyGoldFeedback(std::size_t view_id,
                                        const feedback::SimulatedUser& user);
 
+  // --- persistence ----------------------------------------------------------
+  // Writes the durable core (catalog + schemas, search graph with its
+  // association edges and journal, weight vector + journal, feedback
+  // log) into `dir` as one checksummed snapshot file, atomically (see
+  // docs/persistence.md). Quiesces the async scheduler first so the
+  // snapshot captures a consistent revision. Views are NOT persisted:
+  // they are derived state, recreated lazily after a warm restart.
+  // `env` defaults to the real filesystem.
+  util::Status SaveSnapshot(const std::string& dir,
+                            util::Env* env = nullptr);
+
+  // Warm restart: constructs a QSystem from the snapshot in `dir`,
+  // skipping RunInitialAlignment/MAD entirely — associations and learned
+  // weights come from the snapshot; the text index is rebuilt from the
+  // restored catalog (it is derived state). Views are not restored:
+  // recreate them lazily with CreateView, which routes through the
+  // RefreshEngine's classify-then-repair pipeline.
+  //
+  // Damage degrades per-section instead of failing (the recovery ladder
+  // of docs/persistence.md): a corrupt weights section falls back to
+  // replaying the persisted feedback log; a corrupt graph section keeps
+  // the catalog and rebuilds the structural graph (associations lost); a
+  // corrupt catalog — or an unusable header — degrades to a clean cold
+  // start. Every degradation is reported in `report` (optional), never a
+  // crash. Returns non-OK only when no QSystem can be produced at all
+  // (e.g. no snapshot file: NotFound).
+  static util::Result<std::unique_ptr<QSystem>> OpenFromSnapshot(
+      const std::string& dir, QSystemConfig config = QSystemConfig(),
+      util::Env* env = nullptr, persist::SnapshotLoadReport* report = nullptr);
+
   // --- accessors --------------------------------------------------------------
   const relational::Catalog& catalog() const { return catalog_; }
   const graph::SearchGraph& search_graph() const { return graph_; }
@@ -221,6 +253,16 @@ class QSystem {
   void ReconcileMissingMatcherFeatures();
   std::vector<match::Matcher*> EnabledMatchers();
   align::AlignContext ContextFromView(const query::TopKView& view) const;
+  // Appends one feedback record carrying the coalesced weight movement
+  // since `revision_before` (captured from weights_.revision() before the
+  // MIRA update), so the persisted log can replay feedback
+  // deterministically during degraded recovery.
+  void RecordFeedbackLocked(feedback::FeedbackKind kind,
+                            const std::vector<std::string>& keywords,
+                            std::uint64_t revision_before);
+  // OpenFromSnapshot's decode + recovery-ladder body.
+  util::Status LoadFromSnapshotLocked(const persist::LoadedSnapshot& loaded,
+                                      persist::SnapshotLoadReport* report);
 
   QSystemConfig config_;
   // Serializes every base-state mutation (feedback, registration,

@@ -156,7 +156,7 @@ bool IsNumericAttribute(const std::string& name) {
 // *sparse* curated subset — real GBCO sources are separate databases with
 // only some declared links; the remaining join paths must be discovered
 // by the matchers. Every trial's base query stays FK-connected.
-void DeclareForeignKeys(relational::Catalog* catalog) {
+util::Status DeclareForeignKeys(relational::Catalog* catalog) {
   struct Fk {
     const char* relation;
     const char* attr;
@@ -182,11 +182,15 @@ void DeclareForeignKeys(relational::Catalog* catalog) {
   };
   for (const Fk& fk : kForeignKeys) {
     auto table = catalog->FindTable(fk.relation, fk.relation);
-    Q_CHECK_MSG(table != nullptr, "FK references unknown relation "
-                                      << fk.relation);
+    if (table == nullptr) {
+      return util::Status::NotFound(std::string("FK references unknown "
+                                                "relation ") +
+                                    fk.relation);
+    }
     table->mutable_schema().AddForeignKey(relational::ForeignKey{
         fk.attr, fk.ref_relation, fk.ref_relation, fk.ref_attr});
   }
+  return util::Status::OK();
 }
 
 constexpr const char* kFillerWords[] = {
@@ -199,15 +203,19 @@ constexpr std::size_t kNumFillerWords =
 
 }  // namespace
 
-GbcoDataset BuildGbco(const GbcoConfig& config) {
+util::Result<GbcoDataset> TryBuildGbco(const GbcoConfig& config) {
   util::Rng rng(config.seed);
   GbcoDataset out;
 
   std::size_t total_attrs = 0;
   for (const RelationSpec& spec : Specs()) total_attrs += spec.attrs.size();
-  Q_CHECK_MSG(total_attrs == 187,
-              "GBCO schema drifted: " << total_attrs << " attributes");
-  Q_CHECK_MSG(Specs().size() == 18, "GBCO schema drifted: relation count");
+  if (total_attrs != 187) {
+    return util::Status::Internal("GBCO schema drifted: " +
+                                  std::to_string(total_attrs) + " attributes");
+  }
+  if (Specs().size() != 18) {
+    return util::Status::Internal("GBCO schema drifted: relation count");
+  }
 
   IdPools pools(&rng);
   for (const RelationSpec& spec : Specs()) {
@@ -237,14 +245,14 @@ GbcoDataset BuildGbco(const GbcoConfig& config) {
           row.push_back(Value(text));
         }
       }
-      Q_CHECK_OK(table->AppendRow(std::move(row)));
+      Q_RETURN_NOT_OK(table->AppendRow(std::move(row)));
     }
     auto source = std::make_shared<DataSource>(spec.name);
-    Q_CHECK_OK(source->AddTable(table));
-    Q_CHECK_OK(out.catalog.AddSource(source));
+    Q_RETURN_NOT_OK(source->AddTable(table));
+    Q_RETURN_NOT_OK(out.catalog.AddSource(source));
   }
 
-  DeclareForeignKeys(&out.catalog);
+  Q_RETURN_NOT_OK(DeclareForeignKeys(&out.catalog));
 
   // --- Trial log: (base query, introduced sources) pairs ------------------
   // Mirrors scanning the GBCO logs for base/expanded query pairs: 16
@@ -294,16 +302,27 @@ GbcoDataset BuildGbco(const GbcoConfig& config) {
   std::size_t introduced = 0;
   for (const GbcoTrial& t : out.trials) {
     for (const std::string& s : t.new_sources) {
-      Q_CHECK_MSG(out.catalog.FindSource(s) != nullptr,
-                  "trial references unknown source " << s);
+      if (out.catalog.FindSource(s) == nullptr) {
+        return util::Status::Internal("trial references unknown source " + s);
+      }
     }
     introduced += t.new_sources.size();
   }
-  Q_CHECK_MSG(out.trials.size() == 16,
-              "expected 16 trials, have " << out.trials.size());
-  Q_CHECK_MSG(introduced == 40,
-              "expected 40 introduced sources, have " << introduced);
+  if (out.trials.size() != 16) {
+    return util::Status::Internal("expected 16 trials, have " +
+                                  std::to_string(out.trials.size()));
+  }
+  if (introduced != 40) {
+    return util::Status::Internal("expected 40 introduced sources, have " +
+                                  std::to_string(introduced));
+  }
   return out;
+}
+
+GbcoDataset BuildGbco(const GbcoConfig& config) {
+  auto dataset = TryBuildGbco(config);
+  Q_CHECK_OK(dataset.status());
+  return *std::move(dataset);
 }
 
 }  // namespace q::data

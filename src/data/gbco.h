@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "relational/catalog.h"
+#include "util/result.h"
 
 namespace q::data {
 
@@ -33,7 +34,13 @@ struct GbcoDataset {
 // Deterministic GBCO-like dataset (see DESIGN.md substitutions): matches
 // the published cardinalities — 18 relations modeled as separate sources,
 // 187 attributes, a query log yielding 16 trials that introduce 40 new
-// sources in aggregate.
+// sources in aggregate. Construction failures (schema drift, row/type
+// mismatches, catalog conflicts) surface as util::Status instead of
+// aborting the process.
+util::Result<GbcoDataset> TryBuildGbco(const GbcoConfig& config = GbcoConfig());
+
+// Convenience wrapper for callers that treat a generator failure as a
+// programming error: Q_CHECKs TryBuildGbco's status.
 GbcoDataset BuildGbco(const GbcoConfig& config = GbcoConfig());
 
 }  // namespace q::data

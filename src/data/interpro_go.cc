@@ -75,7 +75,8 @@ std::shared_ptr<Table> MakeTable(const std::string& source,
 
 }  // namespace
 
-InterProGoDataset BuildInterProGo(const InterProGoConfig& config) {
+util::Result<InterProGoDataset> TryBuildInterProGo(
+    const InterProGoConfig& config) {
   util::Rng rng(config.seed);
   InterProGoDataset out;
 
@@ -118,7 +119,7 @@ InterProGoDataset BuildInterProGo(const InterProGoConfig& config) {
         i == 0 ? "plasma membrane"
                : MakePhrase(&rng, kBioWords, kNumBioWords, 2, 3);
     go_names.push_back(name);
-    Q_CHECK_OK(go_term->AppendRow(
+    Q_RETURN_NOT_OK(go_term->AppendRow(
         Row{Value(go_ids[i]), Value(name),
             Value(std::string(kTermTypes[rng.Uniform(3)])),
             Value(MakePhrase(&rng, kBioWords, kNumBioWords, 6, 12))}));
@@ -141,7 +142,7 @@ InterProGoDataset BuildInterProGo(const InterProGoConfig& config) {
     std::string created = std::to_string(rng.UniformInt(1999, 2009)) + "-" +
                           PadNumber(1 + rng.Uniform(12), 2) + "-" +
                           PadNumber(1 + rng.Uniform(28), 2);
-    Q_CHECK_OK(entry->AppendRow(
+    Q_RETURN_NOT_OK(entry->AppendRow(
         Row{Value(entry_ids[i]), Value(name), Value(short_name),
             Value(std::string(kEntryTypes[rng.Uniform(4)])),
             Value(created)}));
@@ -152,7 +153,7 @@ InterProGoDataset BuildInterProGo(const InterProGoConfig& config) {
                                {{"go_id", ValueType::kString},
                                 {"entry_ac", ValueType::kString}});
   for (std::size_t i = 0; i < config.interpro2go_links; ++i) {
-    Q_CHECK_OK(interpro2go->AppendRow(
+    Q_RETURN_NOT_OK(interpro2go->AppendRow(
         Row{Value(rng.Pick(go_ids)), Value(rng.Pick(entry_ids))}));
   }
 
@@ -167,7 +168,7 @@ InterProGoDataset BuildInterProGo(const InterProGoConfig& config) {
     std::string title =
         i == 0 ? "structure of the plasma membrane receptor"
                : MakePhrase(&rng, kBioWords, kNumBioWords, 4, 8);
-    Q_CHECK_OK(pub->AppendRow(Row{Value(pub_ids[i]), Value(title),
+    Q_RETURN_NOT_OK(pub->AppendRow(Row{Value(pub_ids[i]), Value(title),
                                   Value(rng.UniformInt(1985, 2009)),
                                   Value(rng.UniformInt(1, 120)),
                                   Value(rng.Pick(journal_ids))}));
@@ -181,7 +182,7 @@ InterProGoDataset BuildInterProGo(const InterProGoConfig& config) {
   for (std::size_t i = 0; i < config.num_journals; ++i) {
     std::string issn = PadNumber(rng.Uniform(10000), 4) + "-" +
                        PadNumber(rng.Uniform(10000), 4);
-    Q_CHECK_OK(journal->AppendRow(
+    Q_RETURN_NOT_OK(journal->AppendRow(
         Row{Value(journal_ids[i]),
             Value(MakePhrase(&rng, kJournalWords, kNumJournalWords, 2, 4)),
             Value(issn)}));
@@ -192,7 +193,7 @@ InterProGoDataset BuildInterProGo(const InterProGoConfig& config) {
                              {{"entry_ac", ValueType::kString},
                               {"pub_id", ValueType::kString}});
   for (std::size_t i = 0; i < config.entry2pub_links; ++i) {
-    Q_CHECK_OK(entry2pub->AppendRow(
+    Q_RETURN_NOT_OK(entry2pub->AppendRow(
         Row{Value(rng.Pick(entry_ids)), Value(rng.Pick(pub_ids))}));
   }
 
@@ -211,7 +212,7 @@ InterProGoDataset BuildInterProGo(const InterProGoConfig& config) {
                            ? rng.Pick(entry_names)
                            : MakePhrase(&rng, kBioWords, kNumBioWords, 2, 4);
     std::size_t db = rng.Uniform(4);
-    Q_CHECK_OK(method->AppendRow(
+    Q_RETURN_NOT_OK(method->AppendRow(
         Row{Value(method_ids[i]), Value(name),
             Value(std::string(kMethodTypes[db])),
             Value(std::string(kMethodDbs[db])),
@@ -223,7 +224,7 @@ InterProGoDataset BuildInterProGo(const InterProGoConfig& config) {
                               {{"method_ac", ValueType::kString},
                                {"pub_id", ValueType::kString}});
   for (std::size_t i = 0; i < config.method2pub_links; ++i) {
-    Q_CHECK_OK(method2pub->AppendRow(
+    Q_RETURN_NOT_OK(method2pub->AppendRow(
         Row{Value(rng.Pick(method_ids)), Value(rng.Pick(pub_ids))}));
   }
 
@@ -249,15 +250,15 @@ InterProGoDataset BuildInterProGo(const InterProGoConfig& config) {
 
   // --- Assemble catalog ----------------------------------------------------
   auto go_source = std::make_shared<DataSource>("go");
-  Q_CHECK_OK(go_source->AddTable(go_term));
+  Q_RETURN_NOT_OK(go_source->AddTable(go_term));
   auto interpro_source = std::make_shared<DataSource>("interpro");
   std::vector<std::shared_ptr<Table>> interpro_tables{
       interpro2go, entry, entry2pub, pub, journal, method, method2pub};
   for (auto& t : interpro_tables) {
-    Q_CHECK_OK(interpro_source->AddTable(t));
+    Q_RETURN_NOT_OK(interpro_source->AddTable(t));
   }
-  Q_CHECK_OK(out.catalog.AddSource(go_source));
-  Q_CHECK_OK(out.catalog.AddSource(interpro_source));
+  Q_RETURN_NOT_OK(out.catalog.AddSource(go_source));
+  Q_RETURN_NOT_OK(out.catalog.AddSource(interpro_source));
 
   // --- Gold edges (Fig. 9) -------------------------------------------------
   auto gold = [&](const char* sa, const char* ra, const char* aa,
@@ -290,6 +291,12 @@ InterProGoDataset BuildInterProGo(const InterProGoConfig& config) {
       {"tyrosine kinase domain", "pub"},
   };
   return out;
+}
+
+InterProGoDataset BuildInterProGo(const InterProGoConfig& config) {
+  auto dataset = TryBuildInterProGo(config);
+  Q_CHECK_OK(dataset.status());
+  return *std::move(dataset);
 }
 
 }  // namespace q::data

@@ -8,6 +8,7 @@
 
 #include "learn/evaluation.h"
 #include "relational/catalog.h"
+#include "util/result.h"
 
 namespace q::data {
 
@@ -44,7 +45,14 @@ struct InterProGoDataset {
   std::vector<std::vector<std::string>> keyword_queries;
 };
 
-// Builds the dataset deterministically from the config seed.
+// Builds the dataset deterministically from the config seed. Generator
+// failures (row/type mismatches, catalog conflicts) surface as
+// util::Status instead of aborting the process.
+util::Result<InterProGoDataset> TryBuildInterProGo(
+    const InterProGoConfig& config = InterProGoConfig());
+
+// Convenience wrapper for callers that treat a generator failure as a
+// programming error: Q_CHECKs TryBuildInterProGo's status.
 InterProGoDataset BuildInterProGo(
     const InterProGoConfig& config = InterProGoConfig());
 

@@ -168,6 +168,26 @@ class WeightVector {
     values_.clear();
   }
 
+  // Persistence support (src/persist): reinstates the dense values and
+  // the journal exactly as saved, bypassing Set's journaling so the
+  // restored vector is bit-identical — same values, same revision, same
+  // answerable DeltaSince range — to the one that was snapshotted.
+  void Restore(std::vector<double> values, std::uint64_t journal_base_revision,
+               std::vector<FeatureDelta> journal_records) {
+    values_ = std::move(values);
+    journal_.Restore(journal_base_revision, std::move(journal_records));
+  }
+
+  const std::vector<double>& values() const { return values_; }
+
+  // The saved journal slice: every record DeltaSince can still answer
+  // (i.e. revisions (journal_base_revision(), revision()]).
+  std::vector<FeatureDelta> JournalRecords() const {
+    std::vector<FeatureDelta> out;
+    journal_.DeltaSince(journal_.base_revision(), &out);
+    return out;
+  }
+
   const FeatureSpace* space() const { return space_; }
 
  private:

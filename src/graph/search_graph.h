@@ -175,6 +175,23 @@ class SearchGraph {
   // size takes effect on the next mutation.
   void set_max_journal_entries(std::size_t n) { journal_.set_max_entries(n); }
 
+  // Persistence support (src/persist): reinstates the journal exactly as
+  // saved, discarding the bookkeeping noise AddNode/AddEdge generated
+  // while the loader reconstructed the topology. Afterwards revision()
+  // and DeltaSince answer exactly as they did at save time.
+  void RestoreJournal(std::uint64_t base_revision,
+                      std::vector<GraphDelta> records) {
+    journal_.Restore(base_revision, std::move(records));
+  }
+
+  // The saved journal slice (revisions (journal_base_revision(),
+  // revision()]).
+  std::vector<GraphDelta> JournalRecords() const {
+    std::vector<GraphDelta> out;
+    journal_.DeltaSince(journal_.base_revision(), &out);
+    return out;
+  }
+
   const std::vector<EdgeId>& edges_of(NodeId id) const {
     return adjacency_[id];
   }

@@ -1,0 +1,274 @@
+#include "persist/format.h"
+
+#include <cstring>
+
+namespace q::persist {
+
+void PutU8(std::string* out, std::uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double is not 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, std::string_view v) {
+  PutU32(out, static_cast<std::uint32_t>(v.size()));
+  out->append(v.data(), v.size());
+}
+
+util::Status Decoder::Take(std::size_t n, const char** p) {
+  if (remaining() < n) {
+    return util::Status::OutOfRange("decode past end of payload");
+  }
+  *p = data_.data() + pos_;
+  pos_ += n;
+  return util::Status::OK();
+}
+
+util::Status Decoder::GetU8(std::uint8_t* v) {
+  const char* p;
+  Q_RETURN_NOT_OK(Take(1, &p));
+  *v = static_cast<std::uint8_t>(*p);
+  return util::Status::OK();
+}
+
+util::Status Decoder::GetU32(std::uint32_t* v) {
+  const char* p;
+  Q_RETURN_NOT_OK(Take(4, &p));
+  std::uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+  }
+  *v = out;
+  return util::Status::OK();
+}
+
+util::Status Decoder::GetU64(std::uint64_t* v) {
+  const char* p;
+  Q_RETURN_NOT_OK(Take(8, &p));
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+           << (8 * i);
+  }
+  *v = out;
+  return util::Status::OK();
+}
+
+util::Status Decoder::GetF64(double* v) {
+  std::uint64_t bits;
+  Q_RETURN_NOT_OK(GetU64(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return util::Status::OK();
+}
+
+util::Status Decoder::GetString(std::string* v) {
+  std::uint32_t len;
+  Q_RETURN_NOT_OK(GetU32(&len));
+  if (remaining() < len) {
+    return util::Status::OutOfRange("string length exceeds payload");
+  }
+  const char* p;
+  Q_RETURN_NOT_OK(Take(len, &p));
+  v->assign(p, len);
+  return util::Status::OK();
+}
+
+util::Status Decoder::GetCount(std::uint32_t* count,
+                               std::size_t min_element_bytes) {
+  Q_RETURN_NOT_OK(GetU32(count));
+  if (min_element_bytes > 0 &&
+      static_cast<std::uint64_t>(*count) * min_element_bytes > remaining()) {
+    return util::Status::OutOfRange("element count exceeds payload");
+  }
+  return util::Status::OK();
+}
+
+namespace {
+
+// Slicing-by-8 CRC-32 (reflected polynomial 0xEDB88320). Table s maps a
+// byte that still has s more whole-table shifts ahead of it; processing
+// eight bytes per step keeps snapshot verification off the load path's
+// critical profile (the file CRC is recomputed over every byte on open).
+struct CrcTables {
+  std::uint32_t t[8][256];
+};
+
+const CrcTables& GetCrcTables() {
+  static const CrcTables tables = [] {
+    CrcTables tb;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      tb.t[0][i] = c;
+    }
+    for (int s = 1; s < 8; ++s) {
+      for (std::uint32_t i = 0; i < 256; ++i) {
+        tb.t[s][i] = tb.t[0][tb.t[s - 1][i] & 0xff] ^ (tb.t[s - 1][i] >> 8);
+      }
+    }
+    return tb;
+  }();
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32Update(std::uint32_t state, std::string_view data) {
+  const CrcTables& tb = GetCrcTables();
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  std::size_t n = data.size();
+  std::uint32_t crc = state;
+  while (n >= 8) {
+    // Byte-composed loads keep this endian-independent; compilers fold
+    // them into single 32-bit loads on little-endian targets.
+    std::uint32_t lo = static_cast<std::uint32_t>(p[0]) |
+                       static_cast<std::uint32_t>(p[1]) << 8 |
+                       static_cast<std::uint32_t>(p[2]) << 16 |
+                       static_cast<std::uint32_t>(p[3]) << 24;
+    std::uint32_t hi = static_cast<std::uint32_t>(p[4]) |
+                       static_cast<std::uint32_t>(p[5]) << 8 |
+                       static_cast<std::uint32_t>(p[6]) << 16 |
+                       static_cast<std::uint32_t>(p[7]) << 24;
+    lo ^= crc;
+    crc = tb.t[7][lo & 0xff] ^ tb.t[6][(lo >> 8) & 0xff] ^
+          tb.t[5][(lo >> 16) & 0xff] ^ tb.t[4][lo >> 24] ^
+          tb.t[3][hi & 0xff] ^ tb.t[2][(hi >> 8) & 0xff] ^
+          tb.t[1][(hi >> 16) & 0xff] ^ tb.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = tb.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint32_t Crc32(std::string_view data) {
+  return Crc32Finish(Crc32Update(kCrc32Init, data));
+}
+
+std::string_view SectionTagName(std::uint32_t tag) {
+  switch (static_cast<SectionTag>(tag)) {
+    case SectionTag::kCatalog:
+      return "catalog";
+    case SectionTag::kFeatureSpace:
+      return "feature_space";
+    case SectionTag::kGraph:
+      return "graph";
+    case SectionTag::kWeights:
+      return "weights";
+    case SectionTag::kFeedback:
+      return "feedback";
+  }
+  return "unknown";
+}
+
+void AppendHeader(std::string* out, std::uint32_t num_sections) {
+  std::size_t start = out->size();
+  out->append(kMagic, kMagicLen);
+  PutU32(out, kFormatVersion);
+  PutU32(out, num_sections);
+  PutU32(out, Crc32(std::string_view(*out).substr(start)));
+}
+
+void AppendSection(std::string* out, SectionTag tag,
+                   std::string_view payload) {
+  std::size_t start = out->size();
+  PutU32(out, static_cast<std::uint32_t>(tag));
+  PutU64(out, payload.size());
+  // The CRC covers tag + length + payload so a bit-flip anywhere in the
+  // frame — including the length field itself — is detected.
+  std::uint32_t crc =
+      Crc32Update(kCrc32Init, std::string_view(*out).substr(start));
+  PutU32(out, Crc32Finish(Crc32Update(crc, payload)));
+  out->append(payload.data(), payload.size());
+}
+
+util::Status ParseSnapshotFile(std::string_view file, ParseOutcome* out) {
+  constexpr std::size_t kHeaderLen = kMagicLen + 4 + 4 + 4;
+  if (file.size() < kHeaderLen) {
+    return util::Status::OutOfRange("snapshot header truncated");
+  }
+  if (file.substr(0, kMagicLen) != std::string_view(kMagic, kMagicLen)) {
+    return util::Status::InvalidArgument("snapshot magic mismatch");
+  }
+  Decoder header(file.substr(kMagicLen, kHeaderLen - kMagicLen));
+  std::uint32_t version, num_sections, header_crc;
+  Q_RETURN_NOT_OK(header.GetU32(&version));
+  Q_RETURN_NOT_OK(header.GetU32(&num_sections));
+  Q_RETURN_NOT_OK(header.GetU32(&header_crc));
+  if (Crc32(file.substr(0, kHeaderLen - 4)) != header_crc) {
+    return util::Status::InvalidArgument("snapshot header checksum mismatch");
+  }
+  if (version != kFormatVersion) {
+    return util::Status::Unimplemented(
+        "unsupported snapshot format version " + std::to_string(version));
+  }
+  out->declared_sections = num_sections;
+
+  std::size_t pos = kHeaderLen;
+  for (std::uint32_t i = 0; i < num_sections; ++i) {
+    constexpr std::size_t kFrameLen = 4 + 8 + 4;
+    if (file.size() - pos < kFrameLen) {
+      out->section_errors.push_back(
+          "section " + std::to_string(i) + ": frame truncated (" +
+          std::to_string(num_sections - i) + " section(s) lost)");
+      return util::Status::OK();
+    }
+    Decoder frame(file.substr(pos, kFrameLen));
+    std::uint32_t tag, crc;
+    std::uint64_t len;
+    Q_RETURN_NOT_OK(frame.GetU32(&tag));
+    Q_RETURN_NOT_OK(frame.GetU64(&len));
+    Q_RETURN_NOT_OK(frame.GetU32(&crc));
+    if (len > file.size() - pos - kFrameLen) {
+      // Either a truncated tail or a corrupted length field; both lose
+      // this frame and everything after it (no resync point).
+      out->section_errors.push_back(
+          "section " + std::to_string(i) + " (" +
+          std::string(SectionTagName(tag)) +
+          "): payload runs past end of file (" +
+          std::to_string(num_sections - i) + " section(s) lost)");
+      return util::Status::OK();
+    }
+    std::string_view payload = file.substr(pos + kFrameLen, len);
+    std::uint32_t actual =
+        Crc32Update(kCrc32Init, file.substr(pos, 4 + 8));
+    if (Crc32Finish(Crc32Update(actual, payload)) != crc) {
+      out->section_errors.push_back(
+          "section " + std::to_string(i) + " (" +
+          std::string(SectionTagName(tag)) + "): checksum mismatch");
+    } else {
+      out->sections.push_back(ParsedSection{tag, payload});
+    }
+    pos += kFrameLen + len;
+  }
+  if (pos != file.size()) {
+    // Trailing garbage after the declared sections — tolerated (all
+    // declared sections verified) but worth surfacing.
+    out->section_errors.push_back("trailing bytes after last section");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace q::persist

@@ -45,6 +45,16 @@ class DeltaJournal {
     ++revision_;
   }
 
+  // Persistence support: reinstates a journal exactly as saved —
+  // revision becomes base_revision + records.size(). Replaces whatever
+  // the journal held (snapshot load uses it to erase the bookkeeping
+  // noise of reconstructing the owning structure record by record).
+  void Restore(std::uint64_t base_revision, std::vector<Record> records) {
+    base_revision_ = base_revision;
+    revision_ = base_revision + records.size();
+    records_ = std::move(records);
+  }
+
   // A dense change that no record list can describe: advances the
   // revision and forgets all history.
   void Truncate() {

@@ -1,0 +1,144 @@
+#include "util/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace q::util {
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path, int err) {
+  std::string msg = std::string(op) + " " + path + ": " + std::strerror(err);
+  if (err == ENOENT) return Status::NotFound(std::move(msg));
+  return Status::Internal(std::move(msg));
+}
+
+// Writes all of `data` to `path` with the given open(2) flags.
+Status WriteWithFlags(const std::string& path, std::string_view data,
+                      int flags, const char* op) {
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return ErrnoStatus(op, path, errno);
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return ErrnoStatus(op, path, err);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::close(fd) != 0) return ErrnoStatus(op, path, errno);
+  return Status::OK();
+}
+
+class PosixEnv : public Env {
+ public:
+  Result<std::string> ReadFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("ReadFile", path, errno);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        ::close(fd);
+        return ErrnoStatus("ReadFile", path, err);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Status WriteFile(const std::string& path, std::string_view data) override {
+    return WriteWithFlags(path, data, O_WRONLY | O_CREAT | O_TRUNC,
+                          "WriteFile");
+  }
+
+  Status AppendFile(const std::string& path, std::string_view data) override {
+    return WriteWithFlags(path, data, O_WRONLY | O_CREAT | O_APPEND,
+                          "AppendFile");
+  }
+
+  Status SyncFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("SyncFile", path, errno);
+    if (::fsync(fd) != 0) {
+      int err = errno;
+      ::close(fd);
+      return ErrnoStatus("SyncFile", path, err);
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("RenameFile", from, errno);
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoStatus("SyncDir", path, errno);
+    if (::fsync(fd) != 0) {
+      int err = errno;
+      ::close(fd);
+      return ErrnoStatus("SyncDir", path, err);
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    // mkdir -p: create each path component, tolerating ones that exist.
+    std::string partial;
+    partial.reserve(path.size());
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+      if (i < path.size() && path[i] != '/') {
+        partial += path[i];
+        continue;
+      }
+      if (!partial.empty() &&
+          ::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+        return ErrnoStatus("CreateDirs", partial, errno);
+      }
+      if (i < path.size()) partial += '/';
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("RemoveFile", path, errno);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+};
+
+}  // namespace
+
+Env* DefaultEnv() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace q::util

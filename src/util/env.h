@@ -1,0 +1,159 @@
+#ifndef Q_UTIL_ENV_H_
+#define Q_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/random.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace q::util {
+
+// Minimal file-system abstraction behind the persistence layer. Every
+// durable I/O the snapshot code performs goes through one of these
+// virtual calls, so tests can substitute a fault-injecting implementation
+// (FaultyEnv below) and prove the crash-recovery contract without ever
+// touching kill(2) or a real power cut.
+//
+// Durability protocol the snapshot writer relies on (POSIX semantics):
+// data reaches disk only after SyncFile; a RenameFile over an existing
+// path atomically replaces it; the rename itself is durable only after
+// SyncDir on the containing directory.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Whole-file read. NotFound when the path does not exist.
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  // Creates/truncates `path` and writes `data`. No durability implied.
+  virtual Status WriteFile(const std::string& path, std::string_view data) = 0;
+
+  // Appends `data` to `path`, creating it if absent. No durability implied.
+  virtual Status AppendFile(const std::string& path,
+                            std::string_view data) = 0;
+
+  // fsync: blocks until the file's current contents are on stable storage.
+  virtual Status SyncFile(const std::string& path) = 0;
+
+  // Atomic rename; replaces `to` if it exists.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  // fsync on a directory: makes completed renames/creates in it durable.
+  virtual Status SyncDir(const std::string& path) = 0;
+
+  // mkdir -p. OK if the directory already exists.
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  // Removes a file; OK if it does not exist.
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+};
+
+// The real POSIX filesystem. Singleton; never deleted.
+Env* DefaultEnv();
+
+// Wraps another Env and fails operations on command: the kill-point
+// harness of docs/persistence.md. Operations are counted in issue order;
+// once the count reaches the configured kill point, that operation and
+// every later one fail with Internal("injected fault...") — modelling a
+// process that died mid-save and never came back (a crashed process
+// cannot issue op N+1 after op N failed). A WriteFile/AppendFile hit at
+// the kill point first pushes a random-length prefix of its payload
+// through to the base Env: the torn write a real crash leaves behind.
+//
+// Reads and existence checks are passed through unfaulted so a test can
+// inspect the wreckage after the "crash".
+class FaultyEnv : public Env {
+ public:
+  // `seed` drives torn-write prefix lengths; deterministic per seed.
+  FaultyEnv(Env* base, std::uint64_t seed) : base_(base), rng_(seed) {}
+
+  // Fail the `kill_after`-th (0-based) and all subsequent mutating ops.
+  void set_kill_after(std::uint64_t kill_after) { kill_after_ = kill_after; }
+
+  // Mutating operations issued (attempted) so far. Run a save with no
+  // kill point to learn how many ops it takes, then sweep 0..N-1.
+  std::uint64_t ops_issued() const { return ops_issued_; }
+
+  // Re-arms the injector for another run without resetting the RNG.
+  void Reset() {
+    ops_issued_ = 0;
+    kill_after_ = kNever;
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    return base_->ReadFile(path);
+  }
+  Status WriteFile(const std::string& path, std::string_view data) override {
+    if (NextOpFails()) {
+      TearWrite(path, data, /*append=*/false);
+      return Injected("WriteFile", path);
+    }
+    return base_->WriteFile(path, data);
+  }
+  Status AppendFile(const std::string& path, std::string_view data) override {
+    if (NextOpFails()) {
+      TearWrite(path, data, /*append=*/true);
+      return Injected("AppendFile", path);
+    }
+    return base_->AppendFile(path, data);
+  }
+  Status SyncFile(const std::string& path) override {
+    if (NextOpFails()) return Injected("SyncFile", path);
+    return base_->SyncFile(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (NextOpFails()) return Injected("RenameFile", to);
+    return base_->RenameFile(from, to);
+  }
+  Status SyncDir(const std::string& path) override {
+    if (NextOpFails()) return Injected("SyncDir", path);
+    return base_->SyncDir(path);
+  }
+  Status CreateDirs(const std::string& path) override {
+    if (NextOpFails()) return Injected("CreateDirs", path);
+    return base_->CreateDirs(path);
+  }
+  Status RemoveFile(const std::string& path) override {
+    if (NextOpFails()) return Injected("RemoveFile", path);
+    return base_->RemoveFile(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+
+ private:
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  bool NextOpFails() { return ops_issued_++ >= kill_after_; }
+
+  // Only the op *at* the kill point tears; once "crashed", later ops do
+  // nothing at all.
+  void TearWrite(const std::string& path, std::string_view data,
+                 bool append) {
+    if (ops_issued_ - 1 != kill_after_ || data.empty()) return;
+    std::string_view prefix = data.substr(0, rng_.Uniform(data.size() + 1));
+    if (append) {
+      (void)base_->AppendFile(path, prefix);
+    } else {
+      (void)base_->WriteFile(path, prefix);
+    }
+  }
+
+  static Status Injected(const char* op, const std::string& path) {
+    return Status::Internal(std::string("injected fault: ") + op + " " + path);
+  }
+
+  Env* base_;
+  Rng rng_;
+  std::uint64_t ops_issued_ = 0;
+  std::uint64_t kill_after_ = kNever;
+};
+
+}  // namespace q::util
+
+#endif  // Q_UTIL_ENV_H_

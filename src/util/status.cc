@@ -1,5 +1,6 @@
 #include "util/status.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 
@@ -45,10 +46,23 @@ std::ostream& operator<<(std::ostream& os, const Status& status) {
   return os << status.ToString();
 }
 
+namespace {
+std::atomic<FatalHandler> g_fatal_handler{nullptr};
+}  // namespace
+
+FatalHandler SetFatalHandler(FatalHandler handler) {
+  return g_fatal_handler.exchange(handler);
+}
+
 namespace internal {
 
 void DieBecauseCheckFailed(const char* file, int line, const char* expr,
                            const std::string& extra) {
+  // The handler may throw (tests) or longjmp away; if it returns, fall
+  // through to the unconditional abort so this function stays [[noreturn]].
+  if (FatalHandler handler = g_fatal_handler.load()) {
+    handler(file, line, expr, extra);
+  }
   std::cerr << "Q_CHECK failed at " << file << ":" << line << ": " << expr;
   if (!extra.empty()) std::cerr << " (" << extra << ")";
   std::cerr << std::endl;

@@ -102,8 +102,21 @@ class Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
+// Hook invoked by a failed Q_CHECK before the process aborts. Embedders
+// install one to flush telemetry or convert the failure into an exception
+// (the test harness does the latter); a handler that returns falls through
+// to the default stderr diagnostic + std::abort(), so the Q_CHECK macros
+// keep their [[noreturn]] contract either way.
+using FatalHandler = void (*)(const char* file, int line, const char* expr,
+                              const std::string& extra);
+
+// Installs `handler` as the fatal hook (nullptr restores the default
+// behavior). Returns the previously installed handler. Thread-safe.
+FatalHandler SetFatalHandler(FatalHandler handler);
+
 namespace internal {
-// Aborts with a diagnostic; used by the Q_CHECK family below.
+// Runs the installed FatalHandler (if any), then aborts with a diagnostic;
+// used by the Q_CHECK family below.
 [[noreturn]] void DieBecauseCheckFailed(const char* file, int line,
                                         const char* expr,
                                         const std::string& extra);

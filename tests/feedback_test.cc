@@ -26,6 +26,72 @@ TEST(FeedbackLogTest, SlidingWindow) {
   EXPECT_TRUE(log.empty());
 }
 
+TEST(FeedbackLogTest, SequenceStampsSurviveTheSlidingWindow) {
+  FeedbackLog log(2);
+  EXPECT_EQ(log.next_sequence(), 0u);
+  EXPECT_TRUE(log.complete_history());
+  for (int i = 0; i < 4; ++i) {
+    log.Record(FeedbackEvent{{"kw"}});
+  }
+  EXPECT_EQ(log.next_sequence(), 4u);
+  EXPECT_FALSE(log.complete_history());  // events 0 and 1 were dropped
+  auto events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].sequence, 2u);
+  EXPECT_EQ(events[1].sequence, 3u);
+
+  // Restore reinstates the stream exactly: stamps and next sequence.
+  FeedbackLog other;
+  other.Restore(log.next_sequence(), log.Snapshot());
+  EXPECT_EQ(other.next_sequence(), 4u);
+  ASSERT_EQ(other.Snapshot().size(), 2u);
+  EXPECT_EQ(other.Snapshot()[0].sequence, 2u);
+}
+
+TEST(FeedbackLogTest, ReplayIsDeterministicAndAllOrNothing) {
+  graph::FeatureSpace space;
+  graph::FeatureId f1 = space.Intern("f1", 0.5);
+  graph::FeatureId f2 = space.Intern("f2", 1.0);
+
+  FeedbackLog log;
+  FeedbackEvent e1;
+  e1.deltas = {{f1, 0.5, 0.7}};
+  log.Record(std::move(e1));
+  FeedbackEvent e2;
+  e2.deltas = {{f1, 0.7, 0.6}, {f2, 1.0, 1.25}};
+  log.Record(std::move(e2));
+
+  graph::WeightVector weights(&space);
+  ASSERT_TRUE(log.ReplayInto(&weights).ok());
+  EXPECT_EQ(weights.At(f1), 0.6);
+  EXPECT_EQ(weights.At(f2), 1.25);
+
+  // Replaying again lands on the same values (idempotent on the result).
+  graph::WeightVector again(&space);
+  ASSERT_TRUE(log.ReplayInto(&again).ok());
+  EXPECT_EQ(again.At(f1), 0.6);
+  EXPECT_EQ(again.At(f2), 1.25);
+
+  // An unreplayable event poisons the whole replay without touching the
+  // target vector.
+  FeedbackEvent broken;
+  broken.replayable = false;
+  log.Record(std::move(broken));
+  graph::WeightVector untouched(&space);
+  EXPECT_FALSE(log.ReplayInto(&untouched).ok());
+  EXPECT_EQ(untouched.At(f1), 0.5);  // still the initial weight
+  EXPECT_EQ(untouched.revision(), 0u);
+
+  // So does a delta pointing outside the feature space.
+  FeedbackLog bad;
+  FeedbackEvent oob;
+  oob.deltas = {{999, 0.0, 1.0}};
+  bad.Record(std::move(oob));
+  graph::WeightVector target(&space);
+  EXPECT_TRUE(bad.ReplayInto(&target).IsOutOfRange());
+  EXPECT_EQ(target.revision(), 0u);
+}
+
 class SimulatedUserTest : public ::testing::Test {
  protected:
   void SetUp() override {

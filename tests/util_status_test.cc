@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "util/result.h"
 
 namespace q::util {
@@ -106,6 +109,46 @@ TEST(StatusTest, ReturnNotOkMacro) {
   EXPECT_TRUE(Chain(1).ok());
   EXPECT_TRUE(Chain(-1).IsOutOfRange());
 }
+
+std::string* LastFatal() {
+  static std::string last;
+  return &last;
+}
+
+void ThrowingFatalHandler(const char* file, int line, const char* expr,
+                          const std::string& extra) {
+  *LastFatal() = std::string(expr) + "|" + extra;
+  (void)file;
+  (void)line;
+  throw std::runtime_error("fatal: " + *LastFatal());
+}
+
+TEST(FatalHandlerTest, InstalledHandlerInterceptsFailedChecks) {
+  FatalHandler previous = SetFatalHandler(&ThrowingFatalHandler);
+  EXPECT_EQ(previous, nullptr);
+  LastFatal()->clear();
+
+  EXPECT_THROW(Q_CHECK(1 == 2), std::runtime_error);
+  EXPECT_EQ(*LastFatal(), "1 == 2|");
+
+  EXPECT_THROW(Q_CHECK_OK(Status::Internal("boom")), std::runtime_error);
+  EXPECT_NE(LastFatal()->find("Internal: boom"), std::string::npos);
+
+  // Passing checks never reach the handler.
+  LastFatal()->clear();
+  Q_CHECK(2 == 2);
+  Q_CHECK_OK(Status::OK());
+  EXPECT_TRUE(LastFatal()->empty());
+
+  EXPECT_EQ(SetFatalHandler(previous), &ThrowingFatalHandler);
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(FatalHandlerDeathTest, DefaultBehaviorStillAborts) {
+  EXPECT_DEATH(Q_CHECK_MSG(false, "invariant " << 42),
+               "invariant 42");
+}
+#endif
 
 }  // namespace
 }  // namespace q::util
