@@ -176,6 +176,34 @@ run_gate bench/baselines/BENCH_warm_restart.json \
 run_gate bench/baselines/BENCH_warm_restart.json \
          bench/out/BENCH_warm_restart.json '*save*'
 
+# --- concurrent serving load (YCSB-style) ------------------------------------
+# Four query workers plus a feedback writer over Zipfian-skewed views
+# (docs/benchmarks.md, "Concurrent serving load"). The binary is a
+# correctness gate first: it exits non-zero when any worker op fails and
+# exits 2 when the quiescent state diverges from the synchronous twin
+# (bit-identity under concurrency). The latency gate watches the query
+# p95; throughput is gated inverted below (higher is better).
+./build/bench_serve_load --smoke --json=bench/out/BENCH_serve_load.json
+run_gate bench/baselines/BENCH_serve_load.json \
+         bench/out/BENCH_serve_load.json '*query_p95*'
+if [[ "${BENCH_GATE}" == "1" && -f bench/baselines/BENCH_serve_load.json ]]
+then
+  base_ops="$(awk "${parse}" bench/baselines/BENCH_serve_load.json | \
+              awk '$1 == "serve_load_ops_per_sec" { print $2 }')"
+  fresh_ops="$(awk "${parse}" bench/out/BENCH_serve_load.json | \
+               awk '$1 == "serve_load_ops_per_sec" { print $2 }')"
+  if [[ -n "${base_ops}" && -n "${fresh_ops}" ]]; then
+    verdict="$(awk -v f="${fresh_ops}" -v b="${base_ops}" \
+               'BEGIN { print (f * 1.25 < b) ? "REGRESSED" : "ok" }')"
+    printf 'perf gate: %-34s baseline=%12.1f fresh=%12.1f %s\n' \
+      "serve_load_ops_per_sec (higher=ok)" "${base_ops}" "${fresh_ops}" \
+      "${verdict}"
+    if [[ "${verdict}" == "REGRESSED" ]]; then
+      gate_failed=1
+    fi
+  fi
+fi
+
 if [[ "${gate_failed}" == "1" ]]; then
   echo "check.sh: FAIL — gated kernel regressed >25% vs committed baseline"
   exit 1
@@ -189,6 +217,8 @@ if [[ "${BENCH_UPDATE_BASELINE:-0}" == "1" ]]; then
      bench/baselines/BENCH_view_refresh.json
   cp bench/out/BENCH_warm_restart.json \
      bench/baselines/BENCH_warm_restart.json
+  cp bench/out/BENCH_serve_load.json \
+     bench/baselines/BENCH_serve_load.json
   echo "perf gate: baselines updated from this run"
 fi
 

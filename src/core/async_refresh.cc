@@ -9,7 +9,7 @@ AsyncRefreshScheduler::AsyncRefreshScheduler(
     RefreshEngine* engine, util::ThreadPool* pool, int dedicated_threads,
     const graph::SearchGraph* base, const relational::Catalog* catalog,
     const text::TextIndex* index, graph::CostModel* model,
-    const graph::WeightVector* weights)
+    const graph::WeightVector* weights, util::SharedMutex* serve_gate)
     : engine_(engine),
       owned_pool_(pool == nullptr || dedicated_threads > 0
                       ? std::make_unique<util::ThreadPool>(
@@ -21,6 +21,7 @@ AsyncRefreshScheduler::AsyncRefreshScheduler(
       index_(index),
       model_(model),
       weights_(weights),
+      serve_gate_(serve_gate),
       queue_(pool_) {}
 
 AsyncRefreshScheduler::~AsyncRefreshScheduler() { queue_.Drain(); }
@@ -90,8 +91,16 @@ void AsyncRefreshScheduler::NotifyBaseChanged() {
     // Rebuilds mutate the shared feature space (and structural
     // propagation the cached query graph), which concurrent repairs may
     // be reading: quiesce first. The owner's feedback lock keeps new
-    // notifications out while we run.
+    // notifications out while we run. Concurrent QueryView readers are
+    // excluded by the serving gate — a rebuild replaces the slot's engine
+    // and query graph, which a gate-free reader could be mid-search on.
+    // (Taken after the drain: repair tasks never touch the gate, so the
+    // drain cannot deadlock against it.)
     queue_.Drain();
+    std::unique_lock<util::SharedMutex> serve_lock;
+    if (serve_gate_ != nullptr) {
+      serve_lock = std::unique_lock<util::SharedMutex>(*serve_gate_);
+    }
     for (std::size_t slot : serial) {
       util::Status status = engine_->RefreshView(
           slot, *base_, *catalog_, *index_, model_, *weights_);
@@ -184,6 +193,13 @@ util::Status AsyncRefreshScheduler::SyncBarrier() {
       validated_[slot] = epoch_;
     }
     repair_error_ = util::Status::OK();
+  } else if (repair_error_.ok()) {
+    // A failed barrier bumps the epoch without validating anyone, so a
+    // WaitFresh waiter's predicate could never become true — record the
+    // failure so waiters wake with `false` now instead of burning their
+    // full deadline (and so Drain surfaces the barrier's failure exactly
+    // like a failed async repair's).
+    repair_error_ = status;
   }
   cv_.notify_all();
   return status;

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "core/refresh_engine.h"
@@ -14,6 +15,7 @@
 #include "query/view.h"
 #include "relational/catalog.h"
 #include "text/text_index.h"
+#include "util/shared_mutex.h"
 #include "util/status.h"
 #include "util/task_queue.h"
 #include "util/thread_pool.h"
@@ -88,13 +90,21 @@ class AsyncRefreshScheduler {
   // of max(1, dedicated_threads) workers instead. The base-state
   // pointers mirror RefreshEngine::RefreshAll's parameters; `model` and
   // `index` are needed only by the serial path.
+  // `serve_gate` (optional) is the owner's reader/writer serving lock
+  // (QSystem::serve_mu_): concurrent QueryView readers hold it shared,
+  // and the scheduler takes it exclusively around the serial-repair
+  // branch of NotifyBaseChanged — the one scheduler path that rebuilds
+  // query graphs / replaces slot engines while readers could be in
+  // flight. SyncBarrier deliberately does NOT take it: its QSystem
+  // callers already hold the gate exclusively (it is not recursive).
   AsyncRefreshScheduler(RefreshEngine* engine, util::ThreadPool* pool,
                         int dedicated_threads,
                         const graph::SearchGraph* base,
                         const relational::Catalog* catalog,
                         const text::TextIndex* index,
                         graph::CostModel* model,
-                        const graph::WeightVector* weights);
+                        const graph::WeightVector* weights,
+                        util::SharedMutex* serve_gate = nullptr);
 
   // Drains all in-flight repairs.
   ~AsyncRefreshScheduler();
@@ -157,6 +167,7 @@ class AsyncRefreshScheduler {
   const text::TextIndex* index_;
   graph::CostModel* model_;
   const graph::WeightVector* weights_;
+  util::SharedMutex* serve_gate_;  // may be null (no concurrent readers)
 
   // Declared after the pools so it drains before they join.
   util::KeyedTaskQueue queue_;

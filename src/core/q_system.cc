@@ -59,7 +59,7 @@ void QSystem::EnsureScheduler() {
   if (!config_.async_refresh || scheduler_ != nullptr) return;
   scheduler_ = std::make_unique<AsyncRefreshScheduler>(
       &refresh_, steiner_pool_.get(), config_.async_repair_threads, &graph_,
-      &catalog_, &index_, &model_, &weights_);
+      &catalog_, &index_, &model_, &weights_, &serve_mu_);
 }
 
 std::vector<match::Matcher*> QSystem::EnabledMatchers() {
@@ -79,8 +79,11 @@ util::Status QSystem::RegisterSourceLocked(
     std::shared_ptr<relational::DataSource> source) {
   // Structural mutation: the catalog, index, and graph are read lock-free
   // by in-flight repairs, so quiesce them first (the feedback lock keeps
-  // new ones from being scheduled meanwhile).
+  // new ones from being scheduled meanwhile). Concurrent QueryView
+  // searches read the same state lock-free; the exclusive serving gate
+  // holds them off while it changes.
   if (scheduler_ != nullptr) scheduler_->Quiesce();
+  std::unique_lock<util::SharedMutex> serve_lock(serve_mu_);
   Q_RETURN_NOT_OK(catalog_.AddSource(source));
   for (const auto& table : source->tables()) {
     index_.IndexTable(*table);
@@ -228,10 +231,16 @@ util::Result<align::AlignerStats> QSystem::RegisterAndAlignSource(
 util::Result<std::size_t> QSystem::CreateView(
     std::vector<std::string> keywords) {
   std::lock_guard<std::mutex> lock(feedback_mu_);
+  // Registration grows the engine's slot table (invalidating concurrent
+  // SearchView's slot reference), and the first refresh interns features:
+  // both require the exclusive serving gate. Taking it before
+  // EnsureScheduler also publishes scheduler_ to gate-holding readers.
+  std::unique_lock<util::SharedMutex> serve_lock(serve_mu_);
   EnsureSteinerPool();
   EnsureScheduler();
   // Registration grows the engine's slot table and the initial refresh
-  // interns features: both require quiescence in async mode.
+  // interns features: both require quiescence in async mode. (Repair
+  // tasks never take the serving gate, so draining under it is safe.)
   if (scheduler_ != nullptr) scheduler_->Quiesce();
   auto view = std::make_unique<query::TopKView>(std::move(keywords),
                                                 config_.view);
@@ -255,6 +264,10 @@ util::Status QSystem::RefreshAllViews() {
 }
 
 util::Status QSystem::RefreshAllViewsLocked() {
+  // A full refresh may rebuild query graphs and replace slot engines:
+  // exclusive gate. SyncBarrier relies on this caller-held gate instead
+  // of taking it itself (shared_mutex is not recursive).
+  std::unique_lock<util::SharedMutex> serve_lock(serve_mu_);
   if (scheduler_ != nullptr) return scheduler_->SyncBarrier();
   return refresh_.RefreshAll(graph_, catalog_, index_, &model_, weights_);
 }
@@ -271,9 +284,13 @@ util::Status QSystem::RefreshAfterFeedbackLocked() {
 
 query::ViewResult QSystem::ReadView(std::size_t id) const {
   // Unknown ids return an empty result (state == nullptr) rather than
-  // UB, mirroring the Status the mutating APIs return. The async path
+  // UB, mirroring the Status the mutating APIs return. The shared gate
+  // orders the scheduler_ check against CreateView's publication and
+  // keeps views_ stable for the sync branch; the async path additionally
   // bounds-checks under the scheduler lock (its tracked set is what a
-  // concurrent CreateView grows).
+  // concurrent CreateView grows). Read() never blocks, so holding the
+  // shared gate across it is safe.
+  std::shared_lock<util::SharedMutex> serve_lock(serve_mu_);
   if (scheduler_ != nullptr) return scheduler_->Read(id);
   if (id >= views_.size()) return query::ViewResult{};
   query::ViewResult result;
@@ -283,15 +300,42 @@ query::ViewResult QSystem::ReadView(std::size_t id) const {
   return result;
 }
 
+util::Result<query::ViewSnapshot> QSystem::QueryView(std::size_t id) const {
+  std::shared_lock<util::SharedMutex> serve_lock(serve_mu_);
+  if (id >= views_.size()) {
+    return util::Status::InvalidArgument("no such view");
+  }
+  // View id == engine slot id: CreateView registers then appends, both
+  // under the exclusive gate, so the mapping cannot skew while we hold
+  // the shared one.
+  return refresh_.SearchView(id, catalog_);
+}
+
 bool QSystem::WaitViewFresh(std::size_t id,
                             std::chrono::milliseconds timeout) {
-  if (scheduler_ != nullptr) return scheduler_->WaitFresh(id, timeout);
-  return id < views_.size();
+  AsyncRefreshScheduler* scheduler = nullptr;
+  {
+    // Do NOT hold the gate across the blocking wait: the serial-repair
+    // branch of NotifyBaseChanged needs it exclusively to perform the
+    // very repair this waiter is waiting for. The pointer copy is safe —
+    // once created, the scheduler lives until ~QSystem.
+    std::shared_lock<util::SharedMutex> serve_lock(serve_mu_);
+    if (scheduler_ == nullptr) return id < views_.size();
+    scheduler = scheduler_.get();
+  }
+  return scheduler->WaitFresh(id, timeout);
 }
 
 util::Status QSystem::DrainRefreshes() {
-  if (scheduler_ == nullptr) return util::Status::OK();
-  return scheduler_->Drain();
+  AsyncRefreshScheduler* scheduler = nullptr;
+  {
+    // Same pattern as WaitViewFresh: never block on repairs while
+    // holding the gate.
+    std::shared_lock<util::SharedMutex> serve_lock(serve_mu_);
+    if (scheduler_ == nullptr) return util::Status::OK();
+    scheduler = scheduler_.get();
+  }
+  return scheduler->Drain();
 }
 
 util::Status QSystem::ApplyFeedback(std::size_t view_id,

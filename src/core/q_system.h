@@ -4,6 +4,7 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "text/text_index.h"
 #include "util/env.h"
 #include "util/result.h"
+#include "util/shared_mutex.h"
 #include "util/thread_pool.h"
 
 namespace q::core {
@@ -138,6 +140,24 @@ class QSystem {
   // consistent for as long as the caller holds it, even across
   // concurrent repairs.
   query::ViewResult ReadView(std::size_t id) const;
+
+  // Runs a fresh keyword search for view `id` against its current serving
+  // snapshot and returns the result — the concurrent query front end. Any
+  // number of QueryView calls may run in parallel with each other AND
+  // with feedback (ApplyFeedback* / async repairs): each search captures
+  // an atomic {pinned CSR, frozen weight copy} pair from the view's
+  // refresh slot (RefreshEngine::SearchView), so it never reads the live
+  // weight vector and never observes a half-repriced snapshot. Structural
+  // operations (RegisterSource*, AddAssociations via its callers,
+  // CreateView, RefreshAllViews) take the serving gate exclusively and
+  // briefly block queries while they rebuild.
+  //
+  // The returned snapshot's trees/queries/results are bit-identical to
+  // the view's published output at quiescence (its serials are 0 — the
+  // result is this caller's, not a published state). Under concurrent
+  // feedback the result is always *some* consistent point in the repair
+  // timeline: baseline-before or repaired-after, never a mix.
+  util::Result<query::ViewSnapshot> QueryView(std::size_t id) const;
 
   // Async mode: blocks until view `id` reflects every feedback update
   // committed before this call, or `timeout` elapses (returns false).
@@ -270,6 +290,17 @@ class QSystem {
   // other and against the async scheduler's classification step. Reads
   // (ReadView / accessors at quiescence) never take it.
   std::mutex feedback_mu_;
+  // The serving gate: QueryView / ReadView / WaitViewFresh hold it shared;
+  // operations that restructure what queries read lock-free — views_
+  // growth, engine-slot rebuilds, catalog/index mutation, scheduler
+  // creation — hold it exclusively (RegisterSourceLocked, CreateView,
+  // RefreshAllViewsLocked, and the scheduler's serial-repair branch via
+  // the pointer handed to EnsureScheduler). Pure weight-delta feedback
+  // deliberately does NOT take it: searches price against their captured
+  // frozen weights, so MIRA updates and in-place repairs run concurrently
+  // with queries. Lock order: feedback_mu_ -> serve_mu_ -> (engine locks);
+  // never hold serve_mu_ while blocking on repairs (see WaitViewFresh).
+  mutable util::SharedMutex serve_mu_;
   // Shared by all views' top-k searches; must outlive views_.
   std::unique_ptr<util::ThreadPool> steiner_pool_;
   graph::FeatureSpace space_;

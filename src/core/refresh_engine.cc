@@ -204,8 +204,16 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
 
   if (rebuild) {
     Q_RETURN_NOT_OK(view.RebuildQueryGraph(base, *index, model, weights));
-    slot->engine = std::make_unique<steiner::FastSteinerEngine>(
-        view.query_graph().graph, weights, view.config().top_k.use_sp_cache);
+    {
+      // Rebuilds run under the caller's exclusive serving gate (no
+      // SearchView in flight), but publish under serve_mu_ anyway so the
+      // engine swap and its matching weight copy stay one atomic unit.
+      std::lock_guard<std::mutex> lock(serve_mu_);
+      slot->engine = std::make_unique<steiner::FastSteinerEngine>(
+          view.query_graph().graph, weights,
+          view.config().top_k.use_sp_cache);
+      slot->serving_weights = SnapshotWeightsLocked(weights);
+    }
     ++stats->snapshots_built;
     slot->dirty = true;
     outcome.run_search = true;
@@ -256,8 +264,18 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
   }
 
   if (have_weight_deltas) {
-    auto delta = slot->engine->RecostDelta(view.query_graph().graph, weights,
-                                           weight_deltas, mutated_edges);
+    steiner::FastSteinerEngine::RecostDeltaOutcome delta;
+    {
+      // Publish {repriced CSR, matching weight copy} atomically w.r.t.
+      // concurrent SearchView captures. When nothing repriced, the CSR is
+      // bitwise unchanged and the old serving pair stays valid.
+      std::lock_guard<std::mutex> lock(serve_mu_);
+      delta = slot->engine->RecostDelta(view.query_graph().graph, weights,
+                                        weight_deltas, mutated_edges);
+      if (delta.applied && delta.edges_repriced > 0) {
+        slot->serving_weights = SnapshotWeightsLocked(weights);
+      }
+    }
     if (delta.applied) {
       stats->edges_repriced += delta.edges_repriced;
       stats->sp_cache_entries_retained += delta.cache_entries_retained;
@@ -287,7 +305,11 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
 
   // Weight journal truncated or the delta was dense: re-cost wholesale in
   // place (still no graph copy / text-index matching / CSR extraction).
-  slot->engine->Recost(view.query_graph().graph, weights);
+  {
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    slot->engine->Recost(view.query_graph().graph, weights);
+    slot->serving_weights = SnapshotWeightsLocked(weights);
+  }
   ++stats->snapshots_recosted;
   ++stats->views_full_recost;
   slot->dirty = true;
@@ -300,9 +322,53 @@ void RefreshEngine::CommitSlot(Slot* slot, const graph::SearchGraph& base,
                                bool searched) {
   slot->graph_revision = base.revision();
   slot->weight_revision = weights.revision();
-  slot->built = true;
+  // Conditional so steady-state commits don't write the flag at all:
+  // SearchView reads `built` without a lock, which is safe because the
+  // only false->true transition happens inside CreateView's exclusive
+  // serving gate, before the slot id is ever published to readers.
+  if (!slot->built) slot->built = true;
   slot->dirty = false;
   if (searched) slot->certificate_serial = slot->view->certificate().serial;
+}
+
+std::shared_ptr<const graph::WeightVector>
+RefreshEngine::SnapshotWeightsLocked(const graph::WeightVector& weights) {
+  if (serving_cache_ == nullptr ||
+      serving_cache_revision_ != weights.revision()) {
+    serving_cache_ = std::make_shared<const graph::WeightVector>(weights);
+    serving_cache_revision_ = weights.revision();
+  }
+  return serving_cache_;
+}
+
+util::Result<query::ViewSnapshot> RefreshEngine::SearchView(
+    std::size_t slot_id, const relational::Catalog& catalog) const {
+  if (slot_id >= slots_.size()) {
+    return util::Status::InvalidArgument("no such view slot");
+  }
+  const Slot& slot = slots_[slot_id];
+  // `built` flips false->true exactly once, inside the caller's exclusive
+  // serving gate (see CommitSlot); `view` and the engine pointer are only
+  // replaced under that same gate, so the unlocked reads here are safe.
+  if (!slot.built || slot.view == nullptr || slot.engine == nullptr) {
+    return util::Status::InvalidArgument("view slot has no snapshot yet");
+  }
+  steiner::SnapshotPin pin;
+  std::shared_ptr<const graph::WeightVector> weights;
+  {
+    // Atomic {pin, weights} capture: see serve_mu_. After this block the
+    // search runs lock-free against the frozen pair — a concurrent repair
+    // copies-on-write past the pin and publishes a new pair for later
+    // readers without disturbing this one.
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    pin = slot.engine->Pin();
+    weights = slot.serving_weights;
+  }
+  if (weights == nullptr) {
+    return util::Status::Internal("view slot has no serving weights");
+  }
+  return slot.view->BuildSearchSnapshot(catalog, *weights, slot.engine.get(),
+                                        &pin);
 }
 
 util::Status RefreshEngine::RefreshAll(const graph::SearchGraph& base,

@@ -224,6 +224,22 @@ class RefreshEngine {
                            graph::CostModel* model,
                            const graph::WeightVector& weights);
 
+  // Runs one keyword search against `slot`'s current serving snapshot and
+  // returns the (unpublished) result — the concurrent read path behind
+  // QSystem::QueryView. Under serve_mu_ it captures an atomic pair
+  // {engine pin, serving weight copy}: the pin freezes the CSR costs for
+  // the whole enumeration (mutators copy-on-write) and the weight copy is
+  // the frozen vector those costs were last reconciled against, so the
+  // search can never mix a new CSR with old weights or vice versa. Any
+  // number of SearchView calls may run concurrently with each other and
+  // with the in-place repair paths (RepairViewAsync / weight-delta
+  // refreshes); the rebuild/structural paths replace slot engines and
+  // query graphs and must be excluded by the caller's serving gate
+  // (QSystem holds its serve lock exclusively around them).
+  // Fails until the slot's first successful refresh has built a snapshot.
+  util::Result<query::ViewSnapshot> SearchView(
+      std::size_t slot, const relational::Catalog& catalog) const;
+
   // Snapshot generation: bumped whenever a refresh observes that the
   // graph or weight revision moved. Fresh engines start at 0.
   std::uint64_t generation() const { return generation_; }
@@ -294,6 +310,14 @@ class RefreshEngine {
     // never reconciled with, so its gap is meaningless relative to the
     // snapshot's baseline costs.
     std::uint64_t certificate_serial = 0;
+    // Frozen copy of the weight vector the snapshot's CSR costs were last
+    // reconciled against, read by SearchView under serve_mu_ together
+    // with the engine pin. Deliberately NOT advanced by gate-skipped
+    // (stale-by-design) refreshes: the CSR keeps its baseline costs, so
+    // serving searches must keep pricing compile/union reads with the
+    // matching baseline weights — that is what keeps a concurrent
+    // SearchView bit-identical to the view's published snapshot.
+    std::shared_ptr<const graph::WeightVector> serving_weights;
   };
 
   struct PrepareOutcome {
@@ -362,6 +386,12 @@ class RefreshEngine {
   void ObserveRevisions(const graph::SearchGraph& base,
                         const graph::WeightVector& weights);
 
+  // A frozen copy of `weights` for the serving path, memoized by revision
+  // so one refresh round copies the vector at most once no matter how
+  // many slots it reconciles. Caller must hold serve_mu_.
+  std::shared_ptr<const graph::WeightVector> SnapshotWeightsLocked(
+      const graph::WeightVector& weights);
+
   util::ThreadPool* pool_ = nullptr;
   bool relevance_gating_ = true;
   std::uint64_t generation_ = 0;
@@ -371,6 +401,15 @@ class RefreshEngine {
   std::vector<Slot> slots_;
   mutable std::mutex stats_mu_;
   RefreshEngineStats stats_;  // guarded by stats_mu_
+  // Serving lock: SearchView captures {pin, serving_weights} under it and
+  // the repair paths publish {recosted CSR, new serving_weights} under
+  // it, so the pair is atomic — a reader can never pin a repriced CSR and
+  // then read the pre-repair weights (or vice versa). One engine-level
+  // mutex rather than per-slot (slots_ reallocates on RegisterView, and
+  // the critical sections are a few pointer copies).
+  mutable std::mutex serve_mu_;
+  std::shared_ptr<const graph::WeightVector> serving_cache_;
+  std::uint64_t serving_cache_revision_ = 0;
 };
 
 }  // namespace q::core

@@ -31,7 +31,7 @@ util::Status TopKView::RebuildQueryGraph(const graph::SearchGraph& base,
 
 bool TopKView::PropagateBaseEdges(const graph::SearchGraph& base,
                                   const std::vector<graph::EdgeId>& edges) {
-  if (!refreshed_) return false;  // no cached query graph to patch
+  if (!refreshed()) return false;  // no cached query graph to patch
   // Verify-then-apply in two passes: a failed check must leave the cached
   // graph untouched so the caller's rebuild starts from consistent state.
   for (graph::EdgeId e : edges) {
@@ -51,19 +51,15 @@ bool TopKView::PropagateBaseEdges(const graph::SearchGraph& base,
   return true;
 }
 
-util::Status TopKView::RunSearch(const relational::Catalog& catalog,
-                                 const graph::WeightVector& weights,
-                                 steiner::FastSteinerEngine* shared_engine) {
-  // Build into a fresh snapshot and swap on success only: a mid-search
-  // failure must not leave trees/queries/results mutually inconsistent
-  // (result rows index queries by position — see ApplyInvalidFeedback) —
-  // and concurrent readers holding the previous Snapshot() must keep a
-  // complete result set until the new one is published whole (the
-  // double-buffered half of the async refresh contract).
-  steiner::RelevanceCertificate certificate;
+util::Result<ViewSnapshot> TopKView::BuildSearchSnapshot(
+    const relational::Catalog& catalog, const graph::WeightVector& weights,
+    steiner::FastSteinerEngine* shared_engine,
+    const steiner::SnapshotPin* pin) const {
+  ViewSnapshot snapshot;
+  steiner::RelevanceCertificate& certificate = snapshot.certificate;
   std::vector<steiner::SteinerTree> trees = steiner::TopKSteinerTrees(
       query_graph_.graph, weights, query_graph_.keyword_nodes,
-      config_.top_k, shared_engine, &certificate);
+      config_.top_k, shared_engine, &certificate, pin);
   std::vector<ConjunctiveQuery> queries;
   std::vector<std::vector<relational::Row>> per_query_rows;
   Executor executor(&catalog, config_.executor);
@@ -106,18 +102,40 @@ util::Status TopKView::RunSearch(const relational::Catalog& catalog,
         std::unique(certificate.edges.begin(), certificate.edges.end()),
         certificate.edges.end());
   }
-  certificate.serial = ++certificate_serial_;
-  certificate_ = std::move(certificate);
-  auto next = std::make_shared<ViewSnapshot>();
-  next->trees = std::move(trees);
-  next->queries = std::move(queries);
-  next->results = std::move(results);
-  next->search_serial = certificate_serial_;
+  snapshot.trees = std::move(trees);
+  snapshot.queries = std::move(queries);
+  snapshot.results = std::move(results);
+  // certificate.serial and search_serial stay 0 (a consistent pair):
+  // only publication stamps real serials, under state_mu_.
+  return snapshot;
+}
+
+util::Status TopKView::RunSearch(const relational::Catalog& catalog,
+                                 const graph::WeightVector& weights,
+                                 steiner::FastSteinerEngine* shared_engine) {
+  // Build into a fresh snapshot and swap on success only: a mid-search
+  // failure must not leave trees/queries/results mutually inconsistent
+  // (result rows index queries by position — see ApplyInvalidFeedback) —
+  // and concurrent readers holding the previous Snapshot() must keep a
+  // complete result set until the new one is published whole (the
+  // double-buffered half of the async refresh contract).
+  Q_ASSIGN_OR_RETURN(ViewSnapshot built,
+                     BuildSearchSnapshot(catalog, weights, shared_engine,
+                                         /*pin=*/nullptr));
+  auto next = std::make_shared<ViewSnapshot>(std::move(built));
   {
+    // Serial stamping, certificate publication, and snapshot swap happen
+    // in ONE critical section: a reader can never observe a certificate
+    // whose serial disagrees with its snapshot's search_serial, nor a
+    // serial bump without the matching snapshot.
     std::lock_guard<std::mutex> lock(state_mu_);
+    ++certificate_serial_;
+    next->certificate.serial = certificate_serial_;
+    next->search_serial = certificate_serial_;
+    certificate_ = next->certificate;
     state_ = std::move(next);
   }
-  refreshed_ = true;
+  refreshed_.store(true, std::memory_order_release);
   return util::Status::OK();
 }
 
@@ -126,12 +144,15 @@ double TopKView::Alpha() const {
   // (Sec. 3.3) — the k-th ranked *answer*, not the k-th tree: a view with
   // plenty of cheap answers is hard to break into. With fewer than k
   // answers, any relevant new source could enter the top-k, so nothing
-  // may be pruned.
+  // may be pruned. Reads through Snapshot() so it is safe against a
+  // concurrent RunSearch publishing the next buffer.
   std::size_t k = static_cast<std::size_t>(config_.top_k.k);
-  if (!refreshed_ || state_->results.rows.size() < k) {
+  if (!refreshed()) return std::numeric_limits<double>::infinity();
+  std::shared_ptr<const ViewSnapshot> state = Snapshot();
+  if (state->results.rows.size() < k) {
     return std::numeric_limits<double>::infinity();
   }
-  return state_->results.rows[k - 1].cost;
+  return state->results.rows[k - 1].cost;
 }
 
 }  // namespace q::query

@@ -1,6 +1,7 @@
 #ifndef Q_QUERY_VIEW_H_
 #define Q_QUERY_VIEW_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include "query/query_graph.h"
 #include "query/ranked_union.h"
 #include "steiner/top_k.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace q::query {
@@ -37,6 +39,12 @@ struct ViewSnapshot {
   std::vector<steiner::SteinerTree> trees;
   std::vector<ConjunctiveQuery> queries;
   RankedResults results;
+  // The relevance certificate of the search that produced this snapshot,
+  // published as part of the same immutable unit so a reader can never
+  // observe a certificate whose serial disagrees with search_serial
+  // (certificate.serial == search_serial in every published snapshot; both
+  // are 0 in an unpublished/empty one).
+  steiner::RelevanceCertificate certificate;
   std::uint64_t search_serial = 0;
 };
 
@@ -99,6 +107,23 @@ class TopKView {
                          const graph::WeightVector& weights,
                          steiner::FastSteinerEngine* shared_engine = nullptr);
 
+  // The read-only body of RunSearch: runs the search/compile/execute/union
+  // pipeline against the current query graph and returns the resulting
+  // snapshot WITHOUT publishing it (state_, certificate_, and the serial
+  // counter are untouched; the returned snapshot carries serial 0 in both
+  // certificate.serial and search_serial, a consistent pair). When `pin`
+  // is non-null it must come from `shared_engine` and the whole
+  // enumeration runs against that pinned CSR generation — this is the
+  // concurrent serving path (core::RefreshEngine::SearchView), which may
+  // run any number of BuildSearchSnapshot calls on one view concurrently
+  // with each other and with pinned engine re-costs, but NOT concurrently
+  // with RebuildQueryGraph/PropagateBaseEdges (those mutate query_graph_;
+  // the serving gate upstream excludes them).
+  util::Result<ViewSnapshot> BuildSearchSnapshot(
+      const relational::Catalog& catalog, const graph::WeightVector& weights,
+      steiner::FastSteinerEngine* shared_engine,
+      const steiner::SnapshotPin* pin) const;
+
   // Delta alternative to phase 1 for in-place base-edge mutations (the
   // kEdgeMutated structural journal records): copies each listed base
   // edge over the cached query graph's copy of it. Sound because a query
@@ -135,7 +160,7 @@ class TopKView {
     return state_->queries;
   }
   const RankedResults& results() const { return state_->results; }
-  bool refreshed() const { return refreshed_; }
+  bool refreshed() const { return refreshed_.load(std::memory_order_acquire); }
 
   // Relevance certificate of the last successful RunSearch, augmented
   // with every edge the ranked union's schema-unification reads (the
@@ -161,13 +186,16 @@ class TopKView {
   QueryGraph query_graph_;
   // Current published snapshot; swapped under state_mu_ by RunSearch.
   // Starts non-null (empty) so the reference accessors never dereference
-  // null before the first refresh.
+  // null before the first refresh. state_mu_ also guards certificate_ and
+  // certificate_serial_: RunSearch stamps the serial and publishes the
+  // certificate and the snapshot in ONE critical section, so serial
+  // stamping can never be observed out of step with snapshot publication.
   mutable std::mutex state_mu_;
   std::shared_ptr<const ViewSnapshot> state_ =
       std::make_shared<ViewSnapshot>();
   steiner::RelevanceCertificate certificate_;
   std::uint64_t certificate_serial_ = 0;
-  bool refreshed_ = false;
+  std::atomic<bool> refreshed_{false};
 };
 
 }  // namespace q::query

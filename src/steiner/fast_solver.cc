@@ -617,9 +617,15 @@ std::optional<SteinerTree> FastSteinerEngine::SolveKmb(
     const std::vector<graph::EdgeId>& forced,
     const std::vector<graph::EdgeId>& banned) {
   // Pin the snapshot for the whole solve: a concurrent re-cost
-  // copies-on-write, so `csr` below stays bitwise frozen and the cache
+  // copies-on-write, so the pinned CSR stays bitwise frozen and the cache
   // traffic stays keyed under the pinned generation.
-  const SnapshotPin pin = Pin();
+  return SolveKmb(Pin(), terminals, forced, banned);
+}
+
+std::optional<SteinerTree> FastSteinerEngine::SolveKmb(
+    const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
+    const std::vector<graph::EdgeId>& forced,
+    const std::vector<graph::EdgeId>& banned) {
   const CsrGraph& csr = *pin.csr;
   SolverScratch& s = GetScratch();
   SteinerTree result;
@@ -640,7 +646,13 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExact(
     const std::vector<graph::EdgeId>& forced,
     const std::vector<graph::EdgeId>& banned) {
   // Same pinning rule as SolveKmb.
-  const SnapshotPin pin = Pin();
+  return SolveExact(Pin(), terminals, forced, banned);
+}
+
+std::optional<SteinerTree> FastSteinerEngine::SolveExact(
+    const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
+    const std::vector<graph::EdgeId>& forced,
+    const std::vector<graph::EdgeId>& banned) {
   const CsrGraph& csr = *pin.csr;
   SolverScratch& s = GetScratch();
   SteinerTree result;

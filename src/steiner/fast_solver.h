@@ -21,6 +21,25 @@ struct FastSolveStats {
   std::size_t sp_cache_entries = 0;
 };
 
+// A pinned read handle on a FastSteinerEngine's current CSR snapshot.
+// While any pin is alive, mutators copy-on-write instead of patching in
+// place (and move the shortest-path cache to a new generation), so the
+// pinned CsrGraph — and with it the generation the pin captured — stays
+// bitwise frozen for as long as the holder keeps the struct alive.
+// Solve* pin internally unless handed a pin; a whole top-k enumeration
+// passes one pin through every subproblem (see top_k.h) so a re-cost
+// landing mid-enumeration can never mix cost snapshots within one search.
+// Namespace-scope (rather than nested) so top_k.h can forward-declare it.
+struct SnapshotPin {
+  std::shared_ptr<const CsrGraph> csr;
+  // Engine generation at pin time.
+  std::uint64_t generation = 0;
+  // Shortest-path cache generation at pin time; the pinned solve's
+  // cache lookups and inserts are keyed under it (see sp_cache.h), so
+  // they can never mix with entries of other cost snapshots.
+  std::uint64_t cache_generation = 0;
+};
+
 // Allocation-free Steiner solvers over a shared CSR snapshot.
 //
 // One engine is built per (graph, weights) pair — the CSR adjacency and
@@ -127,33 +146,30 @@ class FastSteinerEngine {
   // servable).
   std::uint64_t generation() const { return generation_; }
 
-  // A pinned read handle on the engine's current CSR snapshot. While any
-  // pin is alive, mutators copy-on-write instead of patching in place
-  // (and move the shortest-path cache to a new generation), so the
-  // pinned CsrGraph — and with it the generation the pin captured — stays
-  // bitwise frozen for as long as the holder keeps the handle. Solve*
-  // pin internally; external holders (e.g. an in-flight search that must
-  // outlive a concurrent re-cost) just keep the struct alive.
-  struct SnapshotPin {
-    std::shared_ptr<const CsrGraph> csr;
-    // Engine generation at pin time.
-    std::uint64_t generation = 0;
-    // Shortest-path cache generation at pin time; the pinned solve's
-    // cache lookups and inserts are keyed under it (see sp_cache.h), so
-    // they can never mix with entries of other cost snapshots.
-    std::uint64_t cache_generation = 0;
-  };
+  // Kept as a member alias: SnapshotPin predates its move to namespace
+  // scope and call sites still say FastSteinerEngine::SnapshotPin.
+  using SnapshotPin = ::q::steiner::SnapshotPin;
   SnapshotPin Pin() const;
 
   // KMB 2-approximation (the contraction semantics of SolveKmbSteiner).
   // Returns nullopt when the subproblem is infeasible (forced edges banned
-  // or cyclic, or terminals disconnected).
+  // or cyclic, or terminals disconnected). The pin-taking overloads solve
+  // against the caller's pinned snapshot (one Pin() can cover a whole
+  // enumeration); the pin-free ones pin per call.
+  std::optional<SteinerTree> SolveKmb(
+      const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
+      const std::vector<graph::EdgeId>& forced,
+      const std::vector<graph::EdgeId>& banned);
   std::optional<SteinerTree> SolveKmb(
       const std::vector<graph::NodeId>& terminals,
       const std::vector<graph::EdgeId>& forced,
       const std::vector<graph::EdgeId>& banned);
 
   // Dreyfus–Wagner style exact DP (the semantics of SolveExactSteiner).
+  std::optional<SteinerTree> SolveExact(
+      const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
+      const std::vector<graph::EdgeId>& forced,
+      const std::vector<graph::EdgeId>& banned);
   std::optional<SteinerTree> SolveExact(
       const std::vector<graph::NodeId>& terminals,
       const std::vector<graph::EdgeId>& forced,

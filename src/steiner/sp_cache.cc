@@ -60,23 +60,31 @@ bool ShortestPathCache::Valid(const Entry& entry,
 }
 
 void ShortestPathCache::BumpGeneration() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++generation_;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   // Stale generations can never be looked up again (the generation is in
   // the key), so purge them and give the new snapshot the full capacity.
-  by_key_.clear();
-  num_entries_ = 0;
+  // Shard by shard: a pinned old-generation insert racing this purge
+  // either lands before (purged) or after (lingers as capacity-bounded
+  // garbage until the next bump) — both are documented-safe, and the
+  // per-shard accounting keeps num_entries_ exact either way.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::size_t purged = 0;
+    for (const auto& [key, entries] : shard.by_key) {
+      purged += entries.size();
+    }
+    shard.by_key.clear();
+    num_entries_.fetch_sub(purged, std::memory_order_relaxed);
+  }
 }
 
 std::uint64_t ShortestPathCache::generation() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return generation_;
+  return generation_.load(std::memory_order_acquire);
 }
 
 void ShortestPathCache::InvalidateRepriced(
     const std::vector<RepricedEdge>& repriced, std::size_t* retained,
     std::size_t* dropped) {
-  std::lock_guard<std::mutex> lock(mu_);
   std::size_t kept = 0;
   std::size_t lost = 0;
   // The scan covers every live entry. Current-generation entries are the
@@ -104,25 +112,28 @@ void ShortestPathCache::InvalidateRepriced(
     }
     return true;
   };
-  for (auto it = by_key_.begin(); it != by_key_.end();) {
-    std::vector<Entry>& entries = it->second;
-    std::size_t out = 0;
-    for (std::size_t i = 0; i < entries.size(); ++i) {
-      if (survives(entries[i])) {
-        // Guard the common all-survive case: self-move-assignment would
-        // empty the entry's overlay vectors, silently turning an overlay
-        // tree into an overlay-free one.
-        if (out != i) entries[out] = std::move(entries[i]);
-        ++out;
-        ++kept;
-      } else {
-        ++lost;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.by_key.begin(); it != shard.by_key.end();) {
+      std::vector<Entry>& entries = it->second;
+      std::size_t out = 0;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        if (survives(entries[i])) {
+          // Guard the common all-survive case: self-move-assignment would
+          // empty the entry's overlay vectors, silently turning an overlay
+          // tree into an overlay-free one.
+          if (out != i) entries[out] = std::move(entries[i]);
+          ++out;
+          ++kept;
+        } else {
+          ++lost;
+        }
       }
+      entries.resize(out);
+      it = entries.empty() ? shard.by_key.erase(it) : std::next(it);
     }
-    entries.resize(out);
-    it = entries.empty() ? by_key_.erase(it) : std::next(it);
   }
-  num_entries_ -= lost;
+  num_entries_.fetch_sub(lost, std::memory_order_relaxed);
   if (retained != nullptr) *retained += kept;
   if (dropped != nullptr) *dropped += lost;
 }
@@ -133,24 +144,27 @@ std::shared_ptr<const SpTree> ShortestPathCache::Lookup(
     const std::vector<graph::EdgeId>& banned_sorted,
     const std::vector<double>& edge_cost,
     const std::vector<std::uint32_t>& required, bool require_complete) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = by_key_.find(Key(generation, terminal));
-  if (it != by_key_.end()) {
-    for (const Entry& entry : it->second) {
-      if (Valid(entry, forced_sorted, banned_sorted, edge_cost, required,
-                require_complete)) {
-        ++hits_;
-        return entry.tree;
+  const std::uint64_t key = Key(generation, terminal);
+  Shard& shard = shards_[ShardIndex(key)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.by_key.find(key);
+    if (it != shard.by_key.end()) {
+      for (const Entry& entry : it->second) {
+        if (Valid(entry, forced_sorted, banned_sorted, edge_cost, required,
+                  require_complete)) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          return entry.tree;
+        }
       }
     }
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   return nullptr;
 }
 
 bool ShortestPathCache::HasRoom() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return num_entries_ < max_entries_;
+  return num_entries_.load(std::memory_order_relaxed) < max_entries_;
 }
 
 void ShortestPathCache::Insert(std::uint64_t generation,
@@ -158,26 +172,29 @@ void ShortestPathCache::Insert(std::uint64_t generation,
                                std::vector<graph::EdgeId> forced_sorted,
                                std::vector<graph::EdgeId> banned_sorted,
                                std::shared_ptr<const SpTree> tree) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (num_entries_ >= max_entries_) return;
-  ++num_entries_;
-  by_key_[Key(generation, terminal)].push_back(Entry{
+  // Claim capacity before taking the shard lock so concurrent inserts
+  // never overshoot max_entries_; roll the claim back when full.
+  if (num_entries_.fetch_add(1, std::memory_order_relaxed) >= max_entries_) {
+    num_entries_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t key = Key(generation, terminal);
+  Shard& shard = shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.by_key[key].push_back(Entry{
       std::move(forced_sorted), std::move(banned_sorted), std::move(tree)});
 }
 
 std::size_t ShortestPathCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
+  return hits_.load(std::memory_order_relaxed);
 }
 
 std::size_t ShortestPathCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+  return misses_.load(std::memory_order_relaxed);
 }
 
 std::size_t ShortestPathCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return num_entries_;
+  return num_entries_.load(std::memory_order_relaxed);
 }
 
 }  // namespace q::steiner

@@ -1,6 +1,8 @@
 #ifndef Q_STEINER_SP_CACHE_H_
 #define Q_STEINER_SP_CACHE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -71,6 +73,16 @@ struct SpTree {
 // older weight vector. Within one generation entries stay valid
 // indefinitely, which is what lets consecutive refreshes at the same
 // generation reuse each other's Dijkstra trees.
+//
+// Thread safety: the entry map is sharded by key hash with a mutex per
+// shard, and the hit/miss/size/generation counters are atomics, so any
+// number of pinned solves may Lookup/Insert concurrently (the serving
+// path runs many searches against one shared view engine). BumpGeneration
+// may also run concurrently with pinned traffic — old-generation lookups
+// and inserts racing the purge are harmless by the keying argument above.
+// InvalidateRepriced keeps its stronger contract: no same-generation
+// solve may be in flight (the engine guarantees this by holding its
+// snapshot lock and bumping instead whenever the snapshot is pinned).
 class ShortestPathCache {
  public:
   explicit ShortestPathCache(std::size_t max_entries = 1024)
@@ -173,13 +185,23 @@ class ShortestPathCache {
     return (generation << 32) | terminal;
   }
 
-  mutable std::mutex mu_;
+  // One lock + map per shard; keys spread by a Fibonacci-hash of the key
+  // so concurrent searches over different terminals rarely contend.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::vector<Entry>> by_key;
+  };
+  static constexpr std::size_t kNumShards = 8;
+  static std::size_t ShardIndex(std::uint64_t key) {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 61);
+  }
+
   std::size_t max_entries_;
-  std::size_t num_entries_ = 0;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::uint64_t generation_ = 0;
-  std::unordered_map<std::uint64_t, std::vector<Entry>> by_key_;
+  std::atomic<std::size_t> num_entries_{0};
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
+  std::atomic<std::uint64_t> generation_{0};
+  std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace q::steiner

@@ -76,7 +76,8 @@ std::vector<SteinerTree> TopKSteinerTrees(
 std::vector<SteinerTree> TopKSteinerTrees(
     const graph::SearchGraph& graph, const graph::WeightVector& weights,
     const std::vector<graph::NodeId>& terminals, const TopKConfig& config,
-    FastSteinerEngine* shared_engine, RelevanceCertificate* certificate) {
+    FastSteinerEngine* shared_engine, RelevanceCertificate* certificate,
+    const SnapshotPin* pin) {
   if (certificate != nullptr) *certificate = RelevanceCertificate{};
   std::vector<SteinerTree> output;
   if (terminals.empty() || config.k <= 0) return output;
@@ -89,6 +90,7 @@ std::vector<SteinerTree> TopKSteinerTrees(
   // provided (batched refresh), otherwise one built for this call. The
   // legacy path rebuilds a contracted SteinerProblem per call.
   std::unique_ptr<FastSteinerEngine> owned_engine;
+  SnapshotPin enumeration_pin;
   SolveFn solve;
   if (config.engine == SteinerEngine::kFast) {
     FastSteinerEngine* engine = shared_engine;
@@ -97,11 +99,18 @@ std::vector<SteinerTree> TopKSteinerTrees(
                                                          config.use_sp_cache);
       engine = owned_engine.get();
     }
-    solve = [engine, &terminals, use_kmb](
+    // One pin spans the whole enumeration: every Lawler subproblem solves
+    // against the same frozen CSR generation even if a concurrent re-cost
+    // lands between subproblems (serving-path callers pass the pin they
+    // captured together with their weight snapshot).
+    enumeration_pin = pin != nullptr ? *pin : engine->Pin();
+    solve = [engine, &enumeration_pin, &terminals, use_kmb](
                 const std::vector<graph::EdgeId>& forced,
                 const std::vector<graph::EdgeId>& banned) {
-      return use_kmb ? engine->SolveKmb(terminals, forced, banned)
-                     : engine->SolveExact(terminals, forced, banned);
+      return use_kmb ? engine->SolveKmb(enumeration_pin, terminals, forced,
+                                        banned)
+                     : engine->SolveExact(enumeration_pin, terminals, forced,
+                                          banned);
     };
   } else {
     solve = [&graph, &weights, &terminals, use_kmb](

@@ -56,6 +56,7 @@ std::vector<SteinerTree> TopKSteinerTrees(
     const std::vector<graph::NodeId>& terminals, const TopKConfig& config);
 
 class FastSteinerEngine;
+struct SnapshotPin;
 
 // Proof object letting a later weight delta be tested for relevance to
 // this search's output without re-running it (the alpha-neighborhood gate
@@ -105,11 +106,20 @@ struct RelevanceCertificate {
 // overload above. When `certificate` is non-null it is overwritten with
 // this search's relevance certificate (valid only for untruncated exact
 // runs; see RelevanceCertificate).
+//
+// The whole enumeration runs against ONE pinned CSR snapshot: `pin` when
+// the caller provides one (the concurrent serving path pins before
+// reading its weight snapshot, so search costs and weights are captured
+// atomically), otherwise a pin taken once at entry. Either way a re-cost
+// landing mid-enumeration cannot mix cost generations across subproblems
+// of one search. A non-null `pin` requires a non-null `shared_engine` the
+// pin was taken from.
 std::vector<SteinerTree> TopKSteinerTrees(
     const graph::SearchGraph& graph, const graph::WeightVector& weights,
     const std::vector<graph::NodeId>& terminals, const TopKConfig& config,
     FastSteinerEngine* shared_engine,
-    RelevanceCertificate* certificate = nullptr);
+    RelevanceCertificate* certificate = nullptr,
+    const SnapshotPin* pin = nullptr);
 
 }  // namespace q::steiner
 

@@ -1,0 +1,91 @@
+#ifndef Q_UTIL_SHARED_MUTEX_H_
+#define Q_UTIL_SHARED_MUTEX_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace q::util {
+
+// Writer-preferring reader/writer lock, a drop-in for std::shared_mutex
+// with std::shared_lock / std::unique_lock.
+//
+// Exists because std::shared_mutex makes no fairness guarantee and the
+// common implementation (glibc's pthread_rwlock) prefers readers: a
+// writer racing a pool of tight-loop readers — exactly the serving-gate
+// workload, where query workers reacquire the shared lock back to back —
+// can starve indefinitely. Here a waiting writer blocks *new* shared
+// acquisitions, so it gets the lock as soon as in-flight readers drain;
+// readers resume the moment no writer is active or queued. Writers are
+// rare (structural mutations), so reader-side starvation is not a
+// practical concern.
+//
+// Not recursive, in either mode. Do not upgrade (lock() while holding
+// lock_shared()) — it deadlocks, like std::shared_mutex.
+class SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++writers_waiting_;
+    writer_cv_.wait(lock, [&] { return !writer_active_ && readers_ == 0; });
+    --writers_waiting_;
+    writer_active_ = true;
+  }
+
+  bool try_lock() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (writer_active_ || readers_ != 0) return false;
+    writer_active_ = true;
+    return true;
+  }
+
+  void unlock() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      writer_active_ = false;
+    }
+    // Wake everyone: a queued writer wins the race for the state check,
+    // otherwise all blocked readers resume together.
+    writer_cv_.notify_all();
+    reader_cv_.notify_all();
+  }
+
+  void lock_shared() {
+    std::unique_lock<std::mutex> lock(mu_);
+    reader_cv_.wait(lock,
+                    [&] { return !writer_active_ && writers_waiting_ == 0; });
+    ++readers_;
+  }
+
+  bool try_lock_shared() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (writer_active_ || writers_waiting_ != 0) return false;
+    ++readers_;
+    return true;
+  }
+
+  void unlock_shared() {
+    std::size_t remaining;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      remaining = --readers_;
+    }
+    if (remaining == 0) writer_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable writer_cv_;
+  std::condition_variable reader_cv_;
+  std::size_t readers_ = 0;
+  std::size_t writers_waiting_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace q::util
+
+#endif  // Q_UTIL_SHARED_MUTEX_H_

@@ -1,0 +1,473 @@
+// Concurrent query serving: N reader threads run QueryView searches
+// against shared pinned snapshots while a feedback writer races them,
+// asserting
+//
+//   * sharded shortest-path cache — Lookup/Insert/BumpGeneration from
+//     many threads keep the hit/miss/size counters exact (the serial
+//     counters-and-map regression);
+//   * certificate/serial publication — no reader ever observes a
+//     published snapshot whose certificate serial disagrees with its
+//     search serial (the torn-publication regression);
+//   * per-read internal consistency — every QueryView result pairs
+//     trees/queries/rows from one search, never a mix of generations;
+//   * quiescent bit-identity — once drained, QueryView output equals the
+//     published snapshot and the synchronous twin system, bit for bit;
+//   * failed-barrier wakeups — a SyncBarrier failure wakes WaitFresh
+//     waiters promptly instead of burning their full deadline (the
+//     missed-error regression in the epoch/predicate interaction).
+//
+// Runs under the ctest `stress` label and the ThreadSanitizer CI job.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/async_refresh.h"
+#include "core/q_system.h"
+#include "core/refresh_engine.h"
+#include "data/interpro_go.h"
+#include "graph/graph_builder.h"
+#include "steiner/sp_cache.h"
+#include "util/random.h"
+
+namespace q::core {
+namespace {
+
+constexpr std::size_t kNumViews = 16;
+constexpr int kQueryReaders = 4;  // the acceptance floor
+constexpr int kFeedbackRounds = 10;
+
+data::InterProGoConfig SmallDataset() {
+  data::InterProGoConfig config;
+  config.num_go_terms = 80;
+  config.num_entries = 60;
+  config.num_pubs = 50;
+  config.num_journals = 10;
+  config.num_methods = 40;
+  config.interpro2go_links = 120;
+  config.entry2pub_links = 100;
+  config.method2pub_links = 80;
+  return config;
+}
+
+QSystemConfig BaseConfig() {
+  QSystemConfig config;
+  config.view.query_graph.min_similarity = 0.5;
+  config.view.query_graph.max_matches_per_keyword = 6;
+  // Sequential per-search solving; the concurrency under test is
+  // many whole searches sharing one engine, not intra-search fan-out.
+  config.steiner_threads = -1;
+  return config;
+}
+
+struct Harness {
+  data::InterProGoDataset dataset;
+  std::unique_ptr<QSystem> q;
+  std::vector<std::size_t> view_ids;
+
+  explicit Harness(bool async) {
+    dataset = data::BuildInterProGo(SmallDataset());
+    QSystemConfig config = BaseConfig();
+    config.async_refresh = async;
+    config.async_repair_threads = async ? 2 : 0;
+    q = std::make_unique<QSystem>(config);
+    for (const auto& src : dataset.catalog.sources()) {
+      Q_CHECK_OK(q->RegisterSource(src));
+    }
+    Q_CHECK_OK(q->RunInitialAlignment());
+    for (std::size_t i = 0; i < kNumViews; ++i) {
+      auto id = q->CreateView(
+          dataset.keyword_queries[i % dataset.keyword_queries.size()]);
+      Q_CHECK_OK(id.status());
+      view_ids.push_back(*id);
+    }
+  }
+};
+
+void ExpectInternallyConsistent(const query::ViewSnapshot& s,
+                                const std::string& label) {
+  EXPECT_EQ(s.trees.size(), s.queries.size()) << label;
+  for (std::size_t r = 0; r < s.results.rows.size(); ++r) {
+    ASSERT_LT(s.results.rows[r].query_index, s.queries.size())
+        << label << " row " << r;
+  }
+  for (std::size_t t = 0; t < s.trees.size(); ++t) {
+    EXPECT_EQ(s.trees[t].edges, s.queries[t].tree.edges)
+        << label << " tree/query " << t;
+  }
+}
+
+void ExpectSameViewState(const query::ViewSnapshot& a,
+                         const query::ViewSnapshot& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.trees.size(), b.trees.size()) << label;
+  for (std::size_t i = 0; i < a.trees.size(); ++i) {
+    EXPECT_EQ(a.trees[i].edges, b.trees[i].edges) << label << " tree " << i;
+    EXPECT_EQ(a.trees[i].cost, b.trees[i].cost) << label << " tree " << i;
+  }
+  EXPECT_EQ(a.results.columns, b.results.columns) << label;
+  ASSERT_EQ(a.results.rows.size(), b.results.rows.size()) << label;
+  for (std::size_t i = 0; i < a.results.rows.size(); ++i) {
+    EXPECT_EQ(a.results.rows[i].cost, b.results.rows[i].cost)
+        << label << " row " << i;
+    EXPECT_EQ(a.results.rows[i].query_index, b.results.rows[i].query_index)
+        << label << " row " << i;
+    EXPECT_EQ(a.results.rows[i].values, b.results.rows[i].values)
+        << label << " row " << i;
+  }
+}
+
+// --- satellite 1: the sharded shortest-path cache ------------------------
+
+std::shared_ptr<const steiner::SpTree> MakeTree(std::size_t nodes) {
+  auto tree = std::make_shared<steiner::SpTree>();
+  tree->dist.assign(nodes, 1.0);
+  tree->pred_node.assign(nodes, 0);
+  tree->pred_edge.assign(nodes, 0);
+  tree->settled.assign(nodes, 1);
+  tree->complete = true;
+  return tree;
+}
+
+// Many threads Lookup/Insert across shards while another bumps the
+// generation mid-flight. Before the cache was sharded with atomic
+// counters this was a data race on hits_/misses_/the entry map; now the
+// counters must come out exact: every lookup is counted exactly once,
+// and after a final purge the size accounting returns to zero (any drift
+// in num_entries_ from the insert/purge interleaving would show here).
+TEST(ServeConcurrencyTest, SpCacheCountersExactUnderConcurrentHammer) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  constexpr std::size_t kTerminals = 64;
+  steiner::ShortestPathCache cache(/*max_entries=*/1 << 20);
+  const std::vector<double> edge_cost;  // unused: overlays stay empty
+  const std::vector<std::uint32_t> required = {0};
+
+  std::atomic<std::uint64_t> lookups{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng(9000 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t gen = cache.generation();
+        const auto terminal =
+            static_cast<std::uint32_t>(rng.Uniform(kTerminals));
+        if (rng.Uniform(3) == 0) {
+          cache.Insert(gen, terminal, {}, {}, MakeTree(4));
+        } else {
+          cache.Lookup(gen, terminal, {}, {}, edge_cost, required,
+                       /*require_complete=*/false);
+          lookups.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (t == 0 && i % 1000 == 999) cache.BumpGeneration();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(cache.hits() + cache.misses(), lookups.load());
+  // Two bumps purge every generation still holding entries (inserts may
+  // land under the pre-bump generation they read); exact accounting must
+  // drain back to zero.
+  cache.BumpGeneration();
+  cache.BumpGeneration();
+  EXPECT_EQ(cache.size(), 0u);
+
+  // And hits are actually possible (the hammer wasn't all misses): a
+  // deterministic insert-then-lookup on the quiet cache hits.
+  const std::uint64_t gen = cache.generation();
+  cache.Insert(gen, 7, {}, {}, MakeTree(4));
+  const std::size_t hits_before = cache.hits();
+  EXPECT_NE(cache.Lookup(gen, 7, {}, {}, edge_cost, required, false),
+            nullptr);
+  EXPECT_EQ(cache.hits(), hits_before + 1);
+}
+
+// --- satellite 2: certificate/serial publication -------------------------
+
+// Readers hammer ReadView while feedback publishes new snapshots: every
+// published snapshot must carry certificate.serial == search_serial (one
+// critical section publishes both), and QueryView results — which are
+// unpublished — must carry zeroed serials with a fully consistent body.
+TEST(ServeConcurrencyTest, CertificateSerialNeverTearsFromSearchSerial) {
+  Harness h(/*async=*/true);
+  std::atomic<bool> done{false};
+  std::atomic<int> violations{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kQueryReaders; ++r) {
+    readers.emplace_back([&, r] {
+      util::Rng rng(9100 + r);
+      while (!done.load(std::memory_order_acquire)) {
+        std::size_t id = h.view_ids[rng.Uniform(h.view_ids.size())];
+        query::ViewResult read = h.q->ReadView(id);
+        if (read.state == nullptr) continue;
+        if (read.state->certificate.serial != read.state->search_serial) {
+          ++violations;
+        }
+        if (rng.Uniform(4) == 0) {
+          auto fresh = h.q->QueryView(id);
+          if (fresh.ok()) {
+            EXPECT_EQ(fresh->search_serial, 0u);
+            EXPECT_EQ(fresh->certificate.serial, 0u);
+            ExpectInternallyConsistent(*fresh,
+                                       "queryview view " + std::to_string(id));
+          }
+        }
+      }
+    });
+  }
+
+  util::Rng rng(9199);
+  for (int round = 0; round < kFeedbackRounds; ++round) {
+    std::size_t id = h.view_ids[rng.Uniform(h.view_ids.size())];
+    query::ViewResult read = h.q->ReadView(id);
+    if (read.state == nullptr || read.state->trees.empty()) continue;
+    ASSERT_TRUE(
+        h.q->ApplyFeedback(id, read.state->trees[rng.Uniform(
+                                   read.state->trees.size())])
+            .ok());
+  }
+  ASSERT_TRUE(h.q->DrainRefreshes().ok());
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+// --- tentpole: QueryView readers race the feedback writer ----------------
+
+// One committed feedback event, recorded in commit order so the twin
+// synchronous system can replay the identical MIRA trajectory.
+struct FeedbackEvent {
+  std::size_t view_id;
+  steiner::SteinerTree endorsed;
+};
+
+// Registers a clone of an existing table as a brand-new source `name` —
+// the structural operation both the live run and the twin replay use.
+void RegisterClonedSource(Harness* h, const std::string& table_name,
+                          const std::string& name) {
+  auto table = h->dataset.catalog.FindTable(table_name);
+  ASSERT_NE(table, nullptr);
+  auto source = std::make_shared<relational::DataSource>(name);
+  auto copy = std::make_shared<relational::Table>(relational::RelationSchema(
+      name, table->schema().relation(), table->schema().attributes()));
+  for (const auto& row : table->rows()) {
+    ASSERT_TRUE(copy->AppendRow(row).ok());
+  }
+  ASSERT_TRUE(source->AddTable(copy).ok());
+  ASSERT_TRUE(h->q->RegisterAndAlignSource(source).ok());
+}
+
+// >= 4 query workers run live QueryView searches (plus ReadView probes)
+// while a writer thread applies feedback and — mid-run — registers a new
+// source (the structural path, which takes the serving gate exclusively).
+// Every result must be internally consistent; at quiescence QueryView
+// must reproduce the published snapshot bit for bit, and the whole system
+// must match a synchronous twin fed the same committed sequence.
+TEST(ServeConcurrencyTest, QueryViewRacesWriterAndMatchesSyncTwin) {
+  Harness h(/*async=*/true);
+
+  std::mutex log_mu;
+  std::vector<FeedbackEvent> log;  // commit order == replay order
+  // Number of committed feedback events that preceded the structural
+  // registration (the writer records it at commit time so the twin can
+  // replay the registration at the same position).
+  std::size_t structural_split = 0;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> searches_ok{0};
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kQueryReaders; ++r) {
+    threads.emplace_back([&, r] {
+      util::Rng rng(9300 + r);
+      while (!done.load(std::memory_order_acquire)) {
+        std::size_t i = rng.Uniform(h.view_ids.size());
+        std::string label =
+            "worker " + std::to_string(r) + " view " + std::to_string(i);
+        auto result = h.q->QueryView(h.view_ids[i]);
+        // InvalidArgument only for ids never created; created views have
+        // refreshed snapshots before the threads start.
+        ASSERT_TRUE(result.ok()) << label << ": "
+                                 << result.status().ToString();
+        ExpectInternallyConsistent(*result, label);
+        searches_ok.fetch_add(1, std::memory_order_relaxed);
+        if (rng.Uniform(4) == 0) {
+          query::ViewResult read = h.q->ReadView(h.view_ids[i]);
+          ASSERT_NE(read.state, nullptr) << label;
+          ExpectInternallyConsistent(*read.state, label + " (published)");
+        }
+      }
+    });
+  }
+
+  // The writer: feedback rounds with a structural registration wedged in
+  // the middle, so readers cross the exclusive serving gate both ways.
+  {
+    util::Rng rng(9399);
+    for (int round = 0; round < kFeedbackRounds; ++round) {
+      if (round == kFeedbackRounds / 2) {
+        RegisterClonedSource(&h, "interpro.pub", "newsrc");
+        structural_split = log.size();
+      }
+      std::size_t view = h.view_ids[rng.Uniform(h.view_ids.size())];
+      query::ViewResult read = h.q->ReadView(view);
+      if (read.state == nullptr || read.state->trees.empty()) continue;
+      steiner::SteinerTree endorsed =
+          read.state->trees[rng.Uniform(read.state->trees.size())];
+      std::lock_guard<std::mutex> lock(log_mu);
+      ASSERT_TRUE(h.q->ApplyFeedback(view, endorsed).ok());
+      log.push_back(FeedbackEvent{view, std::move(endorsed)});
+    }
+  }
+  ASSERT_TRUE(h.q->DrainRefreshes().ok());
+  done.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  EXPECT_GT(searches_ok.load(), 0u);
+  ASSERT_FALSE(log.empty());
+
+  // Quiescence: a fresh QueryView search must reproduce the published
+  // snapshot exactly — same pinned CSR costs, same frozen weights, same
+  // deterministic enumeration.
+  for (std::size_t id : h.view_ids) {
+    auto fresh = h.q->QueryView(id);
+    ASSERT_TRUE(fresh.ok()) << "view " << id;
+    query::ViewResult published = h.q->ReadView(id);
+    ASSERT_NE(published.state, nullptr);
+    ExpectSameViewState(*fresh, *published.state,
+                        "quiescent query-vs-published view " +
+                            std::to_string(id));
+  }
+
+  // And the twin synchronous system replaying the committed sequence —
+  // feedback events in commit order with the structural registration at
+  // its recorded position — lands on bit-identical published state.
+  Harness twin(/*async=*/false);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (i == structural_split) {
+      RegisterClonedSource(&twin, "interpro.pub", "newsrc");
+    }
+    ASSERT_TRUE(twin.q->ApplyFeedback(log[i].view_id, log[i].endorsed).ok());
+  }
+  if (structural_split == log.size()) {
+    // Every committed feedback event preceded the registration.
+    RegisterClonedSource(&twin, "interpro.pub", "newsrc");
+  }
+  for (std::size_t i = 0; i < h.view_ids.size(); ++i) {
+    ExpectSameViewState(*h.q->ReadView(h.view_ids[i]).state,
+                        *twin.q->ReadView(twin.view_ids[i]).state,
+                        "quiescent twin view " + std::to_string(i));
+  }
+}
+
+// --- satellite 3: WaitFresh vs. failed barriers and structural ops -------
+
+// A SyncBarrier that fails (here: the text index is emptied and the graph
+// structurally bumped, so every rebuild's keyword lookup reports
+// NotFound) bumps the epoch without validating any view. WaitFresh's
+// predicate could then never become true — before the fix the scheduler
+// did not record the barrier's failure, so waiters burned their entire
+// deadline. They must wake promptly with `false`, and recover to `true`
+// once the base state is repaired.
+TEST(ServeConcurrencyTest, FailedSyncBarrierWakesWaitFreshPromptly) {
+  data::InterProGoDataset dataset = data::BuildInterProGo(SmallDataset());
+  graph::FeatureSpace space;
+  graph::CostModel model(&space, graph::CostModelConfig{});
+  graph::WeightVector weights(&space);
+  text::TextIndex index;
+  graph::SearchGraph graph;
+  for (const auto& src : dataset.catalog.sources()) {
+    for (const auto& table : src->tables()) index.IndexTable(*table);
+    graph::AddSourceToGraph(*src, &model, &graph);
+  }
+
+  query::ViewConfig vconfig;
+  vconfig.query_graph.min_similarity = 0.5;
+  vconfig.query_graph.max_matches_per_keyword = 6;
+  query::TopKView view(dataset.keyword_queries[0], vconfig);
+
+  RefreshEngine engine;
+  const std::size_t slot = engine.RegisterView(&view);
+  ASSERT_TRUE(engine
+                  .RefreshView(slot, graph, dataset.catalog, index, &model,
+                               weights)
+                  .ok());
+  AsyncRefreshScheduler sched(&engine, /*pool=*/nullptr,
+                              /*dedicated_threads=*/1, &graph,
+                              &dataset.catalog, &index, &model, &weights);
+  sched.TrackView(slot, &view);
+  ASSERT_TRUE(sched.WaitFresh(slot, std::chrono::milliseconds(1000)));
+
+  // Break the base state: an empty index makes every rebuild fail with
+  // keyword-NotFound, and the structural node forces the rebuild
+  // classification on the next barrier.
+  index = text::TextIndex();
+  graph.AddNode(graph::NodeKind::kValue, "orphan");
+  ASSERT_FALSE(sched.SyncBarrier().ok());
+
+  // The waiter must observe the failure promptly — well inside the
+  // deadline (generous bound for sanitizer builds).
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(sched.WaitFresh(slot, std::chrono::milliseconds(30000)));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(5000));
+  EXPECT_FALSE(sched.Drain().ok());
+
+  // Repair the index: the next barrier succeeds, clears the sticky
+  // error, and WaitFresh reports fresh again.
+  index.IndexCatalog(dataset.catalog);
+  ASSERT_TRUE(sched.SyncBarrier().ok());
+  EXPECT_TRUE(sched.WaitFresh(slot, std::chrono::milliseconds(30000)));
+  EXPECT_TRUE(sched.Drain().ok());
+}
+
+// WaitViewFresh deadline semantics at the QSystem boundary: unknown ids
+// report false immediately (async and sync), and a waiter racing a
+// structural operation (which holds the serving gate exclusively) still
+// returns promptly rather than deadlocking against it — the waiter must
+// not hold the gate across its blocking wait.
+TEST(ServeConcurrencyTest, WaitViewFreshPromptAcrossStructuralOps) {
+  Harness h(/*async=*/true);
+
+  auto expect_prompt_false = [&](std::size_t id) {
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_FALSE(h.q->WaitViewFresh(id, std::chrono::milliseconds(10000)));
+    EXPECT_LT(std::chrono::steady_clock::now() - start,
+              std::chrono::milliseconds(5000));
+  };
+  expect_prompt_false(h.view_ids.size() + 100);
+
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    util::Rng rng(9500);
+    while (!done.load(std::memory_order_acquire)) {
+      std::size_t id = h.view_ids[rng.Uniform(h.view_ids.size())];
+      EXPECT_TRUE(h.q->WaitViewFresh(id, std::chrono::milliseconds(30000)))
+          << "view " << id;
+    }
+  });
+  // Structural churn: registrations take the serving gate exclusively
+  // and route every view through the serial rebuild path.
+  for (int i = 0; i < 2; ++i) {
+    RegisterClonedSource(&h, "interpro.pub", "pubsrc" + std::to_string(i));
+  }
+  done.store(true, std::memory_order_release);
+  waiter.join();
+  ASSERT_TRUE(h.q->DrainRefreshes().ok());
+
+  // Sync-mode boundary: known ids true, unknown false, both immediate.
+  Harness sync(/*async=*/false);
+  EXPECT_TRUE(
+      sync.q->WaitViewFresh(sync.view_ids[0], std::chrono::milliseconds(1)));
+  EXPECT_FALSE(sync.q->WaitViewFresh(sync.view_ids.size() + 100,
+                                     std::chrono::milliseconds(1)));
+}
+
+}  // namespace
+}  // namespace q::core
