@@ -15,7 +15,14 @@
 // Usage: bench_serve_load [--json=PATH] [--smoke] [--readers=N]
 //                         [--duration-ms=N] [--writer-pause-ms=N]
 //                         [--read-mix=F] [--views=N] [--zipf-theta=F]
-//                         [--seed=N]
+//                         [--seed=N] [--sources=N]
+//
+// --sources=N grows the search graph by N streaming-catalog sources
+// (data/synthetic.h) before any view exists and turns on the sharded
+// terminal-local search, so the same serving mix replays against a
+// 100k-source catalog: the gates (bit-identity under concurrency, query
+// p95) must hold with the graph two-plus orders of magnitude bigger
+// than the serving views' own sources.
 //
 // JSON-lines schema (one object per line, shared with scripts/check.sh's
 // perf gate — the gate parses "kernel" and "median_us"):
@@ -39,6 +46,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "data/synthetic.h"
 
 namespace q::bench {
 namespace {
@@ -51,6 +59,7 @@ struct LoadConfig {
   std::size_t num_views = 16;
   double zipf_theta = 0.99;   // YCSB default skew
   std::uint64_t seed = 42;
+  std::size_t extra_sources = 0;  // streaming catalog growth (--sources)
   const char* json_path = "bench/out/BENCH_serve_load.json";
   bool smoke = false;
 };
@@ -131,6 +140,10 @@ struct Serving {
     // Per-search solving stays sequential: the measured concurrency is
     // many whole searches sharing one engine, the serving-path shape.
     config.steiner_threads = -1;
+    // At catalog scale the per-query win is touching only the shards
+    // the view's keywords reach (bit-identical output; see
+    // docs/architecture.md, "Memory layout and sharding").
+    config.sharded_search = load.extra_sources > 0;
     config.async_refresh = async;
     config.async_repair_threads = async ? 2 : 0;
     q = std::make_unique<core::QSystem>(config);
@@ -138,6 +151,19 @@ struct Serving {
       Q_CHECK_OK(q->RegisterSource(src));
     }
     Q_CHECK_OK(q->RunInitialAlignment());
+    if (load.extra_sources > 0) {
+      // Streaming growth lands after the matcher bootstrap (its sources
+      // arrive pre-associated, so no quadratic matcher pass) and before
+      // any view exists (per-view engines snapshot the graph at
+      // CreateView). Both the async system and the synchronous twin run
+      // this with the same seed, so the twin replay's bit-identity
+      // check spans the grown graph too.
+      q::util::Rng grow_rng(load.seed * 7919 + 11);
+      q::data::StreamingCatalogOptions options;
+      Q_CHECK_OK(q::data::BuildStreamingCatalog(
+          load.extra_sources, options, &grow_rng, /*catalog=*/nullptr,
+          &q->cost_model(), &q->mutable_search_graph()));
+    }
     for (std::size_t i = 0; i < load.num_views; ++i) {
       auto id = q->CreateView(
           dataset.keyword_queries[i % dataset.keyword_queries.size()]);
@@ -389,11 +415,13 @@ int main(int argc, char** argv) {
       load.zipf_theta = std::atof(arg + 13);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       load.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--sources=", 10) == 0) {
+      load.extra_sources = static_cast<std::size_t>(std::atoll(arg + 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--json=PATH] [--smoke] [--readers=N] "
                    "[--duration-ms=N] [--writer-pause-ms=N] [--read-mix=F] "
-                   "[--views=N] [--zipf-theta=F] [--seed=N]\n",
+                   "[--views=N] [--zipf-theta=F] [--seed=N] [--sources=N]\n",
                    argv[0]);
       return 1;
     }

@@ -187,7 +187,7 @@ struct Workload {
   std::vector<q::graph::FeatureId> PickSparseFeatures(std::size_t want) {
     std::vector<std::uint32_t> edge_count(space.size(), 0);
     for (q::graph::EdgeId e = 0; e < graph.num_edges(); ++e) {
-      for (const auto& [id, value] : graph.edge(e).features.entries()) {
+      for (const auto& [id, value] : graph.edge_features(e).entries()) {
         ++edge_count[id];
       }
     }
@@ -444,7 +444,7 @@ int main(int argc, char** argv) {
         feature_edges;
     std::set<q::graph::FeatureId> has_nonpositive;
     for (q::graph::EdgeId e = 0; e < rw.graph.num_edges(); ++e) {
-      for (const auto& [id, value] : rw.graph.edge(e).features.entries()) {
+      for (const auto& [id, value] : rw.graph.edge_features(e).entries()) {
         if (id == q::graph::FeatureSpace::kDefaultFeature) continue;
         feature_edges[id].push_back(e);
         if (value <= 0.0) has_nonpositive.insert(id);
@@ -461,7 +461,7 @@ int main(int argc, char** argv) {
       const q::graph::SearchGraph& g = view->query_graph().graph;
       for (q::graph::EdgeId e = rw.graph.num_edges(); e < g.num_edges();
            ++e) {
-        for (const auto& [id, value] : g.edge(e).features.entries()) {
+        for (const auto& [id, value] : g.edge_features(e).entries()) {
           feature_edges.erase(id);
         }
       }

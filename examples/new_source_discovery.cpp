@@ -92,7 +92,7 @@ int main() {
     if (la.rfind("jrnldb", 0) == 0 || lb.rfind("jrnldb", 0) == 0) {
       std::cout << "  " << la << " <-> " << lb << "  (cost "
                 << q.search_graph().EdgeCost(e, q.weights()) << ",";
-      for (const auto& p : edge.provenance) {
+      for (const auto& p : edge.provenance()) {
         std::cout << " " << p.matcher << "=" << p.confidence;
       }
       std::cout << ")\n";

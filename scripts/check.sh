@@ -176,6 +176,49 @@ run_gate bench/baselines/BENCH_warm_restart.json \
 run_gate bench/baselines/BENCH_warm_restart.json \
          bench/out/BENCH_warm_restart.json '*save*'
 
+# --- graph scale (compact layout + sharded search) ---------------------------
+# Builds the 10k and 100k streaming-catalog tiers, measures bytes/source
+# of the compact representation against an un-interned AoS mirror of the
+# same graph, and runs the sharded top-k query mix (docs/benchmarks.md,
+# "Graph scale"). Correctness gate first: the binary exits non-zero when
+# sharded output diverges from the unsharded fast solver on the verified
+# query subset. Gates: bytes/source and query p95 vs baseline (both
+# lower-is-better medians), a hard >= 2x compact-advantage floor, and a
+# sublinearity warning on the 10k -> 100k p95 growth.
+./build/bench_graph_scale --smoke --json=bench/out/BENCH_graph_scale.json
+run_gate bench/baselines/BENCH_graph_scale.json \
+         bench/out/BENCH_graph_scale.json '*bytes_per_source*'
+run_gate bench/baselines/BENCH_graph_scale.json \
+         bench/out/BENCH_graph_scale.json '*query_p95*'
+while read -r compact_ratio; do
+  if awk -v r="${compact_ratio}" 'BEGIN { exit !(r < 2.0) }'; then
+    echo "check.sh: FAIL — compact layout advantage ${compact_ratio}x < 2x" \
+         "vs legacy representation"
+    gate_failed=1
+  fi
+done < <(awk 'match($0, /"kernel":"graph_scale_bytes_per_source[^"]*"/) {
+                if (match($0, /"legacy_ratio":[0-9.]+/))
+                  print substr($0, RSTART + 15, RLENGTH - 15) }' \
+         bench/out/BENCH_graph_scale.json)
+p95_growth="$(awk 'match($0, /"kernel":"graph_scale_p95_growth"/) {
+                     if (match($0, /"ratio":[0-9.]+/))
+                       print substr($0, RSTART + 8, RLENGTH - 8) }' \
+              bench/out/BENCH_graph_scale.json)"
+if [[ -n "${p95_growth}" ]] && \
+   awk -v r="${p95_growth}" 'BEGIN { exit !(r >= 10.0) }'; then
+  echo "check.sh: WARNING — query p95 grew ${p95_growth}x from 10k to 100k" \
+       "sources (>= the 10x source growth: sharding no longer sublinear)"
+fi
+
+# --- fig8 scaling through 10k -------------------------------------------------
+# The paper's Fig. 8 contrast (exhaustive grows linearly, view-based and
+# preferential stay flat) re-measured two orders of magnitude past the
+# paper via the streaming generator; the gate watches the per-source
+# alignment wall time of the 10k tier.
+./build/bench_fig8_scaling --smoke --json=bench/out/BENCH_fig8_scaling.json
+run_gate bench/baselines/BENCH_fig8_scaling.json \
+         bench/out/BENCH_fig8_scaling.json 'fig8_scaling_*_10000'
+
 # --- concurrent serving load (YCSB-style) ------------------------------------
 # Four query workers plus a feedback writer over Zipfian-skewed views
 # (docs/benchmarks.md, "Concurrent serving load"). The binary is a
@@ -219,6 +262,10 @@ if [[ "${BENCH_UPDATE_BASELINE:-0}" == "1" ]]; then
      bench/baselines/BENCH_warm_restart.json
   cp bench/out/BENCH_serve_load.json \
      bench/baselines/BENCH_serve_load.json
+  cp bench/out/BENCH_graph_scale.json \
+     bench/baselines/BENCH_graph_scale.json
+  cp bench/out/BENCH_fig8_scaling.json \
+     bench/baselines/BENCH_fig8_scaling.json
   echo "perf gate: baselines updated from this run"
 fi
 

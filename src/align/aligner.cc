@@ -65,11 +65,13 @@ util::Result<std::vector<match::AlignmentCandidate>> ExhaustiveAligner::Align(
 std::vector<graph::NodeId> ViewBasedAligner::CostNeighborhoodRelations(
     const graph::SearchGraph& graph, const graph::WeightVector& weights,
     const AlignContext& context) {
-  std::vector<double> dist =
-      graph.Dijkstra(context.keyword_seeds, weights, context.alpha);
+  // Thread-local scratch: the alpha-neighborhood is usually a tiny
+  // fraction of the catalog, so resetting in O(reached) and walking only
+  // reached nodes keeps repeated alignments allocation-free.
+  thread_local graph::DistanceField field;
+  graph.Dijkstra(context.keyword_seeds, weights, context.alpha, &field);
   std::vector<graph::NodeId> relations;
-  for (graph::NodeId n = 0; n < graph.num_nodes(); ++n) {
-    if (dist[n] > context.alpha) continue;  // unreachable or too far
+  for (graph::NodeId n : field.reached()) {
     auto rel = graph.OwningRelation(n);
     if (!rel.has_value()) continue;
     relations.push_back(*rel);

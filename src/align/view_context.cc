@@ -17,7 +17,7 @@ AlignContext ContextFromView(const query::TopKView& view,
   const query::QueryGraph& qg = view.query_graph();
   for (graph::NodeId kw : qg.keyword_nodes) {
     for (graph::EdgeId eid : qg.graph.edges_of(kw)) {
-      const graph::Edge& e = qg.graph.edge(eid);
+      const graph::EdgeView e = qg.graph.edge(eid);
       if (e.kind != graph::EdgeKind::kKeywordMatch) continue;
       double cost = qg.graph.EdgeCost(eid, weights);
       const graph::Node& target = qg.graph.node(e.Other(kw));

@@ -16,6 +16,7 @@ QSystem::QSystem(QSystemConfig config)
   // created lazily on first view creation, so instances that never answer
   // queries spawn no threads.
   config_.view.top_k.pool = nullptr;
+  config_.view.top_k.sharded.enabled = config_.sharded_search;
   refresh_.set_relevance_gating(config_.relevance_gating);
   metadata_matcher_ =
       std::make_unique<match::MetadataMatcher>(config_.metadata);
@@ -145,22 +146,26 @@ void QSystem::ReconcileMissingMatcherFeatures() {
   }
   for (graph::EdgeId e :
        graph_.EdgesOfKind(graph::EdgeKind::kAssociation)) {
-    // Probe through const access first and take the mutable (revision- and
-    // journal-bumping) reference only when a feature actually has to move:
-    // a no-op pass must not dirty every association edge, or the delta
-    // refresh path would reprice the whole graph for nothing.
-    const graph::Edge& probe = graph_.edge(e);
+    // Probe through const access first and rewrite the features (a
+    // revision- and journal-bumping mutation) only when a feature
+    // actually has to move: a no-op pass must not dirty every
+    // association edge, or the delta refresh path would reprice the
+    // whole graph for nothing.
     for (const std::string& name : matcher_names) {
       bool voted = false;
-      for (const auto& p : probe.provenance) {
+      for (const auto& p : graph_.edge_provenance(e)) {
         if (p.matcher == name) voted = true;
       }
       graph::FeatureId missing = model_.MatcherMissingFeature(name);
-      double present = probe.features.ValueOf(missing);
+      double present = graph_.edge_features(e).ValueOf(missing);
       if (voted && present != 0.0) {
-        graph_.mutable_edge(e).features.Remove(missing);
+        graph::FeatureVec moved = graph_.edge_features(e);
+        moved.Remove(missing);
+        graph_.SetEdgeFeatures(e, std::move(moved));
       } else if (!voted && present == 0.0) {
-        graph_.mutable_edge(e).features.Add(missing, 1.0);
+        graph::FeatureVec moved = graph_.edge_features(e);
+        moved.Add(missing, 1.0);
+        graph_.SetEdgeFeatures(e, std::move(moved));
       }
     }
   }

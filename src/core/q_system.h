@@ -61,6 +61,14 @@ struct QSystemConfig {
   // sequential. The pool never changes results, only latency (see
   // docs/query_engine.md).
   int steiner_threads = 0;
+  // Sharded terminal-local search for every view's top-k (see
+  // steiner::ShardedSearchConfig and docs/architecture.md, "Memory layout
+  // and sharding"): each Lawler subproblem touches only the shards within
+  // a proven radius of the view's keyword nodes, with verified escalation
+  // keeping the output bit-identical to the unsharded solve. Never
+  // changes results, only per-query memory traffic; worthwhile from
+  // ~10^5 graph nodes up.
+  bool sharded_search = false;
   // Relevance-scoped view refresh (alpha-neighborhood gating): let the
   // RefreshEngine skip views whose relevance certificate proves a weight
   // delta cannot change their output. Never changes results (see

@@ -1,5 +1,7 @@
 #include "data/synthetic.h"
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "graph/graph_builder.h"
@@ -37,28 +39,32 @@ util::Status GrowWithSyntheticSources(std::size_t count,
                                       relational::Catalog* catalog,
                                       graph::CostModel* model,
                                       graph::SearchGraph* graph) {
+  // One snapshot of the pre-existing attribute nodes, appended to
+  // incrementally as sources land: each source may target any attribute
+  // that existed before it, without re-scanning the whole graph per
+  // source (the scan made growth quadratic in `count`).
+  std::vector<graph::NodeId> existing_attrs;
+  for (graph::NodeId n = 0; n < graph->num_nodes(); ++n) {
+    if (graph->node(n).kind == graph::NodeKind::kAttribute) {
+      existing_attrs.push_back(n);
+    }
+  }
   for (std::size_t i = 0; i < count; ++i) {
     std::string name = "syn" + std::to_string(catalog->sources().size());
     auto source = MakeSyntheticSource(name, options.rows_per_table, rng);
     Q_RETURN_NOT_OK(catalog->AddSource(source));
 
-    // Snapshot existing attribute nodes before adding the new relation.
-    std::vector<graph::NodeId> existing_attrs;
-    for (graph::NodeId n = 0; n < graph->num_nodes(); ++n) {
-      if (graph->node(n).kind == graph::NodeKind::kAttribute) {
-        existing_attrs.push_back(n);
-      }
-    }
+    std::size_t num_targets = existing_attrs.size();
     graph::AddSourceToGraph(*source, model, graph);
-    if (existing_attrs.empty()) continue;
 
     // Wire the new source's two attributes to two random existing nodes.
     const auto& schema = source->tables()[0]->schema();
     for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
       auto attr_node = graph->FindAttributeNode(schema.IdOf(a));
       Q_CHECK(attr_node.has_value());
-      graph::NodeId target = existing_attrs[rng->Uniform(
-          existing_attrs.size())];
+      existing_attrs.push_back(*attr_node);
+      if (num_targets == 0) continue;
+      graph::NodeId target = existing_attrs[rng->Uniform(num_targets)];
       std::string key = graph->node(*attr_node).label + "|" +
                         graph->node(target).label;
       graph::FeatureVec features = model->AssociationFeatures(
@@ -71,6 +77,98 @@ util::Status GrowWithSyntheticSources(std::size_t count,
                               options.association_confidence});
     }
   }
+  return util::Status::OK();
+}
+
+util::Status BuildStreamingCatalog(std::size_t count,
+                                   const StreamingCatalogOptions& options,
+                                   util::Rng* rng,
+                                   relational::Catalog* catalog,
+                                   graph::CostModel* model,
+                                   graph::SearchGraph* graph) {
+  if (count == 0) return util::Status::OK();
+  const std::uint32_t num_domains = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             std::min<std::size_t>(options.num_domains, count)));
+
+  // Zipfian CDF over domain popularity, sampled by binary search.
+  std::vector<double> domain_cdf(num_domains);
+  double acc = 0.0;
+  for (std::uint32_t d = 0; d < num_domains; ++d) {
+    acc += 1.0 / std::pow(static_cast<double>(d + 1), options.zipf_theta);
+    domain_cdf[d] = acc;
+  }
+  for (double& c : domain_cdf) c /= acc;
+
+  // One feature template and one provenance list per domain: every edge
+  // a domain produces interns to the same pooled FeatureVec, which is
+  // what keeps bytes/source flat at the million-source tier.
+  std::vector<graph::FeatureVec> domain_features(num_domains);
+  for (std::uint32_t d = 0; d < num_domains; ++d) {
+    std::string dom = options.source_prefix + ":dom" + std::to_string(d);
+    domain_features[d] = model->AssociationFeatures(
+        "synthetic", options.association_confidence, dom, dom, dom);
+  }
+  const graph::MatcherScore shared_score{"synthetic",
+                                         options.association_confidence};
+
+  // Sliding hub pools: ring buffers of the most recently donated
+  // attribute nodes, one per domain (see synthetic.h — the FIFO eviction
+  // is what gives the stream its temporal locality).
+  std::vector<std::vector<graph::NodeId>> domain_hubs(num_domains);
+  std::vector<std::size_t> domain_donations(num_domains, 0);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name = options.source_prefix + std::to_string(i);
+    // Pick the domain first so hub donation and wiring agree.
+    double roll = rng->UniformDouble();
+    std::uint32_t domain = static_cast<std::uint32_t>(
+        std::lower_bound(domain_cdf.begin(), domain_cdf.end(), roll) -
+        domain_cdf.begin());
+    if (domain >= num_domains) domain = num_domains - 1;
+
+    relational::RelationSchema schema(
+        name, "rel",
+        {AttributeDef{"key", ValueType::kString},
+         AttributeDef{"val", ValueType::kString}});
+    if (options.register_catalog) {
+      Q_CHECK(catalog != nullptr);
+      auto table = std::make_shared<Table>(schema);
+      for (std::size_t r = 0; r < options.rows_per_table; ++r) {
+        Q_CHECK_OK(table->AppendRow(
+            Row{Value(name + "-k" + std::to_string(rng->Uniform(1000))),
+                Value(name + "-v" + std::to_string(rng->Uniform(1000)))}));
+      }
+      auto source = std::make_shared<DataSource>(name);
+      Q_CHECK_OK(source->AddTable(table));
+      Q_RETURN_NOT_OK(catalog->AddSource(source));
+    }
+    graph->AddRelation(schema);
+
+    std::vector<graph::NodeId>& hubs = domain_hubs[domain];
+    for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+      auto attr_node = graph->FindAttributeNode(schema.IdOf(a));
+      Q_CHECK(attr_node.has_value());
+      if (!hubs.empty()) {
+        graph::NodeId target = hubs[rng->Uniform(hubs.size())];
+        graph::FeatureVec features = domain_features[domain];
+        graph->AddAssociationEdge(*attr_node, target, std::move(features),
+                                  shared_score);
+      }
+      // Every source donates its attributes to the domain's hub pool,
+      // evicting the oldest donation once the pool is full.
+      const std::size_t pool =
+          std::max<std::size_t>(1, options.hub_attrs_per_domain);
+      std::size_t& donated = domain_donations[domain];
+      if (hubs.size() < pool) {
+        hubs.push_back(*attr_node);
+      } else {
+        hubs[donated % pool] = *attr_node;
+      }
+      ++donated;
+    }
+  }
+  graph->CompactAdjacency();
   return util::Status::OK();
 }
 

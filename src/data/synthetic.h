@@ -37,6 +37,52 @@ util::Status GrowWithSyntheticSources(std::size_t count,
 std::shared_ptr<relational::DataSource> MakeSyntheticSource(
     const std::string& name, std::size_t rows, util::Rng* rng);
 
+// Streaming catalog synthesis for the 10k/100k/1M scaling tiers. The
+// quadratic pieces of GrowWithSyntheticSources (per-source scans, one
+// interned feature vector per edge) are replaced by a domain model:
+//
+//  * `num_domains` topic domains, each owning a small *sliding* pool of
+//    hub attribute nodes: every source assigned to the domain donates
+//    its attributes to the pool, evicting the oldest entries beyond
+//    `hub_attrs_per_domain` (FIFO). New sources therefore associate
+//    with *recently ingested* sources of their domain — the temporal
+//    locality of a streaming crawl — which strings each domain into a
+//    long chain of overlapping neighborhoods instead of one shallow
+//    star. Queries about nearby sources touch a bounded window of that
+//    chain, which is exactly the locality the sharded terminal-local
+//    search (steiner/shard.h) exploits;
+//  * every source picks its domain from a Zipfian popularity
+//    distribution (`zipf_theta`) and wires each of its two attributes to
+//    a random hub of the current pool — dense popular domains, a long
+//    sparse tail, O(1) work per source;
+//  * association features are templated per domain (shared pseudo-
+//    relation + shared edge key), so all of a domain's edges intern to
+//    ONE FeatureVec and one provenance list in the graph's pools.
+//
+// Catalog registration (schemas + `rows_per_table` rows per source) is
+// optional: serving benchmarks need executable sources, the pure
+// graph-scaling tiers do not and skip the allocation entirely.
+struct StreamingCatalogOptions {
+  std::uint32_t num_domains = 64;
+  std::uint32_t hub_attrs_per_domain = 8;
+  // Zipfian skew of domain popularity (0 = uniform).
+  double zipf_theta = 0.99;
+  std::size_t rows_per_table = 2;
+  double association_confidence = 0.5;
+  // When set, every source is also added to `catalog` with rows.
+  bool register_catalog = false;
+  // Source names are "<source_prefix><N>"; keep prefixes distinct per
+  // generator call so node labels never collide.
+  std::string source_prefix = "zsrc";
+};
+
+util::Status BuildStreamingCatalog(std::size_t count,
+                                   const StreamingCatalogOptions& options,
+                                   util::Rng* rng,
+                                   relational::Catalog* catalog,
+                                   graph::CostModel* model,
+                                   graph::SearchGraph* graph);
+
 }  // namespace q::data
 
 #endif  // Q_DATA_SYNTHETIC_H_

@@ -13,7 +13,7 @@ SimulatedUser::SimulatedUser(std::vector<learn::GoldEdge> gold)
 bool SimulatedUser::IsGoldConsistent(const query::QueryGraph& qg,
                                      const steiner::SteinerTree& tree) const {
   for (graph::EdgeId eid : tree.edges) {
-    const graph::Edge& e = qg.graph.edge(eid);
+    const graph::EdgeView e = qg.graph.edge(eid);
     if (e.kind != graph::EdgeKind::kAssociation) continue;
     std::string sa = qg.graph.node(e.u).label;
     std::string sb = qg.graph.node(e.v).label;
@@ -41,7 +41,7 @@ void SplitAssociations(const query::QueryGraph& qg,
                        std::vector<graph::EdgeId>* non_gold) {
   for (graph::EdgeId eid :
        qg.graph.EdgesOfKind(graph::EdgeKind::kAssociation)) {
-    const graph::Edge& e = qg.graph.edge(eid);
+    const graph::EdgeView e = qg.graph.edge(eid);
     std::string sa = qg.graph.node(e.u).label;
     std::string sb = qg.graph.node(e.v).label;
     std::string key = sa < sb ? sa + "|" + sb : sb + "|" + sa;

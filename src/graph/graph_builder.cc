@@ -18,9 +18,9 @@ void AddForeignKeyEdges(const relational::RelationSchema& schema,
     // Skip if this FK edge already exists.
     bool exists = false;
     for (EdgeId eid : graph->edges_of(*rel)) {
-      const Edge& e = graph->edge(eid);
+      const EdgeView e = graph->edge(eid);
       if (e.kind == EdgeKind::kForeignKey && e.Other(*rel) == *ref &&
-          e.join_a == local && e.join_b == remote) {
+          e.join_a() == local && e.join_b() == remote) {
         exists = true;
         break;
       }

@@ -1,0 +1,172 @@
+#include "graph/legacy_rep.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace q::graph {
+
+namespace {
+
+std::string IndexKey(NodeKind kind, std::string_view label) {
+  std::string key;
+  key += static_cast<char>('0' + static_cast<int>(kind));
+  key += '\x1f';
+  key += label;
+  return key;
+}
+
+std::uint64_t PairKey(NodeId a, NodeId b) {
+  NodeId lo = a < b ? a : b;
+  NodeId hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+std::size_t StringHeapBytes(const std::string& s) {
+  constexpr std::size_t kSsoCapacity = 15;
+  return s.capacity() > kSsoCapacity ? s.capacity() + 1 : 0;
+}
+
+std::size_t AttributeIdHeapBytes(const relational::AttributeId& a) {
+  return StringHeapBytes(a.source) + StringHeapBytes(a.relation) +
+         StringHeapBytes(a.attribute);
+}
+
+template <typename Map>
+std::size_t HashMapBytes(const Map& map) {
+  using Value = typename Map::value_type;
+  return map.size() * (sizeof(Value) + 2 * sizeof(void*)) +
+         map.bucket_count() * sizeof(void*);
+}
+
+}  // namespace
+
+NodeId LegacyGraphRep::AddNode(NodeKind kind, std::string label,
+                               relational::AttributeId attr) {
+  std::string key = IndexKey(kind, label);
+  auto it = node_index_.find(key);
+  if (it != node_index_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(LegacyNode{kind, std::move(label), std::move(attr), {}});
+  adjacency_.emplace_back();
+  node_index_.emplace(std::move(key), id);
+  return id;
+}
+
+EdgeId LegacyGraphRep::AddEdge(Edge edge) {
+  Q_CHECK(edge.u < nodes_.size() && edge.v < nodes_.size());
+  Q_CHECK(edge.u != edge.v);
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  adjacency_[edge.u].push_back(id);
+  adjacency_[edge.v].push_back(id);
+  if (edge.kind == EdgeKind::kAssociation) {
+    association_index_.emplace(PairKey(edge.u, edge.v), id);
+  }
+  edges_.push_back(std::move(edge));
+  return id;
+}
+
+EdgeId LegacyGraphRep::AddAssociationEdge(NodeId a, NodeId b,
+                                          FeatureVec features,
+                                          MatcherScore score) {
+  auto it = association_index_.find(PairKey(a, b));
+  if (it != association_index_.end()) {
+    Edge& e = edges_[it->second];
+    e.features.AddScaled(features, 1.0);
+    for (auto& p : e.provenance) {
+      if (p.matcher == score.matcher) {
+        p.confidence = std::max(p.confidence, score.confidence);
+        return it->second;
+      }
+    }
+    e.provenance.push_back(std::move(score));
+    return it->second;
+  }
+  Edge edge;
+  edge.u = a;
+  edge.v = b;
+  edge.kind = EdgeKind::kAssociation;
+  edge.features = std::move(features);
+  edge.provenance.push_back(std::move(score));
+  return AddEdge(std::move(edge));
+}
+
+void LegacyGraphRep::SetEdgeFeatures(EdgeId id, FeatureVec features) {
+  edges_[id].features = std::move(features);
+}
+
+LegacyGraphRep::LegacyCsr LegacyGraphRep::BuildCsr(
+    const WeightVector& weights) const {
+  LegacyCsr csr;
+  const std::uint32_t num_nodes = static_cast<std::uint32_t>(nodes_.size());
+  const std::uint32_t num_edges = static_cast<std::uint32_t>(edges_.size());
+
+  csr.edge_u.resize(num_edges);
+  csr.edge_v.resize(num_edges);
+  csr.edge_cost.resize(num_edges);
+  std::vector<std::uint32_t> degree(num_nodes + 1, 0);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    csr.edge_u[e] = edges_[e].u;
+    csr.edge_v[e] = edges_[e].v;
+    csr.edge_cost[e] = EdgeCost(e, weights);
+    ++degree[edges_[e].u];
+    ++degree[edges_[e].v];
+  }
+
+  csr.offsets.assign(num_nodes + 1, 0);
+  for (std::uint32_t v = 0; v < num_nodes; ++v) {
+    csr.offsets[v + 1] = csr.offsets[v] + degree[v];
+  }
+
+  const std::size_t num_arcs = 2ull * num_edges;
+  csr.arc_head.resize(num_arcs);
+  csr.arc_edge.resize(num_arcs);
+  csr.arc_cost.resize(num_arcs);
+  std::vector<std::uint32_t> cursor(csr.offsets.begin(),
+                                    csr.offsets.end() - 1);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    std::uint32_t u = csr.edge_u[e];
+    std::uint32_t v = csr.edge_v[e];
+    double cost = csr.edge_cost[e];
+    std::uint32_t cu = cursor[u]++;
+    csr.arc_head[cu] = v;
+    csr.arc_edge[cu] = e;
+    csr.arc_cost[cu] = cost;
+    std::uint32_t cv = cursor[v]++;
+    csr.arc_head[cv] = u;
+    csr.arc_edge[cv] = e;
+    csr.arc_cost[cv] = cost;
+  }
+  return csr;
+}
+
+std::size_t LegacyGraphRep::MemoryUsage() const {
+  std::size_t bytes = nodes_.capacity() * sizeof(LegacyNode);
+  for (const LegacyNode& n : nodes_) {
+    bytes += StringHeapBytes(n.label) + AttributeIdHeapBytes(n.attr) +
+             StringHeapBytes(n.value_text);
+  }
+
+  bytes += edges_.capacity() * sizeof(Edge);
+  for (const Edge& e : edges_) {
+    bytes += e.features.entries().capacity() *
+             sizeof(std::pair<FeatureId, double>);
+    bytes += e.provenance.capacity() * sizeof(MatcherScore);
+    for (const MatcherScore& s : e.provenance) {
+      bytes += StringHeapBytes(s.matcher);
+    }
+    bytes += AttributeIdHeapBytes(e.join_a) + AttributeIdHeapBytes(e.join_b);
+  }
+
+  bytes += adjacency_.capacity() * sizeof(std::vector<EdgeId>);
+  for (const std::vector<EdgeId>& adj : adjacency_) {
+    bytes += adj.capacity() * sizeof(EdgeId);
+  }
+
+  bytes += HashMapBytes(node_index_);
+  for (const auto& [key, id] : node_index_) bytes += StringHeapBytes(key);
+  bytes += HashMapBytes(association_index_);
+  return bytes;
+}
+
+}  // namespace q::graph

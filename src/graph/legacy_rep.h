@@ -1,0 +1,88 @@
+#ifndef Q_GRAPH_LEGACY_REP_H_
+#define Q_GRAPH_LEGACY_REP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/search_graph.h"
+
+namespace q::graph {
+
+// Faithful replica of the pre-compaction SearchGraph storage: AoS Edge
+// records with inline FeatureVec / provenance / join payloads, one
+// std::vector<EdgeId> adjacency list per node, value text inline in the
+// node. Kept as the reference representation with two jobs:
+//
+//  * the differential suite replays one mutation sequence against both
+//    representations and asserts the extracted CSR snapshots are
+//    identical (same arc blocks in the same order), proving the blocked
+//    arena preserves legacy adjacency order exactly;
+//  * bench_graph_scale builds the same catalog in both and reports
+//    measured bytes/source for each, which is what the >= 2x compaction
+//    gate is measured against.
+//
+// Only the operations the differential suite and the bench replay are
+// supported; this is a measurement fixture, not a second graph API.
+class LegacyGraphRep {
+ public:
+  struct LegacyNode {
+    NodeKind kind;
+    std::string label;
+    relational::AttributeId attr;
+    std::string value_text;
+  };
+
+  NodeId AddNode(NodeKind kind, std::string label,
+                 relational::AttributeId attr = {});
+  EdgeId AddEdge(Edge edge);
+  // Same merge semantics as SearchGraph::AddAssociationEdge.
+  EdgeId AddAssociationEdge(NodeId a, NodeId b, FeatureVec features,
+                            MatcherScore score);
+  // Mirrors the old mutable_edge feature-rewrite path.
+  void SetEdgeFeatures(EdgeId id, FeatureVec features);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+  const LegacyNode& node(NodeId id) const { return nodes_[id]; }
+  const Edge& edge(EdgeId id) const { return edges_[id]; }
+  const std::vector<EdgeId>& edges_of(NodeId id) const {
+    return adjacency_[id];
+  }
+
+  double EdgeCost(EdgeId id, const WeightVector& weights) const {
+    const Edge& e = edges_[id];
+    if (e.fixed_zero) return 0.0;
+    double c = weights.Dot(e.features);
+    return c < kMinEdgeCost ? kMinEdgeCost : c;
+  }
+
+  // CSR extraction with exactly the layout steiner::CsrGraph::Build
+  // produces (per-node arc blocks filled in edge-id order).
+  struct LegacyCsr {
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> arc_head;
+    std::vector<EdgeId> arc_edge;
+    std::vector<double> arc_cost;
+    std::vector<std::uint32_t> edge_u;
+    std::vector<std::uint32_t> edge_v;
+    std::vector<double> edge_cost;
+  };
+  LegacyCsr BuildCsr(const WeightVector& weights) const;
+
+  // Estimated resident bytes of this representation (same estimation
+  // rules as SearchGraph::MemoryUsage so the two are comparable).
+  std::size_t MemoryUsage() const;
+
+ private:
+  std::vector<LegacyNode> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+  std::unordered_map<std::string, NodeId> node_index_;
+  std::unordered_map<std::uint64_t, EdgeId> association_index_;
+};
+
+}  // namespace q::graph
+
+#endif  // Q_GRAPH_LEGACY_REP_H_

@@ -15,7 +15,7 @@ std::unordered_set<std::string> GoldKeys(const std::vector<GoldEdge>& gold) {
 }
 
 std::string AssociationKey(const graph::SearchGraph& graph,
-                           const graph::Edge& e) {
+                           const graph::EdgeView& e) {
   std::string sa = graph.node(e.u).label;
   std::string sb = graph.node(e.v).label;
   return sa < sb ? sa + "|" + sb : sb + "|" + sa;

@@ -92,13 +92,13 @@ util::Result<MiraUpdateInfo> MiraLearner::UpdateAgainst(
     for (int round = 0; round < config_.max_positivity_rounds; ++round) {
       bool added = false;
       for (graph::EdgeId e = 0; e < query_graph.num_edges(); ++e) {
-        const graph::Edge& edge = query_graph.edge(e);
+        const graph::EdgeView edge = query_graph.edge(e);
         if (edge.fixed_zero || floored[e]) continue;
-        if (weights->Dot(edge.features) >= config_.positivity_epsilon) {
+        if (weights->Dot(edge.features()) >= config_.positivity_epsilon) {
           continue;
         }
         Constraint c;
-        c.x = edge.features;
+        c.x = edge.features();
         double fixed = 0.0;
         if (config_.freeze_default_feature) {
           double dv = c.x.ValueOf(graph::FeatureSpace::kDefaultFeature);
@@ -133,9 +133,9 @@ util::Result<MiraUpdateInfo> MiraLearner::UpdateAgainst(
     const double slack = 100.0 * config_.hildreth_tolerance;
     double min_cost = std::numeric_limits<double>::infinity();
     for (graph::EdgeId e = 0; e < query_graph.num_edges(); ++e) {
-      const graph::Edge& edge = query_graph.edge(e);
+      const graph::EdgeView edge = query_graph.edge(e);
       if (edge.fixed_zero) continue;
-      min_cost = std::min(min_cost, weights->Dot(edge.features));
+      min_cost = std::min(min_cost, weights->Dot(edge.features()));
     }
     if (min_cost < config_.positivity_epsilon - slack &&
         min_cost != std::numeric_limits<double>::infinity()) {

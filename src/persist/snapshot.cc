@@ -235,27 +235,31 @@ std::string EncodeGraph(const graph::SearchGraph& graph) {
     PutU8(&out, static_cast<std::uint8_t>(node.kind));
     PutString(&out, node.label);
     PutAttributeId(&out, node.attr);
-    PutString(&out, node.value_text);
+    PutString(&out, graph.node_value_text(static_cast<graph::NodeId>(i)));
   }
   PutU32(&out, static_cast<std::uint32_t>(graph.num_edges()));
   for (std::size_t i = 0; i < graph.num_edges(); ++i) {
-    const graph::Edge& edge = graph.edge(static_cast<graph::EdgeId>(i));
+    const graph::EdgeId e = static_cast<graph::EdgeId>(i);
+    const graph::EdgeView edge = graph.edge(e);
     PutU32(&out, edge.u);
     PutU32(&out, edge.v);
     PutU8(&out, static_cast<std::uint8_t>(edge.kind));
     PutU8(&out, edge.fixed_zero ? 1 : 0);
-    PutU32(&out, static_cast<std::uint32_t>(edge.features.size()));
-    for (const auto& [id, value] : edge.features.entries()) {
+    const graph::FeatureVec& features = graph.edge_features(e);
+    PutU32(&out, static_cast<std::uint32_t>(features.size()));
+    for (const auto& [id, value] : features.entries()) {
       PutU32(&out, id);
       PutF64(&out, value);
     }
-    PutU32(&out, static_cast<std::uint32_t>(edge.provenance.size()));
-    for (const graph::MatcherScore& score : edge.provenance) {
+    const std::vector<graph::MatcherScore>& provenance =
+        graph.edge_provenance(e);
+    PutU32(&out, static_cast<std::uint32_t>(provenance.size()));
+    for (const graph::MatcherScore& score : provenance) {
       PutString(&out, score.matcher);
       PutF64(&out, score.confidence);
     }
-    PutAttributeId(&out, edge.join_a);
-    PutAttributeId(&out, edge.join_b);
+    PutAttributeId(&out, graph.edge_join_a(e));
+    PutAttributeId(&out, graph.edge_join_b(e));
   }
   PutU64(&out, graph.journal_base_revision());
   std::vector<graph::GraphDelta> records = graph.JournalRecords();
@@ -297,7 +301,7 @@ util::Status DecodeGraph(std::string_view payload, std::size_t num_features,
                                            std::to_string(i));
     }
     if (!value_text.empty()) {
-      out->mutable_node(id).value_text = std::move(value_text);
+      out->SetNodeValueText(id, std::move(value_text));
     }
   }
   std::uint32_t num_edges;

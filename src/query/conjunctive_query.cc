@@ -38,7 +38,7 @@ util::Result<ConjunctiveQuery> CompileTree(
                                                 qg.keyword_nodes.end());
 
   for (graph::EdgeId eid : tree.edges) {
-    const graph::Edge& edge = qg.graph.edge(eid);
+    const graph::EdgeView edge = qg.graph.edge(eid);
     const graph::Node& nu = qg.graph.node(edge.u);
     const graph::Node& nv = qg.graph.node(edge.v);
     switch (edge.kind) {
@@ -50,7 +50,7 @@ util::Result<ConjunctiveQuery> CompileTree(
       case graph::EdgeKind::kForeignKey:
         atoms.insert(nu.label);
         atoms.insert(nv.label);
-        cq.joins.push_back(JoinCondition{edge.join_a, edge.join_b});
+        cq.joins.push_back(JoinCondition{edge.join_a(), edge.join_b()});
         break;
       case graph::EdgeKind::kAssociation: {
         if (nu.kind != graph::NodeKind::kAttribute ||
@@ -72,7 +72,7 @@ util::Result<ConjunctiveQuery> CompileTree(
           case graph::NodeKind::kValue:
             AddAtomFor(qg, target, &atoms);
             cq.selections.push_back(
-                SelectionPredicate{tn.attr, tn.value_text});
+                SelectionPredicate{tn.attr, qg.graph.node_value_text(target)});
             AddOutputColumn(tn.attr, &cq.select_list);
             break;
           case graph::NodeKind::kAttribute:
@@ -83,7 +83,7 @@ util::Result<ConjunctiveQuery> CompileTree(
             atoms.insert(tn.label);
             // Represent a relation-level match by its first attribute.
             for (graph::EdgeId me : qg.graph.edges_of(target)) {
-              const graph::Edge& m = qg.graph.edge(me);
+              const graph::EdgeView m = qg.graph.edge(me);
               if (m.kind != graph::EdgeKind::kMembership) continue;
               AddOutputColumn(qg.graph.node(m.Other(target)).attr,
                               &cq.select_list);

@@ -17,14 +17,16 @@ void CopyGraphFiltered(const graph::SearchGraph& base,
     const graph::Node& node = base.node(n);
     graph::NodeId added = out->AddNode(node.kind, node.label, node.attr);
     Q_CHECK(added == n);
+    const std::string& value_text = base.node_value_text(n);
+    if (!value_text.empty()) out->SetNodeValueText(added, value_text);
   }
   for (graph::EdgeId e = 0; e < base.num_edges(); ++e) {
-    const graph::Edge& edge = base.edge(e);
+    const graph::EdgeView edge = base.edge(e);
     if (edge.kind == graph::EdgeKind::kAssociation &&
         base.EdgeCost(e, weights) > association_cost_threshold) {
       continue;
     }
-    out->AddEdge(edge);
+    out->AddEdge(base.ExportEdge(e));
   }
 }
 
@@ -80,7 +82,7 @@ util::Result<QueryGraph> BuildQueryGraph(
             graph::NodeId vnode = qg.graph.AddNode(graph::NodeKind::kValue,
                                                    label, doc.attr);
             // Record the raw text for selection-predicate generation.
-            qg.graph.mutable_node(vnode).value_text = doc.text;
+            qg.graph.SetNodeValueText(vnode, doc.text);
             graph::Edge membership;
             membership.u = vnode;
             membership.v = *attr_node;

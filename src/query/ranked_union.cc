@@ -20,7 +20,7 @@ std::optional<std::size_t> FindCompatibleColumn(
   auto node = qg.graph.FindAttributeNode(attr);
   if (!node.has_value()) return std::nullopt;
   for (graph::EdgeId eid : qg.graph.edges_of(*node)) {
-    const graph::Edge& e = qg.graph.edge(eid);
+    const graph::EdgeView e = qg.graph.edge(eid);
     if (e.kind != graph::EdgeKind::kAssociation) continue;
     if (qg.graph.EdgeCost(eid, weights) > similarity_threshold) continue;
     const graph::Node& other = qg.graph.node(e.Other(*node));

@@ -38,15 +38,15 @@ bool TopKView::PropagateBaseEdges(const graph::SearchGraph& base,
     if (e >= base.num_edges() || e >= query_graph_.graph.num_edges()) {
       return false;
     }
-    const graph::Edge& src = base.edge(e);
-    const graph::Edge& dst = query_graph_.graph.edge(e);
+    const graph::EdgeView src = base.edge(e);
+    const graph::EdgeView dst = query_graph_.graph.edge(e);
     if (src.u != dst.u || src.v != dst.v || src.kind != dst.kind ||
         src.fixed_zero != dst.fixed_zero) {
       return false;
     }
   }
   for (graph::EdgeId e : edges) {
-    query_graph_.graph.mutable_edge(e) = base.edge(e);
+    query_graph_.graph.OverwriteEdge(e, base.ExportEdge(e));
   }
   return true;
 }
@@ -91,7 +91,7 @@ util::Result<ViewSnapshot> TopKView::BuildSearchSnapshot(
       for (const OutputColumn& col : cq.select_list) {
         auto node = query_graph_.graph.FindAttributeNode(col.attr);
         if (!node.has_value()) continue;
-        const std::vector<graph::EdgeId>& incident =
+        const graph::AdjacencyRange incident =
             query_graph_.graph.edges_of(*node);
         certificate.edges.insert(certificate.edges.end(), incident.begin(),
                                  incident.end());

@@ -11,14 +11,14 @@ FeatureEdgeIndex FeatureEdgeIndex::Build(const graph::SearchGraph& graph) {
   graph::FeatureId max_feature = 0;
   std::size_t num_postings = 0;
   for (graph::EdgeId e = 0; e < graph.num_edges(); ++e) {
-    for (const auto& [id, value] : graph.edge(e).features.entries()) {
+    for (const auto& [id, value] : graph.edge_features(e).entries()) {
       max_feature = std::max(max_feature, id);
       ++num_postings;
     }
   }
   index.offsets_.assign(static_cast<std::size_t>(max_feature) + 2, 0);
   for (graph::EdgeId e = 0; e < graph.num_edges(); ++e) {
-    for (const auto& [id, value] : graph.edge(e).features.entries()) {
+    for (const auto& [id, value] : graph.edge_features(e).entries()) {
       ++index.offsets_[id + 1];
     }
   }
@@ -30,7 +30,7 @@ FeatureEdgeIndex FeatureEdgeIndex::Build(const graph::SearchGraph& graph) {
                                     index.offsets_.end() - 1);
   // Filling in edge-id order keeps each feature's posting list ascending.
   for (graph::EdgeId e = 0; e < graph.num_edges(); ++e) {
-    for (const auto& [id, value] : graph.edge(e).features.entries()) {
+    for (const auto& [id, value] : graph.edge_features(e).entries()) {
       index.edges_[cursor[id]++] = e;
     }
   }
@@ -60,7 +60,7 @@ CsrGraph CsrGraph::Build(const graph::SearchGraph& graph,
   csr.edge_cost.resize(csr.num_edges);
   std::vector<std::uint32_t> degree(csr.num_nodes + 1, 0);
   for (graph::EdgeId e = 0; e < csr.num_edges; ++e) {
-    const graph::Edge& edge = graph.edge(e);
+    const graph::EdgeView edge = graph.edge(e);
     csr.edge_u[e] = edge.u;
     csr.edge_v[e] = edge.v;
     csr.edge_cost[e] = graph.EdgeCost(e, weights);
@@ -146,6 +146,16 @@ void CsrGraph::PreviewRecostEdges(const graph::SearchGraph& graph,
     if (fresh == edge_cost[e]) continue;
     repriced->push_back(RepricedEdge{e, edge_cost[e], fresh});
   }
+}
+
+std::size_t CsrGraph::MemoryUsage() const {
+  return offsets.capacity() * sizeof(std::uint32_t) +
+         arc_head.capacity() * sizeof(std::uint32_t) +
+         arc_edge.capacity() * sizeof(graph::EdgeId) +
+         arc_cost.capacity() * sizeof(double) +
+         edge_u.capacity() * sizeof(std::uint32_t) +
+         edge_v.capacity() * sizeof(std::uint32_t) +
+         edge_cost.capacity() * sizeof(double);
 }
 
 }  // namespace q::steiner

@@ -90,6 +90,9 @@ struct CsrGraph {
                    const std::vector<graph::EdgeId>& edges,
                    std::vector<RepricedEdge>* repriced);
 
+  // Estimated resident bytes of the snapshot's arrays.
+  std::size_t MemoryUsage() const;
+
   // Read-only twin of RecostEdges: appends the would-be RepricedEdge
   // records (same EdgeCost evaluation) without patching anything. The
   // relevance gate uses this to decide whether a delta can change a

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "steiner/shard.h"
 #include "util/dary_heap.h"
 #include "util/status.h"
 
@@ -98,6 +99,9 @@ struct SolverScratch {
   // Prim over the terminal metric closure.
   std::vector<std::uint8_t> in_mst;
   std::vector<double> best;
+  // t x t pairwise floor matrix for the boundary certificate's parked
+  // lower bound (see CertifyPairwiseReads).
+  std::vector<double> cert_floor;
   std::vector<std::size_t> best_from;
   std::vector<std::pair<std::size_t, std::size_t>> closure;
 
@@ -163,18 +167,39 @@ class OverlayGuard {
 // Single-source Dijkstra under the overlay flags, stopping as soon as all
 // `num_targets` marked targets are settled. Unsettled nodes are wiped back
 // to (inf, invalid) so the output is a canonical prefix of the full run.
+// A non-null `in_mask` restricts the search to the induced subgraph (arcs
+// whose head is outside the mask are skipped); the masked solvers verify
+// afterwards that every value they read lies in the radius the mask
+// provably reproduces (see fast_solver.h).
 void ComputeSpTree(const CsrGraph& csr,
                    const std::vector<std::uint8_t>& edge_flag,
                    const std::vector<std::uint8_t>& is_target,
                    std::size_t num_targets, bool stop_at_targets,
-                   std::uint32_t source, util::DaryHeap& heap, SpTree* out) {
+                   std::uint32_t source,
+                   const std::vector<std::uint8_t>* in_mask,
+                   util::DaryHeap& heap, SpTree* out) {
   const std::uint32_t n = csr.num_nodes;
-  out->dist.assign(n, kInf);
-  out->pred_node.assign(n, graph::kInvalidNode);
-  out->pred_edge.assign(n, graph::kInvalidEdge);
-  out->settled.assign(n, 0);
-  heap.Reset(n);
+  // Sparse reset: only entries named by the previous run's touched list
+  // can differ from the defaults, so a reused SpTree resets in O(prior
+  // neighborhood). Fresh (or grown) objects pay the full initialization
+  // once, below.
+  if (out->dist.size() < n) {
+    out->dist.resize(n, kInf);
+    out->pred_node.resize(n, graph::kInvalidNode);
+    out->pred_edge.resize(n, graph::kInvalidEdge);
+    out->settled.resize(n, 0);
+  }
+  for (std::uint32_t v : out->touched) {
+    out->dist[v] = kInf;
+    out->pred_node[v] = graph::kInvalidNode;
+    out->pred_edge[v] = graph::kInvalidEdge;
+    out->settled[v] = 0;
+  }
+  out->touched.clear();
+  out->mask_min_clip = kInf;
+  heap.Drain(n);
   out->dist[source] = 0.0;
+  out->touched.push_back(source);
   heap.PushOrDecrease(source, 0.0);
   std::size_t remaining = num_targets;
   bool stopped_early = false;
@@ -192,8 +217,15 @@ void ComputeSpTree(const CsrGraph& csr,
       graph::EdgeId e = csr.arc_edge[a];
       std::uint8_t flag = edge_flag[e];
       if (flag == kBanned) continue;
-      double next = d + (flag == kForced ? 0.0 : csr.arc_cost[a]);
       std::uint32_t to = csr.arc_head[a];
+      double next = d + (flag == kForced ? 0.0 : csr.arc_cost[a]);
+      if (in_mask != nullptr && !(*in_mask)[to]) {
+        // Clipped at the mask boundary: remember the cheapest declined
+        // offer — it lower-bounds every path escaping the mask, which is
+        // what lets the masked solvers certify their reads afterwards.
+        if (next < out->mask_min_clip) out->mask_min_clip = next;
+        continue;
+      }
       double& dt = out->dist[to];
       // Strictly-improving updates only: the predecessor graph stays
       // acyclic even across 0-cost plateaus, and because the heap pops in
@@ -203,6 +235,7 @@ void ComputeSpTree(const CsrGraph& csr,
       // overlayed costs. The cache's reuse rule depends on exactly this
       // (see sp_cache.h).
       if (next < dt) {
+        if (dt == kInf) out->touched.push_back(to);
         dt = next;
         out->pred_node[to] = v;
         out->pred_edge[to] = e;
@@ -211,21 +244,25 @@ void ComputeSpTree(const CsrGraph& csr,
     }
   }
   out->complete = !stopped_early;
-  if (stopped_early) {
-    for (std::uint32_t v = 0; v < n; ++v) {
-      if (!out->settled[v]) {
-        out->dist[v] = kInf;
-        out->pred_node[v] = graph::kInvalidNode;
-        out->pred_edge[v] = graph::kInvalidEdge;
-      }
-    }
-  }
+  // One pass over the touched set wipes offered-but-unsettled nodes back
+  // to the defaults (so the stored arrays are a canonical prefix of the
+  // full run), shrinks `touched` to the settled survivors, and collects
+  // the predecessor edges.
   out->tree_edges.clear();
-  for (std::uint32_t v = 0; v < n; ++v) {
+  std::size_t settled_count = 0;
+  for (std::uint32_t v : out->touched) {
+    if (!out->settled[v]) {
+      out->dist[v] = kInf;
+      out->pred_node[v] = graph::kInvalidNode;
+      out->pred_edge[v] = graph::kInvalidEdge;
+      continue;
+    }
+    out->touched[settled_count++] = v;
     if (out->pred_edge[v] != graph::kInvalidEdge) {
       out->tree_edges.push_back(out->pred_edge[v]);
     }
   }
+  out->touched.resize(settled_count);
   std::sort(out->tree_edges.begin(), out->tree_edges.end());
   out->tree_edges.erase(
       std::unique(out->tree_edges.begin(), out->tree_edges.end()),
@@ -282,35 +319,146 @@ bool PrepareSubproblem(const CsrGraph& csr,
 // to a newer generation.
 void AcquireSpTrees(const CsrGraph& csr, ShortestPathCache* cache,
                     std::uint64_t cache_generation, SolverScratch& s,
-                    bool full) {
+                    bool full, const std::vector<std::uint8_t>* in_mask) {
   const std::size_t t = s.terminals.size();
   s.sp.clear();
   s.sp_refs.clear();
   if (s.sp_slots.size() < t) s.sp_slots.resize(t);
   for (std::size_t i = 0; i < t; ++i) {
     std::shared_ptr<const SpTree> ref;
+    bool computed_in_slot = false;
     if (cache != nullptr) {
       ref = cache->Lookup(cache_generation, s.terminals[i], s.forced_sorted,
                           s.banned_sorted, csr.edge_cost, s.terminals, full);
       if (ref == nullptr && cache->HasRoom()) {
-        auto fresh = std::make_shared<SpTree>();
-        ComputeSpTree(csr, s.edge_flag, s.is_target, t, !full,
-                      s.terminals[i], s.heap, fresh.get());
-        cache->Insert(cache_generation, s.terminals[i], s.forced_sorted,
-                      s.banned_sorted, fresh);
-        ref = std::move(fresh);
+        // Miss: compute into the reusable scratch slot first, then decide
+        // whether the tree is worth materializing as a shared entry. An
+        // entry's arrays span all of num_nodes, so insertion costs O(n)
+        // regardless of how little the search explored — on large graphs
+        // an early-stopped tree touching a small neighborhood is cheaper
+        // to recompute (sparse reset, no allocation) than to materialize.
+        // Clean-overlay trees are the exception: the subset rule lets one
+        // (F, B) = ({}, {}) entry serve most Lawler children, so those
+        // always earn their footprint.
+        ComputeSpTree(csr, s.edge_flag, s.is_target, t, !full, s.terminals[i],
+                      in_mask, s.heap, &s.sp_slots[i]);
+        computed_in_slot = true;
+        const bool clean_overlay =
+            s.forced_sorted.empty() && s.banned_sorted.empty();
+        if (clean_overlay ||
+            s.sp_slots[i].touched.size() * 4 >= csr.num_nodes) {
+          // Steal the slot's arrays; the slot regrows on its next use,
+          // which costs no more than the fresh allocation used to.
+          auto fresh = std::make_shared<SpTree>(std::move(s.sp_slots[i]));
+          s.sp_slots[i] = SpTree{};
+          cache->Insert(cache_generation, s.terminals[i], s.forced_sorted,
+                        s.banned_sorted, fresh);
+          ref = std::move(fresh);
+        }
       }
     }
     if (ref != nullptr) {
       s.sp.push_back(ref.get());
       s.sp_refs.push_back(std::move(ref));
     } else {
-      // Cache disabled or full: compute into the reusable scratch slot.
-      ComputeSpTree(csr, s.edge_flag, s.is_target, t, !full, s.terminals[i],
-                    s.heap, &s.sp_slots[i]);
+      // Cache disabled, full, or the miss stayed in scratch.
+      if (!computed_in_slot) {
+        ComputeSpTree(csr, s.edge_flag, s.is_target, t, !full, s.terminals[i],
+                      in_mask, s.heap, &s.sp_slots[i]);
+      }
       s.sp.push_back(&s.sp_slots[i]);
     }
   }
+}
+
+// Boundary certificate shared by both masked solvers. A masked tree's
+// settled prefix is bit-identical to the unmasked run's whenever the
+// cheapest offer it clipped at the mask boundary strictly exceeds the
+// largest distance the caller reads: any path escaping the mask costs at
+// least the clipped offer, so it can neither improve nor tie — and hence
+// never reorder, re-predecessor, or newly settle — anything at or below
+// the read horizon (induction over the canonical (dist, id) settle
+// order; the first diverging node's predecessor would have had to reach
+// it through a clipped arc). The KMB path reads pairwise terminal
+// distances and predecessor chains below them, so its horizon is
+// max_j dist[t_j] per tree. A terminal unreachable within the mask
+// certifies only when nothing was clipped at all — then the mask
+// exhausted the component and the infeasible verdict is exact.
+MaskedOutcome CertifyPairwiseReads(SolverScratch& s,
+                                   double* overlay_lower_bound) {
+  const std::size_t t = s.terminals.size();
+  MaskedOutcome verdict = MaskedOutcome::kOk;
+  // Certified lower bound on the subspace's overlay tree cost, valid even
+  // when certification fails. Per pair, a connecting path either stays
+  // inside the mask (costing at least the masked distance) or escapes
+  // through a clipped arc (costing at least the clip floor), so
+  // min(dist, clip) lower-bounds the true pairwise overlay distance. Any
+  // tree spanning the terminals pays at least the largest pairwise floor
+  // beyond its forced prefix, which is what lets an escalating solve
+  // still park its subspace in the enumeration heap by bound (see
+  // fast_solver.h).
+  double pairwise_lb = 0.0;
+  s.cert_floor.assign(t * t, 0.0);
+  for (std::size_t i = 0; i < t; ++i) {
+    const SpTree& sp = *s.sp[i];
+    double max_read = 0.0;
+    for (std::size_t j = 0; j < t; ++j) {
+      double d = sp.dist[s.terminals[j]];
+      max_read = std::max(max_read, d);
+      const double floor = std::min(d, sp.mask_min_clip);
+      pairwise_lb = std::max(pairwise_lb, floor);
+      s.cert_floor[i * t + j] = floor;
+    }
+    if (max_read == kInf) {
+      if (sp.mask_min_clip < kInf) verdict = MaskedOutcome::kEscalate;
+    } else if (!(sp.mask_min_clip > max_read)) {
+      verdict = MaskedOutcome::kEscalate;
+    }
+  }
+  // Triple strengthening: for any three terminals, each tree edge lies on
+  // at most two of their three pairwise tree paths (the edge splits the
+  // triple 1-vs-2 or 0-vs-3), so the tree costs at least half the sum of
+  // the three pairwise distances — and hence at least half the sum of
+  // their floors. With near-equal floors this beats the single-pair bound
+  // by up to 1.5x, which is what keeps bound-parked Lawler children from
+  // surfacing (and being re-solved) needlessly. Only computed when the
+  // bound will actually be used; O(t^3) over the handful of terminals.
+  if (overlay_lower_bound != nullptr) {
+    if (verdict != MaskedOutcome::kOk && t >= 3 && pairwise_lb < kInf) {
+      // Both directional floors bound the same true distance; keep the
+      // tighter (masks clip different arcs per source terminal).
+      for (std::size_t i = 0; i < t; ++i) {
+        for (std::size_t j = i + 1; j < t; ++j) {
+          const double f =
+              std::max(s.cert_floor[i * t + j], s.cert_floor[j * t + i]);
+          s.cert_floor[i * t + j] = f;
+          s.cert_floor[j * t + i] = f;
+        }
+      }
+      for (std::size_t i = 0; i < t; ++i) {
+        for (std::size_t j = i + 1; j < t; ++j) {
+          const double fij = s.cert_floor[i * t + j];
+          for (std::size_t k = j + 1; k < t; ++k) {
+            const double triple = 0.5 * (fij + s.cert_floor[i * t + k] +
+                                         s.cert_floor[j * t + k]);
+            pairwise_lb = std::max(pairwise_lb, triple);
+          }
+        }
+      }
+    }
+    *overlay_lower_bound = pairwise_lb;
+  }
+  return verdict;
+}
+
+// Converts an overlay-space pairwise lower bound into a subspace tree
+// cost bound: forced prefix plus overlay floor, shaved by a relative
+// slack so float summation-order differences can never push the bound
+// above a tree cost it provably undercuts in exact arithmetic.
+double SubspaceCostBound(double forced_cost, double overlay_lb) {
+  if (overlay_lb == kInf) return kInf;
+  double bound = forced_cost + overlay_lb;
+  return std::max(0.0, bound - (bound * 1e-12 + 1e-12));
 }
 
 // KMB steps 2-5 over the trees in s.sp. Expects PrepareSubproblem done, an
@@ -626,6 +774,45 @@ std::optional<SteinerTree> FastSteinerEngine::SolveKmb(
     const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
     const std::vector<graph::EdgeId>& forced,
     const std::vector<graph::EdgeId>& banned) {
+  return SolveKmbImpl(pin, terminals, forced, banned, /*mask=*/nullptr,
+                      /*outcome=*/nullptr, /*escalate_bound=*/nullptr);
+}
+
+std::optional<SteinerTree> FastSteinerEngine::SolveKmbMasked(
+    const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
+    const std::vector<graph::EdgeId>& forced,
+    const std::vector<graph::EdgeId>& banned, const MaskView& mask,
+    MaskedOutcome* outcome, double* escalate_bound) {
+  return SolveKmbImpl(pin, terminals, forced, banned, &mask, outcome,
+                      escalate_bound);
+}
+
+std::optional<SteinerTree> FastSteinerEngine::SolveExactMasked(
+    const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
+    const std::vector<graph::EdgeId>& forced,
+    const std::vector<graph::EdgeId>& banned, const MaskView& mask,
+    MaskedOutcome* outcome, double* escalate_bound) {
+  return SolveExactImpl(pin, terminals, forced, banned, &mask, outcome,
+                        escalate_bound);
+}
+
+std::shared_ptr<const ShardPartition> FastSteinerEngine::Shards(
+    std::uint32_t target_nodes) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (shards_ == nullptr || shard_target_ != target_nodes) {
+    shards_ = std::make_shared<const ShardPartition>(
+        ShardPartition::Build(*csr_, target_nodes));
+    shard_target_ = target_nodes;
+  }
+  return shards_;
+}
+
+std::optional<SteinerTree> FastSteinerEngine::SolveKmbImpl(
+    const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
+    const std::vector<graph::EdgeId>& forced,
+    const std::vector<graph::EdgeId>& banned, const MaskView* mask,
+    MaskedOutcome* outcome, double* escalate_bound) {
+  if (outcome != nullptr) *outcome = MaskedOutcome::kOk;
   const CsrGraph& csr = *pin.csr;
   SolverScratch& s = GetScratch();
   SteinerTree result;
@@ -637,7 +824,26 @@ std::optional<SteinerTree> FastSteinerEngine::SolveKmb(
     return result;
   }
   OverlayGuard overlay(s, csr);
-  AcquireSpTrees(csr, cache_.get(), pin.cache_generation, s, /*full=*/false);
+  // Masked solves run uncached: their Dijkstras stop inside the mask, so
+  // recomputing them beats materializing graph-spanning cache copies.
+  ShortestPathCache* cache = mask != nullptr ? nullptr : cache_.get();
+  AcquireSpTrees(csr, cache, pin.cache_generation, s, /*full=*/false,
+                 mask != nullptr ? mask->in_mask : nullptr);
+  if (mask != nullptr) {
+    // Every value KMB reads must sit strictly below the clipped-offer
+    // horizon, or the masked trees are not certified prefixes of the
+    // full runs. No verdict otherwise — but the clip floor still bounds
+    // the subspace cost from below, which the caller may keep.
+    double overlay_lb = 0.0;
+    MaskedOutcome verdict = CertifyPairwiseReads(s, &overlay_lb);
+    if (verdict != MaskedOutcome::kOk) {
+      *outcome = verdict;
+      if (escalate_bound != nullptr) {
+        *escalate_bound = SubspaceCostBound(result.cost, overlay_lb);
+      }
+      return std::nullopt;
+    }
+  }
   return KmbFromTrees(csr, s, std::move(result));
 }
 
@@ -653,6 +859,16 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExact(
     const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
     const std::vector<graph::EdgeId>& forced,
     const std::vector<graph::EdgeId>& banned) {
+  return SolveExactImpl(pin, terminals, forced, banned, /*mask=*/nullptr,
+                        /*outcome=*/nullptr, /*escalate_bound=*/nullptr);
+}
+
+std::optional<SteinerTree> FastSteinerEngine::SolveExactImpl(
+    const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
+    const std::vector<graph::EdgeId>& forced,
+    const std::vector<graph::EdgeId>& banned, const MaskView* mask,
+    MaskedOutcome* outcome, double* escalate_bound) {
+  if (outcome != nullptr) *outcome = MaskedOutcome::kOk;
   const CsrGraph& csr = *pin.csr;
   SolverScratch& s = GetScratch();
   SteinerTree result;
@@ -671,13 +887,53 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExact(
   // iff the DP would fail), the eligibility filter, and the DP's singleton
   // slices dp[{i}] = dist(t_i, .) — so those 2^0-subsets need no grow pass
   // at all.
-  AcquireSpTrees(csr, cache_.get(), pin.cache_generation, s, /*full=*/true);
+  ShortestPathCache* cache = mask != nullptr ? nullptr : cache_.get();
+  AcquireSpTrees(csr, cache, pin.cache_generation, s, /*full=*/true,
+                 mask != nullptr ? mask->in_mask : nullptr);
+  if (mask != nullptr) {
+    // Guarantees the KMB upper bound below (and its infeasibility
+    // verdict) is the unmasked one before we derive a threshold from it.
+    double overlay_lb = 0.0;
+    MaskedOutcome verdict = CertifyPairwiseReads(s, &overlay_lb);
+    if (verdict != MaskedOutcome::kOk) {
+      *outcome = verdict;
+      if (escalate_bound != nullptr) {
+        *escalate_bound = SubspaceCostBound(result.cost, overlay_lb);
+      }
+      return std::nullopt;
+    }
+  }
   auto kmb = KmbFromTrees(csr, s, result);
   if (!kmb.has_value()) return std::nullopt;
   double bound = kmb->cost - result.cost;  // overlay-space upper bound
   // Relative slack absorbs float summation-order differences between the
   // bound and the distances.
   bound += bound * 1e-12 + 1e-12;
+  if (mask != nullptr) {
+    // The DP reads distances up to the pruning threshold (eligibility,
+    // singleton slices, reconstruction walks), so the whole read horizon
+    // must sit strictly below every tree's clipped-offer floor — then
+    // the bound-pruned eligible set, the mini-CSR, and every value read
+    // are provably the unmasked ones. (This subsumes the pairwise check
+    // above: any tree path between two terminals costs at most `bound`.)
+    for (std::size_t i = 0; i < t; ++i) {
+      if (!(s.sp[i]->mask_min_clip > bound)) {
+        *outcome = MaskedOutcome::kEscalate;
+        if (escalate_bound != nullptr) {
+          // Pairwise distances certified above are exact here, so they
+          // bound the subspace optimum even without the DP verdict.
+          double pairwise = 0.0;
+          for (std::size_t a = 0; a < t; ++a) {
+            for (std::size_t b = 0; b < t; ++b) {
+              pairwise = std::max(pairwise, s.sp[a]->dist[s.terminals[b]]);
+            }
+          }
+          *escalate_bound = SubspaceCostBound(result.cost, pairwise);
+        }
+        return std::nullopt;
+      }
+    }
+  }
 
   // Restrict the DP to nodes a below-bound tree can possibly touch: any
   // node v of a tree T spanning the terminals satisfies
@@ -686,21 +942,42 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExact(
   // overlay costs in, so the DP inner loops run flag-free on the small
   // subgraph. The slack makes a terminal falling outside the bound a
   // float-only corner case; if it ever happens, fall back to the
-  // unpruned reachable set.
+  // unpruned reachable set (unmasked runs only — under a mask the lifted
+  // threshold proves nothing, so the masked solver escalates instead).
+  const int max_attempts = mask != nullptr ? 1 : 2;
   std::uint32_t n_e = 0;
   bool terminals_covered = false;
-  for (int attempt = 0; attempt < 2 && !terminals_covered; ++attempt) {
+  for (int attempt = 0; attempt < max_attempts && !terminals_covered;
+       ++attempt) {
     double threshold = attempt == 0 ? bound : kInf;
     s.elig_nodes.clear();
-    for (std::uint32_t v = 0; v < csr.num_nodes; ++v) {
-      bool ok = true;
-      for (std::size_t i = 0; i < t; ++i) {
-        if (s.sp[i]->dist[v] > threshold) {
-          ok = false;
-          break;
+    if (mask != nullptr) {
+      // Below-bound nodes all live inside the mask (the clipped-offer
+      // floor exceeds the bound, so any node whose true distance fits
+      // the threshold was settled — identically — by the masked runs),
+      // so scanning the ascending mask node list yields the same
+      // eligible list — same order — as the unmasked 0..n-1 scan.
+      for (std::uint32_t v : *mask->nodes) {
+        bool ok = true;
+        for (std::size_t i = 0; i < t; ++i) {
+          if (s.sp[i]->dist[v] > threshold) {
+            ok = false;
+            break;
+          }
         }
+        if (ok) s.elig_nodes.push_back(v);
       }
-      if (ok) s.elig_nodes.push_back(v);
+    } else {
+      for (std::uint32_t v = 0; v < csr.num_nodes; ++v) {
+        bool ok = true;
+        for (std::size_t i = 0; i < t; ++i) {
+          if (s.sp[i]->dist[v] > threshold) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) s.elig_nodes.push_back(v);
+      }
     }
     if (++s.stamp == 0) {
       std::fill(s.local_stamp.begin(), s.local_stamp.end(), 0);
@@ -724,6 +1001,10 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExact(
       }
       s.mini_terms.push_back(s.local_of[term]);
     }
+  }
+  if (mask != nullptr && !terminals_covered) {
+    *outcome = MaskedOutcome::kEscalate;
+    return std::nullopt;
   }
   Q_CHECK_MSG(terminals_covered,
               "KMB-connected terminal unreachable in eligibility pass");

@@ -15,6 +15,8 @@
 
 namespace q::steiner {
 
+struct ShardPartition;
+
 struct FastSolveStats {
   std::size_t sp_cache_hits = 0;
   std::size_t sp_cache_misses = 0;
@@ -39,6 +41,29 @@ struct SnapshotPin {
   // they can never mix with entries of other cost snapshots.
   std::uint64_t cache_generation = 0;
 };
+
+// Borrowed view of a TerminalLocalizer mask for one masked solve (see
+// shard.h). The pointed-to vectors are owned by an immutable ShardMask
+// the caller keeps alive via shared_ptr for the duration of the call.
+struct MaskView {
+  const std::vector<std::uint8_t>* in_mask = nullptr;  // node bitmap
+  const std::vector<std::uint32_t>* nodes = nullptr;   // ascending node ids
+  // Real-cost radius around the terminals the mask provably covers. The
+  // solvers certify each solve from its own clipped-frontier offers
+  // rather than from this radius; it remains the localizer's growth
+  // knob (each escalation doubles it — see shard.h).
+  double r_proof = 0.0;
+  // Mask epoch, forwarded from the localizer snapshot the view was taken
+  // under; Escalate uses it to dedup concurrent growth requests.
+  std::uint64_t epoch = 0;
+};
+
+// Verdict of a masked solve. kOk means the per-subproblem identity
+// conditions verified and the returned value (tree or infeasibility) is
+// bit-identical to what the unmasked solver would produce. kEscalate
+// means a condition failed — the result carries no information and the
+// caller must grow the mask (TerminalLocalizer::Escalate) and retry.
+enum class MaskedOutcome { kOk, kEscalate };
 
 // Allocation-free Steiner solvers over a shared CSR snapshot.
 //
@@ -175,6 +200,69 @@ class FastSteinerEngine {
       const std::vector<graph::EdgeId>& forced,
       const std::vector<graph::EdgeId>& banned);
 
+  // Masked variants for sharded terminal-local search. They solve over
+  // the subgraph induced by the mask (arcs whose head is outside are
+  // skipped) and then VERIFY, per subproblem, a boundary certificate
+  // under which the masked result is provably bit-identical to the
+  // unmasked one. Each masked Dijkstra records the cheapest offer it
+  // clipped at the mask boundary (SpTree::mask_min_clip); any path that
+  // escapes the mask costs at least that offer, so every settled value
+  // strictly below it can neither be improved nor tied from outside —
+  // by induction over the canonical (dist, id) settle order, the masked
+  // prefix below the clip floor IS the unmasked prefix, predecessors
+  // included. Per solve the checks are:
+  //
+  //  * KMB: for each terminal's tree, every pairwise terminal overlay
+  //    distance (KMB's read horizon — predecessor walks sit below it)
+  //    is strictly below that tree's clip floor. A terminal unreachable
+  //    within the mask certifies only when the tree clipped nothing, in
+  //    which case the infeasibility verdict is exact.
+  //  * Exact additionally requires the slacked KMB bound to sit strictly
+  //    below every tree's clip floor: the DP reads distances up to that
+  //    pruning threshold (eligibility, singleton slices, reconstruction
+  //    walks), so the bound-pruned eligible set, the mini-CSR, the DP,
+  //    and the reconstruction provably coincide with the unmasked ones.
+  //
+  // The certificate is per-run and overlay-exact: forced edges shorten
+  // overlay distances on both sides of the comparison identically, so
+  // deep Lawler children with expensive forced prefixes certify as long
+  // as their reads stay local — no radius is charged for the prefix.
+  //
+  // Any violated condition sets *outcome = kEscalate and returns nullopt
+  // with no verdict — in particular the masked exact solver never runs
+  // the threshold-lifting eligibility retry, because an uncovered
+  // terminal under a mask proves nothing. An escalating solve still
+  // yields one certified fact, reported through `escalate_bound` when
+  // non-null: a lower bound on the cost of EVERY tree in the subspace.
+  // Any spanning tree's cost is at least the forced prefix plus the
+  // largest pairwise terminal overlay distance, and each such distance
+  // is at least min(masked distance, clip floor) — a connecting path
+  // either stays inside the mask (≥ the masked distance) or escapes it
+  // (≥ the clip floor). Lawler enumeration uses this to park
+  // uncertified children in its heap by bound and only pay for mask
+  // escalation if a child surfaces before k trees are emitted (see
+  // top_k.cc). Masked solves never touch the engine's shared
+  // shortest-path cache (its entries describe the unmasked graph) and
+  // do not cache at all: their Dijkstras are bounded by the mask, so
+  // recomputing them into the per-thread scratch slots is cheaper than
+  // materializing cacheable copies whose arrays span the whole graph.
+  std::optional<SteinerTree> SolveKmbMasked(
+      const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
+      const std::vector<graph::EdgeId>& forced,
+      const std::vector<graph::EdgeId>& banned, const MaskView& mask,
+      MaskedOutcome* outcome, double* escalate_bound = nullptr);
+  std::optional<SteinerTree> SolveExactMasked(
+      const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
+      const std::vector<graph::EdgeId>& forced,
+      const std::vector<graph::EdgeId>& banned, const MaskView& mask,
+      MaskedOutcome* outcome, double* escalate_bound = nullptr);
+
+  // Lazily built, cached shard partition of the engine's topology (the
+  // node/edge set is fixed for the engine's lifetime and re-costs never
+  // move arcs, so one partition serves every snapshot generation).
+  // Rebuilt only when `target_nodes` changes.
+  std::shared_ptr<const ShardPartition> Shards(std::uint32_t target_nodes);
+
   // The current snapshot. Valid only while no mutator runs concurrently;
   // concurrent readers must hold a Pin instead.
   const CsrGraph& csr() const { return *csr_; }
@@ -198,6 +286,20 @@ class FastSteinerEngine {
   // populating the old generation.
   bool BeginMutation();
 
+  // Shared bodies of the plain and masked solvers; `mask` == nullptr is
+  // the unmasked path (then `outcome` is ignored and the engine's own
+  // cache serves the solve; masked solves run uncached).
+  std::optional<SteinerTree> SolveKmbImpl(
+      const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
+      const std::vector<graph::EdgeId>& forced,
+      const std::vector<graph::EdgeId>& banned, const MaskView* mask,
+      MaskedOutcome* outcome, double* escalate_bound);
+  std::optional<SteinerTree> SolveExactImpl(
+      const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
+      const std::vector<graph::EdgeId>& forced,
+      const std::vector<graph::EdgeId>& banned, const MaskView* mask,
+      MaskedOutcome* outcome, double* escalate_bound);
+
   // COW under snapshot_mu_: holders of a SnapshotPin share this pointer.
   std::shared_ptr<CsrGraph> csr_;
   mutable std::mutex snapshot_mu_;
@@ -209,6 +311,9 @@ class FastSteinerEngine {
   std::vector<graph::FeatureId> touched_scratch_;
   std::vector<graph::EdgeId> candidate_scratch_;
   std::vector<RepricedEdge> repriced_scratch_;
+  // Cached shard partition (see Shards); guarded by snapshot_mu_.
+  std::shared_ptr<const ShardPartition> shards_;
+  std::uint32_t shard_target_ = 0;
 };
 
 }  // namespace q::steiner

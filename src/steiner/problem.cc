@@ -31,7 +31,7 @@ SteinerProblem::SteinerProblem(const graph::SearchGraph& graph,
     return x;
   };
   for (graph::EdgeId e : forced_) {
-    const graph::Edge& edge = graph.edge(e);
+    const graph::EdgeView edge = graph.edge(e);
     graph::NodeId ru = find(edge.u);
     graph::NodeId rv = find(edge.v);
     if (ru == rv) {
@@ -56,7 +56,7 @@ SteinerProblem::SteinerProblem(const graph::SearchGraph& graph,
 
   for (graph::EdgeId e = 0; e < graph.num_edges(); ++e) {
     if (banned_set.count(e) > 0 || forced_set.count(e) > 0) continue;
-    const graph::Edge& edge = graph.edge(e);
+    const graph::EdgeView edge = graph.edge(e);
     std::uint32_t su = super_of_[edge.u];
     std::uint32_t sv = super_of_[edge.v];
     if (su == sv) continue;  // self-loop after contraction

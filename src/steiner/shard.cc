@@ -1,0 +1,168 @@
+#include "steiner/shard.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/dary_heap.h"
+
+namespace q::steiner {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::uint32_t kUnassigned = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+ShardPartition ShardPartition::Build(const CsrGraph& csr,
+                                     std::uint32_t target_nodes) {
+  if (target_nodes == 0) target_nodes = 1;
+  ShardPartition p;
+  p.shard_of.assign(csr.num_nodes, kUnassigned);
+  std::vector<std::uint32_t> queue;
+  for (std::uint32_t seed = 0; seed < csr.num_nodes; ++seed) {
+    if (p.shard_of[seed] != kUnassigned) continue;
+    const std::uint32_t shard = p.num_shards++;
+    std::uint32_t size = 1;
+    queue.clear();
+    queue.push_back(seed);
+    p.shard_of[seed] = shard;
+    for (std::size_t head = 0; head < queue.size() && size < target_nodes;
+         ++head) {
+      const std::uint32_t v = queue[head];
+      const std::uint32_t end = csr.offsets[v + 1];
+      for (std::uint32_t a = csr.offsets[v]; a < end; ++a) {
+        const std::uint32_t to = csr.arc_head[a];
+        if (p.shard_of[to] != kUnassigned) continue;
+        p.shard_of[to] = shard;
+        queue.push_back(to);
+        if (++size >= target_nodes) break;
+      }
+    }
+  }
+  return p;
+}
+
+TerminalLocalizer::TerminalLocalizer(
+    std::shared_ptr<const CsrGraph> csr,
+    std::shared_ptr<const ShardPartition> shards,
+    std::vector<graph::NodeId> terminals)
+    : csr_(std::move(csr)),
+      shards_(std::move(shards)),
+      terminals_(std::move(terminals)) {
+  const CsrGraph& g = *csr_;
+  bool all_reachable = !terminals_.empty();
+  double star = 0.0;
+  if (!terminals_.empty()) {
+    // Star heuristic: real-cost single-source Dijkstra from t0, stopped
+    // once every distinct terminal is settled.
+    std::vector<double> dist(g.num_nodes, kInf);
+    std::vector<std::uint8_t> is_target(g.num_nodes, 0);
+    std::size_t remaining = 0;
+    for (graph::NodeId t : terminals_) {
+      if (!is_target[t]) {
+        is_target[t] = 1;
+        ++remaining;
+      }
+    }
+    util::DaryHeap heap;
+    heap.Reset(g.num_nodes);
+    dist[terminals_[0]] = 0.0;
+    heap.PushOrDecrease(terminals_[0], 0.0);
+    while (!heap.empty() && remaining > 0) {
+      auto [d, v] = heap.PopMin();
+      if (is_target[v]) {
+        is_target[v] = 0;
+        --remaining;
+      }
+      const std::uint32_t end = g.offsets[v + 1];
+      for (std::uint32_t a = g.offsets[v]; a < end; ++a) {
+        const std::uint32_t to = g.arc_head[a];
+        const double next = d + g.arc_cost[a];
+        if (next < dist[to]) {
+          dist[to] = next;
+          heap.PushOrDecrease(to, next);
+        }
+      }
+    }
+    all_reachable = remaining == 0;
+    if (all_reachable) {
+      for (graph::NodeId t : terminals_) star += dist[t];
+    }
+  }
+  if (!all_reachable) {
+    // Some terminal is unreachable (or there are none): no finite radius
+    // helps, so publish a covers-all mask and let the unmasked solver
+    // rule on feasibility.
+    auto mask = std::make_shared<ShardMask>();
+    mask->covers_all = true;
+    mask_ = std::move(mask);
+    return;
+  }
+  r_proof_ = star > 0.0 ? 2.0 * star : 1.0;
+  mask_ = Rebuild();
+}
+
+TerminalLocalizer::Snapshot TerminalLocalizer::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Snapshot{mask_, r_proof_, epoch_};
+}
+
+void TerminalLocalizer::Escalate(std::uint64_t observed_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (observed_epoch != epoch_) return;  // a concurrent caller already grew
+  r_proof_ *= 2.0;
+  mask_ = Rebuild();
+  ++epoch_;
+}
+
+std::shared_ptr<const ShardMask> TerminalLocalizer::Rebuild() const {
+  const CsrGraph& g = *csr_;
+  const ShardPartition& parts = *shards_;
+  auto mask = std::make_shared<ShardMask>();
+
+  // Multi-source real-cost Dijkstra from the terminals, bounded by
+  // r_proof_. `clipped` records whether the radius excluded anything; if
+  // not, the ball already holds every reachable node and no escalation
+  // can ever grow it.
+  std::vector<double> dist(g.num_nodes, kInf);
+  util::DaryHeap heap;
+  heap.Reset(g.num_nodes);
+  for (graph::NodeId t : terminals_) {
+    if (dist[t] > 0.0) {
+      dist[t] = 0.0;
+      heap.PushOrDecrease(t, 0.0);
+    }
+  }
+  std::vector<std::uint8_t> shard_touched(parts.num_shards, 0);
+  bool clipped = false;
+  while (!heap.empty()) {
+    auto [d, v] = heap.PopMin();
+    shard_touched[parts.shard_of[v]] = 1;
+    const std::uint32_t end = g.offsets[v + 1];
+    for (std::uint32_t a = g.offsets[v]; a < end; ++a) {
+      const std::uint32_t to = g.arc_head[a];
+      const double next = d + g.arc_cost[a];
+      if (next > r_proof_) {
+        if (next < dist[to]) clipped = true;
+        continue;
+      }
+      if (next < dist[to]) {
+        dist[to] = next;
+        heap.PushOrDecrease(to, next);
+      }
+    }
+  }
+
+  mask->in_mask.assign(g.num_nodes, 0);
+  mask->nodes.clear();
+  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
+    if (shard_touched[parts.shard_of[v]]) {
+      mask->in_mask[v] = 1;
+      mask->nodes.push_back(v);
+    }
+  }
+  mask->covers_all = !clipped || mask->nodes.size() == g.num_nodes;
+  return mask;
+}
+
+}  // namespace q::steiner

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -33,9 +34,23 @@ struct SpTree {
   std::vector<std::uint8_t> settled;
   // Sorted unique set of edges used as some settled node's predecessor.
   std::vector<graph::EdgeId> tree_edges;
+  // The settled nodes — exactly the entries of dist/pred_*/settled that
+  // differ from their (inf, invalid, 0) defaults. ComputeSpTree resets a
+  // reused SpTree through this list instead of reinitializing the full
+  // arrays, which keeps per-solve cost proportional to the neighborhood
+  // the search actually explored rather than to the graph (the arrays
+  // only pay O(num_nodes) once, when the object first grows).
+  std::vector<std::uint32_t> touched;
   // True when the search ran to exhaustion (every reachable node settled);
   // such trees can seed the exact DP's singleton slices.
   bool complete = false;
+  // Masked runs only: the cheapest offer (settled distance + arc cost)
+  // the search declined because the arc's head fell outside the mask —
+  // +inf when nothing was clipped (or the run was unmasked). Any path
+  // escaping the mask costs at least this much, so every settled value
+  // strictly below it is provably identical to the unmasked run's; the
+  // masked solvers verify their reads against it (see fast_solver.h).
+  double mask_min_clip = std::numeric_limits<double>::infinity();
 };
 
 // Cross-subproblem cache of per-terminal Dijkstra trees, keyed on the

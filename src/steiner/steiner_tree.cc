@@ -21,9 +21,9 @@ graph::FeatureVec TreeFeatures(const graph::SearchGraph& graph,
                                const SteinerTree& tree) {
   graph::FeatureVec f;
   for (graph::EdgeId e : tree.edges) {
-    const graph::Edge& edge = graph.edge(e);
+    const graph::EdgeView edge = graph.edge(e);
     if (edge.fixed_zero) continue;
-    f.AddScaled(edge.features, 1.0);
+    f.AddScaled(edge.features(), 1.0);
   }
   return f;
 }
@@ -41,7 +41,7 @@ std::vector<graph::NodeId> TreeNodes(const graph::SearchGraph& graph,
   std::unordered_set<graph::NodeId> seen;
   std::vector<graph::NodeId> out;
   for (graph::EdgeId e : tree.edges) {
-    const graph::Edge& edge = graph.edge(e);
+    const graph::EdgeView edge = graph.edge(e);
     for (graph::NodeId n : {edge.u, edge.v}) {
       if (seen.insert(n).second) out.push_back(n);
     }
@@ -74,7 +74,7 @@ bool IsValidSteinerTree(const graph::SearchGraph& graph,
     return root;
   };
   for (graph::EdgeId e : tree.edges) {
-    const graph::Edge& edge = graph.edge(e);
+    const graph::EdgeView edge = graph.edge(e);
     graph::NodeId ru = find(edge.u);
     graph::NodeId rv = find(edge.v);
     if (ru == rv) return false;  // cycle

@@ -13,27 +13,55 @@
 #include "steiner/fast_solver.h"
 #include "steiner/kmb_solver.h"
 #include "steiner/problem.h"
+#include "steiner/shard.h"
 #include "util/thread_pool.h"
 
 namespace q::steiner {
 namespace {
 
+// A heap entry is either *solved* (tree is the subspace optimum, key is
+// its cost) or *parked* (no tree yet; key is a certified lower bound on
+// the subspace optimum, produced by a failed masked attempt — see
+// fast_solver.h). Parked entries are only re-solved if they surface
+// before k trees are emitted; entries whose bound stays above the k-th
+// cost are never solved at all, which is what keeps Lawler children with
+// genuinely non-local detours from forcing mask escalation.
 struct Subproblem {
-  SteinerTree tree;  // optimum within this subspace
+  double key = 0.0;
+  bool solved = false;
+  SteinerTree tree;  // empty while parked
   std::vector<graph::EdgeId> forced;
   std::vector<graph::EdgeId> banned;
 };
 
 struct SubproblemGreater {
   bool operator()(const Subproblem& a, const Subproblem& b) const {
-    // Min-heap by tree cost with deterministic tie-break.
-    return TreeLess(b.tree, a.tree);
+    // Min-heap by key. Lower bounds are slack-shaved below any true cost
+    // they could round up to (see SubspaceCostBound in fast_solver.cc),
+    // so a parked entry always pops no later than its solved self would;
+    // re-solving it and re-pushing at true cost therefore reproduces the
+    // eager enumeration's solved pop sequence exactly. Ties: parked
+    // before solved (the re-solve re-inserts at >= key, never earlier),
+    // then deterministic content order so heap behavior is reproducible.
+    if (a.key != b.key) return a.key > b.key;
+    if (a.solved != b.solved) return a.solved;
+    if (a.solved) return TreeLess(b.tree, a.tree);
+    if (a.banned != b.banned) return a.banned > b.banned;
+    return a.forced > b.forced;
   }
 };
 
-using SolveFn = std::function<std::optional<SteinerTree>(
+// One subproblem attempt: either the subspace optimum, a certified lower
+// bound to park on, or neither (provably infeasible subspace).
+struct AttemptResult {
+  std::optional<SteinerTree> tree;
+  bool parked = false;
+  double lower_bound = 0.0;
+};
+
+using AttemptFn = std::function<AttemptResult(
     const std::vector<graph::EdgeId>& forced,
-    const std::vector<graph::EdgeId>& banned)>;
+    const std::vector<graph::EdgeId>& banned, bool must_solve)>;
 
 // The node/edge neighborhood of the returned trees: every tree edge,
 // plus every edge incident to a node some tree (or terminal) touches.
@@ -56,7 +84,7 @@ std::vector<graph::EdgeId> CertificateNeighborhood(
   nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
   std::vector<graph::EdgeId> edges;
   for (graph::NodeId n : nodes) {
-    const std::vector<graph::EdgeId>& incident = graph.edges_of(n);
+    const graph::AdjacencyRange incident = graph.edges_of(n);
     edges.insert(edges.end(), incident.begin(), incident.end());
   }
   std::sort(edges.begin(), edges.end());
@@ -91,7 +119,8 @@ std::vector<SteinerTree> TopKSteinerTrees(
   // legacy path rebuilds a contracted SteinerProblem per call.
   std::unique_ptr<FastSteinerEngine> owned_engine;
   SnapshotPin enumeration_pin;
-  SolveFn solve;
+  std::unique_ptr<TerminalLocalizer> localizer;
+  AttemptFn attempt;
   if (config.engine == SteinerEngine::kFast) {
     FastSteinerEngine* engine = shared_engine;
     if (engine == nullptr) {
@@ -104,28 +133,89 @@ std::vector<SteinerTree> TopKSteinerTrees(
     // lands between subproblems (serving-path callers pass the pin they
     // captured together with their weight snapshot).
     enumeration_pin = pin != nullptr ? *pin : engine->Pin();
-    solve = [engine, &enumeration_pin, &terminals, use_kmb](
-                const std::vector<graph::EdgeId>& forced,
-                const std::vector<graph::EdgeId>& banned) {
-      return use_kmb ? engine->SolveKmb(enumeration_pin, terminals, forced,
-                                        banned)
-                     : engine->SolveExact(enumeration_pin, terminals, forced,
-                                          banned);
-    };
+    if (config.sharded.enabled) {
+      // Terminal-local sharded search: one localizer spans the
+      // enumeration (masked solves run uncached — see fast_solver.h).
+      // With must_solve, a subproblem retries through escalation until
+      // its masked result verifies or the mask covers everything worth
+      // covering — at which point the ordinary unmasked solve (and the
+      // engine's shared cache) takes over. Without it, a single masked
+      // attempt either verifies or yields the certified lower bound the
+      // caller parks on — the mask never grows for a subspace whose
+      // bound may keep it from ever surfacing. Masked results that
+      // verify are bit-identical to unmasked ones (see fast_solver.h),
+      // so the enumeration's output — and its certificate — never
+      // depends on sharding, mask growth, or scheduling.
+      localizer = std::make_unique<TerminalLocalizer>(
+          enumeration_pin.csr,
+          engine->Shards(config.sharded.target_shard_nodes), terminals);
+      attempt = [engine, &enumeration_pin, &terminals, use_kmb,
+                 loc = localizer.get()](
+                    const std::vector<graph::EdgeId>& forced,
+                    const std::vector<graph::EdgeId>& banned,
+                    bool must_solve) -> AttemptResult {
+        for (;;) {
+          TerminalLocalizer::Snapshot snap = loc->Acquire();
+          if (snap.mask->covers_all) {
+            return AttemptResult{
+                use_kmb ? engine->SolveKmb(enumeration_pin, terminals, forced,
+                                           banned)
+                        : engine->SolveExact(enumeration_pin, terminals,
+                                             forced, banned)};
+          }
+          MaskView view;
+          view.in_mask = &snap.mask->in_mask;
+          view.nodes = &snap.mask->nodes;
+          view.r_proof = snap.r_proof;
+          view.epoch = snap.epoch;
+          MaskedOutcome outcome;
+          double bound = 0.0;
+          auto tree = use_kmb
+                          ? engine->SolveKmbMasked(enumeration_pin, terminals,
+                                                   forced, banned, view,
+                                                   &outcome, &bound)
+                          : engine->SolveExactMasked(enumeration_pin,
+                                                     terminals, forced, banned,
+                                                     view, &outcome, &bound);
+          if (outcome == MaskedOutcome::kOk) return AttemptResult{std::move(tree)};
+          if (!must_solve) {
+            AttemptResult parked;
+            parked.parked = true;
+            parked.lower_bound = bound;
+            return parked;
+          }
+          loc->Escalate(snap.epoch);
+        }
+      };
+    } else {
+      attempt = [engine, &enumeration_pin, &terminals, use_kmb](
+                    const std::vector<graph::EdgeId>& forced,
+                    const std::vector<graph::EdgeId>& banned,
+                    bool /*must_solve*/) {
+        return AttemptResult{
+            use_kmb
+                ? engine->SolveKmb(enumeration_pin, terminals, forced, banned)
+                : engine->SolveExact(enumeration_pin, terminals, forced,
+                                     banned)};
+      };
+    }
   } else {
-    solve = [&graph, &weights, &terminals, use_kmb](
-                const std::vector<graph::EdgeId>& forced,
-                const std::vector<graph::EdgeId>& banned)
-        -> std::optional<SteinerTree> {
+    attempt = [&graph, &weights, &terminals, use_kmb](
+                  const std::vector<graph::EdgeId>& forced,
+                  const std::vector<graph::EdgeId>& banned,
+                  bool /*must_solve*/) -> AttemptResult {
       SteinerProblem problem(graph, weights, terminals, forced, banned);
-      return use_kmb ? SolveKmbSteiner(problem) : SolveExactSteiner(problem);
+      return AttemptResult{use_kmb ? SolveKmbSteiner(problem)
+                                   : SolveExactSteiner(problem)};
     };
   }
 
   std::priority_queue<Subproblem, std::vector<Subproblem>, SubproblemGreater>
       heap;
-  if (auto best = solve({}, {}); best.has_value()) {
-    heap.push(Subproblem{std::move(*best), {}, {}});
+  if (AttemptResult best = attempt({}, {}, /*must_solve=*/true);
+      best.tree.has_value()) {
+    const double cost = best.tree->cost;
+    heap.push(Subproblem{cost, true, std::move(*best.tree), {}, {}});
   }
 
   // Lawler partitioning never revisits a tree, but approximate solvers can
@@ -137,13 +227,30 @@ std::vector<SteinerTree> TopKSteinerTrees(
   // index-addressed slots, so the merge below is deterministic).
   std::vector<std::vector<graph::EdgeId>> child_forced;
   std::vector<std::vector<graph::EdgeId>> child_banned;
-  std::vector<std::optional<SteinerTree>> child_tree;
+  std::vector<AttemptResult> child_result;
   std::vector<std::function<void()>> child_tasks;
 
   while (!heap.empty() && output.size() < static_cast<std::size_t>(config.k) &&
          expansions < config.max_subproblems) {
     Subproblem sub = heap.top();
     heap.pop();
+    if (!sub.solved) {
+      // A parked subspace surfaced before k trees were emitted, so its
+      // optimum might still be needed: solve it exactly now (escalating
+      // the mask as required) and re-insert at true cost. This pop does
+      // not count as an expansion and runs no seen-set check — the
+      // sequence of *solved* pops is provably identical to the eager
+      // enumeration's (the bound never exceeds the true cost, so the
+      // re-inserted entry lands exactly where the eager one would), and
+      // expansions/seen/emission are all driven by solved pops alone.
+      AttemptResult res = attempt(sub.forced, sub.banned, /*must_solve=*/true);
+      if (res.tree.has_value()) {
+        const double cost = res.tree->cost;
+        heap.push(Subproblem{cost, true, std::move(*res.tree),
+                             std::move(sub.forced), std::move(sub.banned)});
+      }
+      continue;
+    }
     ++expansions;
     if (!seen.insert(sub.tree.edges).second) continue;
     // A pivot with a dangling forced edge is not a proper Steiner tree (a
@@ -154,6 +261,15 @@ std::vector<SteinerTree> TopKSteinerTrees(
     // supersets of a tree and therefore improper).
     if (IsProperSteinerTree(graph, sub.tree, terminals)) {
       output.push_back(sub.tree);
+      // The k-th pivot's children exist only to bound the certificate gap
+      // (their keys feed heap.top() below); when no exact certificate can
+      // be issued, branching them buys nothing — skip the whole attempt
+      // round. Output is unchanged: the loop condition would stop before
+      // any of those children could surface.
+      if (output.size() == static_cast<std::size_t>(config.k) &&
+          (use_kmb || certificate == nullptr)) {
+        break;
+      }
     }
 
     // Branch on the tree's free (non-forced) edges: child i forces the
@@ -172,7 +288,7 @@ std::vector<SteinerTree> TopKSteinerTrees(
     }
 
     const std::size_t num_children = child_forced.size();
-    child_tree.assign(num_children, std::nullopt);
+    child_result.assign(num_children, AttemptResult{});
     if (config.pool != nullptr && num_children > 1) {
       // The children are independent Lawler subproblems; solve them on the
       // pool and merge results in child order. Solver output does not
@@ -181,20 +297,29 @@ std::vector<SteinerTree> TopKSteinerTrees(
       child_tasks.clear();
       for (std::size_t i = 0; i < num_children; ++i) {
         child_tasks.push_back([&, i] {
-          child_tree[i] = solve(child_forced[i], child_banned[i]);
+          child_result[i] =
+              attempt(child_forced[i], child_banned[i], /*must_solve=*/false);
         });
       }
       config.pool->RunAll(child_tasks);
     } else {
       for (std::size_t i = 0; i < num_children; ++i) {
-        child_tree[i] = solve(child_forced[i], child_banned[i]);
+        child_result[i] =
+            attempt(child_forced[i], child_banned[i], /*must_solve=*/false);
       }
     }
     for (std::size_t i = 0; i < num_children; ++i) {
-      if (!child_tree[i].has_value()) continue;
-      heap.push(Subproblem{std::move(*child_tree[i]),
-                           std::move(child_forced[i]),
-                           std::move(child_banned[i])});
+      AttemptResult& res = child_result[i];
+      if (res.tree.has_value()) {
+        const double cost = res.tree->cost;
+        heap.push(Subproblem{cost, true, std::move(*res.tree),
+                             std::move(child_forced[i]),
+                             std::move(child_banned[i])});
+      } else if (res.parked) {
+        heap.push(Subproblem{res.lower_bound, false, SteinerTree{},
+                             std::move(child_forced[i]),
+                             std::move(child_banned[i])});
+      }
     }
   }
 
@@ -225,10 +350,12 @@ std::vector<SteinerTree> TopKSteinerTrees(
         // movement outside them can surface a new one.
         certificate->gap = std::numeric_limits<double>::infinity();
       } else {
-        // Exact subspace optima pop in nondecreasing cost order, so the
-        // heap top lower-bounds every tree not returned.
-        certificate->gap = heap.top().tree.cost -
-                           (output.empty() ? 0.0 : output.back().cost);
+        // Exact subspace optima pop in nondecreasing cost order, and a
+        // parked entry's key lower-bounds its subspace optimum, so the
+        // heap top's key lower-bounds every tree not returned (the gap
+        // may understate — never overstate — the true slack).
+        certificate->gap =
+            heap.top().key - (output.empty() ? 0.0 : output.back().cost);
       }
     }
   }

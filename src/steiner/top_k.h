@@ -24,6 +24,21 @@ namespace q::steiner {
 //             the reference implementation and benchmark baseline.
 enum class SteinerEngine { kFast = 0, kLegacy = 1 };
 
+// Sharded terminal-local search (docs/architecture.md, "Memory layout and
+// sharding"). When enabled on the fast engine, the graph is partitioned
+// once into BFS-grown shards of about `target_shard_nodes` nodes, and
+// every Lawler subproblem is solved over only the shards within a proven
+// real-cost radius of the terminals. Each masked solve verifies the
+// conditions under which its result is bit-identical to the unmasked one
+// and escalates (doubling the radius, up to a whole-graph fallback) when
+// verification fails — so enabling sharding NEVER changes the output,
+// only the number of nodes each subproblem touches. Ignored by the
+// legacy engine.
+struct ShardedSearchConfig {
+  bool enabled = false;
+  std::uint32_t target_shard_nodes = 4096;
+};
+
 struct TopKConfig {
   // Number of trees to return (the paper's k).
   int k = 5;
@@ -43,6 +58,7 @@ struct TopKConfig {
   // When set, the independent child subproblems of each Lawler expansion
   // are solved on this pool and merged back in deterministic order.
   util::ThreadPool* pool = nullptr;
+  ShardedSearchConfig sharded;
 };
 
 // K lowest-cost Steiner trees connecting `terminals`, best first

@@ -33,6 +33,18 @@ class DaryHeap {
     pos_.assign(n, kAbsent);
   }
 
+  // O(live) alternative to Reset: clears only the ids still queued from
+  // the previous run (PopMin already clears popped ids) and grows the
+  // index arrays as needed. Equivalent to Reset for every sequence of
+  // heap operations; the win is early-stopped Dijkstras over large
+  // graphs, where the queue only ever saw a small neighborhood.
+  void Drain(std::size_t n) {
+    for (std::uint32_t id : heap_) pos_[id] = kAbsent;
+    heap_.clear();
+    if (key_.size() < n) key_.resize(n);
+    if (pos_.size() < n) pos_.resize(n, kAbsent);
+  }
+
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 

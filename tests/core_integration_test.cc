@@ -148,7 +148,7 @@ TEST(QSystemTest, NewSourceRegistrationAffectsView) {
   bool found = false;
   for (graph::EdgeId e :
        q.search_graph().EdgesOfKind(graph::EdgeKind::kAssociation)) {
-    const graph::Edge& edge = q.search_graph().edge(e);
+    const graph::EdgeView edge = q.search_graph().edge(e);
     const auto& la = q.search_graph().node(edge.u).label;
     const auto& lb = q.search_graph().node(edge.v).label;
     if ((la == "newsrc.journal.journal_id" &&
@@ -234,7 +234,7 @@ TEST(QSystemTest, AgreementBeatsSingleMatcherJunk) {
   double lonely_cost = -1.0;
   for (graph::EdgeId e : edges) {
     double cost = q.search_graph().EdgeCost(e, q.weights());
-    if (q.search_graph().edge(e).provenance.size() == 2) {
+    if (q.search_graph().edge_provenance(e).size() == 2) {
       agreed_cost = cost;
     } else {
       lonely_cost = cost;

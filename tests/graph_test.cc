@@ -156,9 +156,9 @@ TEST(GraphBuilderTest, ForeignKeyEdgeCarriesJoinAttributes) {
   SearchGraph g = BuildSearchGraph(catalog, &model);
   auto fks = g.EdgesOfKind(EdgeKind::kForeignKey);
   ASSERT_EQ(fks.size(), 1u);
-  const Edge& fk = g.edge(fks[0]);
-  EXPECT_EQ(fk.join_a.ToString(), "interpro.interpro2go.go_id");
-  EXPECT_EQ(fk.join_b.ToString(), "go.go_term.acc");
+  const EdgeView fk = g.edge(fks[0]);
+  EXPECT_EQ(fk.join_a().ToString(), "interpro.interpro2go.go_id");
+  EXPECT_EQ(fk.join_b().ToString(), "go.go_term.acc");
 }
 
 TEST(GraphBuilderTest, IdempotentReAdd) {
@@ -207,7 +207,7 @@ TEST(SearchGraphTest, AssociationDedupeMergesProvenance) {
   FeatureVec f2 = model.MatcherConfidenceFeature("metadata", 0.6);
   EdgeId e2 = g.AddAssociationEdge(*b, *a, f2, MatcherScore{"metadata", 0.6});
   EXPECT_EQ(e1, e2);
-  EXPECT_EQ(g.edge(e1).provenance.size(), 2u);
+  EXPECT_EQ(g.edge_provenance(e1).size(), 2u);
   EXPECT_EQ(g.EdgesOfKind(EdgeKind::kAssociation).size(), 1u);
 }
 

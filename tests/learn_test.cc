@@ -113,7 +113,7 @@ TEST(MiraTest, PositivityMaintained) {
     ASSERT_TRUE(learner.Update(d.graph, {0, 3}, target, d.weights.get()).ok());
   }
   for (EdgeId e = 0; e < d.graph.num_edges(); ++e) {
-    EXPECT_GT(d.weights->Dot(d.graph.edge(e).features), 0.0)
+    EXPECT_GT(d.weights->Dot(d.graph.edge_features(e)), 0.0)
         << "edge " << e << " went non-positive";
   }
 }

@@ -226,11 +226,11 @@ void ExpectGraphsEqual(const graph::SearchGraph& a,
     EXPECT_EQ(a.node(n).kind, b.node(n).kind);
     EXPECT_EQ(a.node(n).label, b.node(n).label);
     EXPECT_EQ(a.node(n).attr.ToString(), b.node(n).attr.ToString());
-    EXPECT_EQ(a.node(n).value_text, b.node(n).value_text);
+    EXPECT_EQ(a.node_value_text(n), b.node_value_text(n));
   }
   for (graph::EdgeId e = 0; e < a.num_edges(); ++e) {
-    const graph::Edge& ea = a.edge(e);
-    const graph::Edge& eb = b.edge(e);
+    const graph::Edge ea = a.ExportEdge(e);
+    const graph::Edge eb = b.ExportEdge(e);
     EXPECT_EQ(ea.u, eb.u);
     EXPECT_EQ(ea.v, eb.v);
     EXPECT_EQ(ea.kind, eb.kind);

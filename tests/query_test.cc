@@ -72,11 +72,11 @@ TEST_F(QueryTest, ValueKeywordMaterializesValueNode) {
   // a zero-cost membership link to its attribute node.
   bool found_exact = false;
   for (graph::EdgeId eid : qg->graph.edges_of(qg->keyword_nodes[0])) {
-    const graph::Edge& e = qg->graph.edge(eid);
+    const graph::EdgeView e = qg->graph.edge(eid);
     graph::NodeId target_id = e.Other(qg->keyword_nodes[0]);
     const graph::Node& target = qg->graph.node(target_id);
     if (target.kind != graph::NodeKind::kValue) continue;
-    if (target.value_text == "plasma membrane" &&
+    if (qg->graph.node_value_text(target_id) == "plasma membrane" &&
         target.attr.attribute == "name") {
       found_exact = true;
       bool has_membership = false;

@@ -287,7 +287,7 @@ std::set<graph::FeatureId> ViewFeatures(const query::TopKView& view) {
   std::set<graph::FeatureId> features;
   const graph::SearchGraph& g = view.query_graph().graph;
   for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
-    for (const auto& [id, value] : g.edge(e).features.entries()) {
+    for (const auto& [id, value] : g.edge_features(e).entries()) {
       features.insert(id);
     }
   }

@@ -219,7 +219,7 @@ struct Twin {
 std::set<graph::FeatureId> GraphFeatures(const graph::SearchGraph& g) {
   std::set<graph::FeatureId> features;
   for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
-    for (const auto& [id, value] : g.edge(e).features.entries()) {
+    for (const auto& [id, value] : g.edge_features(e).entries()) {
       features.insert(id);
     }
   }
@@ -239,18 +239,18 @@ bool FindOutsideFeature(const query::TopKView& view, graph::FeatureId* out,
   std::set<graph::FeatureId> inside;
   for (graph::EdgeId e : cert.edges) {
     if (e >= g.num_edges()) continue;
-    for (const auto& [id, value] : g.edge(e).features.entries()) {
+    for (const auto& [id, value] : g.edge_features(e).entries()) {
       inside.insert(id);
     }
   }
   for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
     if (cert_edges.count(e) > 0) continue;
-    for (const auto& [id, value] : g.edge(e).features.entries()) {
+    for (const auto& [id, value] : g.edge_features(e).entries()) {
       if (id == graph::FeatureSpace::kDefaultFeature) continue;
       if (inside.count(id) > 0) continue;  // also on a certificate edge
       double sum = 0.0;
       for (graph::EdgeId e2 = 0; e2 < g.num_edges(); ++e2) {
-        sum += g.edge(e2).features.ValueOf(id);
+        sum += g.edge_features(e2).ValueOf(id);
       }
       *out = id;
       *value_sum = sum;

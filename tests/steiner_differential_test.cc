@@ -23,6 +23,7 @@
 #include "steiner/fast_solver.h"
 #include "steiner/kmb_solver.h"
 #include "steiner/problem.h"
+#include "steiner/shard.h"
 #include "steiner/top_k.h"
 #include "util/random.h"
 
@@ -101,10 +102,11 @@ struct DiffGraph {
   // (changing its cost without touching topology), mirroring an
   // association-edge feature merge in the base graph.
   void MutateEdgeFeature(util::Rng* rng, graph::EdgeId e) {
-    graph::Edge& edge = graph.mutable_edge(e);
-    if (edge.features.empty()) return;
-    graph::FeatureId id = edge.features.entries()[0].first;
-    edge.features.Add(id, 0.1 + rng->UniformDouble());
+    graph::FeatureVec features = graph.edge_features(e);
+    if (features.empty()) return;
+    graph::FeatureId id = features.entries()[0].first;
+    features.Add(id, 0.1 + rng->UniformDouble());
+    graph.SetEdgeFeatures(e, std::move(features));
   }
 
   // Structural topology edit: one new random edge with a fresh feature.
@@ -442,6 +444,209 @@ TEST(DeltaRecostCacheTest, SelectiveInvalidationRetainsProvablyValidTrees) {
     EXPECT_EQ(served[i].edges, rebuilt[i].edges);
     EXPECT_EQ(served[i].cost, rebuilt[i].cost);
   }
+}
+
+// --- sharded terminal-local search differential ----------------------------
+// The sharded solver's whole contract is "bit-identical output, fewer
+// nodes touched": across random graphs, weight perturbations (dense and
+// sparse), topology growth, shard granularities (including degenerate
+// 1-node shards, which maximize boundary stitching and escalation
+// pressure), and both solver families, the sharded enumeration must
+// reproduce the unsharded fast enumeration exactly — trees, costs
+// (bitwise), and relevance certificates.
+
+class ShardedDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedDifferentialTest, ShardedTopKBitIdenticalToUnsharded) {
+  util::Rng rng(51000 + GetParam());
+  DiffGraph g(&rng, 40 + rng.Uniform(40), 90 + rng.Uniform(80),
+              3 + rng.Uniform(2));
+  for (int step = 0; step < 4; ++step) {
+    if (step > 0) {
+      switch (rng.Uniform(4)) {
+        case 0:
+          g.PerturbWeights(&rng);
+          break;
+        case 1:
+          g.PerturbSparse(&rng, 1 + rng.Uniform(3));
+          break;
+        case 2:
+          g.MutateEdgeFeature(
+              &rng, static_cast<graph::EdgeId>(rng.Uniform(g.graph.num_edges())));
+          break;
+        default:
+          g.AddRandomEdge(&rng);
+          break;
+      }
+    }
+    for (bool approximate : {false, true}) {
+      for (std::uint32_t target : {1u, 8u, 1u << 20}) {
+        TopKConfig plain;
+        plain.k = 5;
+        plain.approximate = approximate;
+        TopKConfig sharded = plain;
+        sharded.sharded.enabled = true;
+        sharded.sharded.target_shard_nodes = target;
+        RelevanceCertificate plain_cert;
+        RelevanceCertificate sharded_cert;
+        auto a = TopKSteinerTrees(g.graph, *g.weights, g.terminals, plain,
+                                  /*shared_engine=*/nullptr, &plain_cert);
+        auto b = TopKSteinerTrees(g.graph, *g.weights, g.terminals, sharded,
+                                  /*shared_engine=*/nullptr, &sharded_cert);
+        std::string label = "step " + std::to_string(step) +
+                            (approximate ? " kmb" : " exact") + " target " +
+                            std::to_string(target);
+        ASSERT_EQ(a.size(), b.size()) << label;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          EXPECT_EQ(a[i].edges, b[i].edges) << label << " tree " << i;
+          EXPECT_EQ(a[i].cost, b[i].cost) << label << " tree " << i;
+        }
+        EXPECT_EQ(plain_cert.valid, sharded_cert.valid) << label;
+        EXPECT_EQ(plain_cert.edges, sharded_cert.edges) << label;
+        EXPECT_EQ(plain_cert.gap, sharded_cert.gap) << label;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ShardedDifferentialTest,
+                         ::testing::Range(0, 8));
+
+class ShardedOverlayDifferentialTest : public ::testing::TestWithParam<int> {};
+
+// Engine-level masked-vs-unmasked differential under forced/banned
+// overlays: replicate the enumeration's escalation retry loop around the
+// masked solvers (degenerate 1-node shards, so masks track the ball
+// tightly) and require exact agreement with the unmasked solver at every
+// Lawler step of the best tree's edge walk.
+TEST_P(ShardedOverlayDifferentialTest, MaskedOverlaySolvesMatchUnmasked) {
+  util::Rng rng(52000 + GetParam());
+  DiffGraph g(&rng, 30, 70, 3);
+  g.PerturbWeights(&rng);
+  FastSteinerEngine engine(g.graph, *g.weights, /*use_cache=*/true);
+  SnapshotPin pin = engine.Pin();
+  TerminalLocalizer localizer(pin.csr, engine.Shards(1), g.terminals);
+
+  auto solve_sharded = [&](const std::vector<EdgeId>& forced,
+                           const std::vector<EdgeId>& banned,
+                           bool kmb) -> std::optional<SteinerTree> {
+    for (;;) {
+      TerminalLocalizer::Snapshot snap = localizer.Acquire();
+      if (snap.mask->covers_all) {
+        return kmb ? engine.SolveKmb(pin, g.terminals, forced, banned)
+                   : engine.SolveExact(pin, g.terminals, forced, banned);
+      }
+      MaskView view;
+      view.in_mask = &snap.mask->in_mask;
+      view.nodes = &snap.mask->nodes;
+      view.r_proof = snap.r_proof;
+      view.epoch = snap.epoch;
+      MaskedOutcome outcome;
+      auto tree = kmb ? engine.SolveKmbMasked(pin, g.terminals, forced,
+                                              banned, view, &outcome)
+                      : engine.SolveExactMasked(pin, g.terminals, forced,
+                                                banned, view, &outcome);
+      if (outcome == MaskedOutcome::kOk) return tree;
+      localizer.Escalate(snap.epoch);
+    }
+  };
+
+  auto base = engine.SolveExact(pin, g.terminals, {}, {});
+  ASSERT_TRUE(base.has_value());
+  std::vector<EdgeId> forced;
+  std::vector<EdgeId> banned;
+  for (EdgeId e : base->edges) {
+    banned.assign(1, e);
+    for (bool kmb : {false, true}) {
+      auto unmasked = kmb ? engine.SolveKmb(pin, g.terminals, forced, banned)
+                          : engine.SolveExact(pin, g.terminals, forced,
+                                              banned);
+      auto masked = solve_sharded(forced, banned, kmb);
+      ASSERT_EQ(unmasked.has_value(), masked.has_value())
+          << (kmb ? "kmb" : "exact");
+      if (masked.has_value()) {
+        EXPECT_EQ(unmasked->edges, masked->edges) << (kmb ? "kmb" : "exact");
+        EXPECT_EQ(unmasked->cost, masked->cost) << (kmb ? "kmb" : "exact");
+      }
+    }
+    forced.push_back(e);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ShardedOverlayDifferentialTest,
+                         ::testing::Range(0, 6));
+
+// Deterministic escalation semantics on a hand-built path 0-1-2-3: a mask
+// deliberately truncated to the terminals' own shards with a radius too
+// small to certify must report kEscalate and no tree; the full-graph mask
+// with an adequate radius must verify and reproduce the unmasked solve
+// exactly.
+TEST(ShardedEscalationTest, UndersizedMaskEscalatesAdequateMaskVerifies) {
+  graph::FeatureSpace space;
+  graph::SearchGraph graph;
+  for (int i = 0; i < 4; ++i) {
+    graph.AddNode(graph::NodeKind::kAttribute, "n" + std::to_string(i));
+  }
+  auto add_edge = [&](NodeId u, NodeId v, const std::string& feature) {
+    graph::Edge e;
+    e.u = u;
+    e.v = v;
+    e.kind = graph::EdgeKind::kAssociation;
+    graph::FeatureVec f;
+    f.Add(space.Intern(feature, 1.0), 1.0);
+    e.features = std::move(f);
+    return graph.AddEdge(std::move(e));
+  };
+  add_edge(0, 1, "a");
+  add_edge(1, 2, "b");
+  add_edge(2, 3, "c");
+  graph::WeightVector weights(&space);
+  std::vector<NodeId> terminals = {0, 3};
+  FastSteinerEngine engine(graph, weights, /*use_cache=*/false);
+  SnapshotPin pin = engine.Pin();
+
+  // Mask holding only the endpoints: the connecting interior is missing
+  // and the radius cannot certify the terminal distance.
+  std::vector<std::uint8_t> in_mask = {1, 0, 0, 1};
+  std::vector<std::uint32_t> nodes = {0, 3};
+  MaskView small;
+  small.in_mask = &in_mask;
+  small.nodes = &nodes;
+  small.r_proof = 1.0;
+  small.epoch = 0;
+  MaskedOutcome outcome;
+  auto masked = engine.SolveKmbMasked(pin, terminals, {}, {}, small,
+                                      &outcome);
+  EXPECT_EQ(outcome, MaskedOutcome::kEscalate);
+  EXPECT_FALSE(masked.has_value());
+  masked = engine.SolveExactMasked(pin, terminals, {}, {}, small,
+                                   &outcome);
+  EXPECT_EQ(outcome, MaskedOutcome::kEscalate);
+  EXPECT_FALSE(masked.has_value());
+
+  // Full mask with a radius beyond the 3-hop distance: must verify and
+  // match the unmasked solver bitwise.
+  std::vector<std::uint8_t> full_mask = {1, 1, 1, 1};
+  std::vector<std::uint32_t> all_nodes = {0, 1, 2, 3};
+  MaskView full;
+  full.in_mask = &full_mask;
+  full.nodes = &all_nodes;
+  full.r_proof = 100.0;
+  full.epoch = 1;
+  auto unmasked = engine.SolveExact(pin, terminals, {}, {});
+  masked = engine.SolveExactMasked(pin, terminals, {}, {}, full,
+                                   &outcome);
+  EXPECT_EQ(outcome, MaskedOutcome::kOk);
+  ASSERT_TRUE(masked.has_value());
+  ASSERT_TRUE(unmasked.has_value());
+  EXPECT_EQ(unmasked->edges, masked->edges);
+  EXPECT_EQ(unmasked->cost, masked->cost);
+
+  // A localizer over this graph bootstraps covers_all immediately (the
+  // star ball reaches everything), so the enumeration would fall back to
+  // plain solves rather than mask at all.
+  TerminalLocalizer localizer(pin.csr, engine.Shards(1), terminals);
+  EXPECT_TRUE(localizer.Acquire().mask->covers_all);
 }
 
 // --- long-horizon async-repair differential --------------------------------
