@@ -14,8 +14,8 @@
 //
 // Usage: bench_serve_load [--json=PATH] [--smoke] [--readers=N]
 //                         [--duration-ms=N] [--writer-pause-ms=N]
-//                         [--read-mix=F] [--views=N] [--zipf-theta=F]
-//                         [--seed=N] [--sources=N]
+//                         [--read-mix=F] [--register-mix=F] [--views=N]
+//                         [--zipf-theta=F] [--seed=N] [--sources=N]
 //
 // --sources=N grows the search graph by N streaming-catalog sources
 // (data/synthetic.h) before any view exists and turns on the sharded
@@ -23,6 +23,18 @@
 // 100k-source catalog: the gates (bit-identity under concurrency, query
 // p95) must hold with the graph two-plus orders of magnitude bigger
 // than the serving views' own sources.
+//
+// --register-mix=F makes the writer register a brand-new vocabulary-
+// disjoint source (data/onboarding.h) instead of applying feedback with
+// probability F — the streaming-onboarding serving mix, where acks ride
+// the structural certificate gate (docs/query_engine.md, "Streaming
+// onboarding contract"). In this mode the writer quiesces before each
+// feedback op and records the endorsed tree by index, so the twin replay
+// endorses its own copy of the identical tree: certificate-skipped views
+// keep serving snapshots whose keyword-overlay edge ids predate the
+// registrations, so recorded tree objects (and tree edge ids in the
+// twin comparison) do not port across systems, while tree costs and
+// every served tuple still must match bit for bit.
 //
 // JSON-lines schema (one object per line, shared with scripts/check.sh's
 // perf gate — the gate parses "kernel" and "median_us"):
@@ -46,6 +58,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "data/onboarding.h"
 #include "data/synthetic.h"
 
 namespace q::bench {
@@ -56,6 +69,7 @@ struct LoadConfig {
   int duration_ms = 2000;     // timed window
   int writer_pause_ms = 5;    // writer think time between feedback ops
   double read_mix = 0.7;      // fraction of reader ops that are QueryView
+  double register_mix = 0.0;  // fraction of writer ops that register sources
   std::size_t num_views = 16;
   double zipf_theta = 0.99;   // YCSB default skew
   std::uint64_t seed = 42;
@@ -108,10 +122,17 @@ struct WorkerResult {
   std::vector<double> read_us;
 };
 
-// One committed feedback event, in commit order, for the twin replay.
-struct FeedbackEvent {
-  std::size_t view_id;
+// One committed writer event, in commit order, for the twin replay.
+// Feedback carries the endorsed tree twice: as the object the live run
+// applied (exact replay when no registrations are mixed in) and as an
+// index into the view's quiescent tree list (the only portable form once
+// certificate-skipped views serve snapshots from older overlay epochs).
+struct WriterEvent {
+  enum Kind { kFeedback, kRegister } kind = kFeedback;
+  std::size_t view_id = 0;
   steiner::SteinerTree endorsed;
+  std::size_t tree_index = 0;
+  std::size_t source_serial = 0;  // kRegister: MakeDisjointSource serial
 };
 
 data::InterProGoConfig DatasetConfig(bool smoke) {
@@ -181,13 +202,18 @@ double Percentile(std::vector<double>* sorted_in_place, double p) {
   return (*sorted_in_place)[idx];
 }
 
+// compare_edges=false relaxes tree edge-id equality (costs and tuples
+// still compare exactly): required for the async-vs-twin check when
+// registrations are mixed in, because certificate-skipped views keep
+// serving snapshots whose keyword-overlay edges were numbered off a
+// smaller base graph than the twin's rebuilt ones.
 bool SameViewState(const query::ViewSnapshot& a, const query::ViewSnapshot& b,
-                   const char* label) {
+                   const char* label, bool compare_edges = true) {
   bool same = a.trees.size() == b.trees.size() &&
               a.results.columns == b.results.columns &&
               a.results.rows.size() == b.results.rows.size();
   for (std::size_t i = 0; same && i < a.trees.size(); ++i) {
-    same = a.trees[i].edges == b.trees[i].edges &&
+    same = (!compare_edges || a.trees[i].edges == b.trees[i].edges) &&
            a.trees[i].cost == b.trees[i].cost;
   }
   for (std::size_t i = 0; same && i < a.results.rows.size(); ++i) {
@@ -253,25 +279,56 @@ int Run(const LoadConfig& load) {
     });
   }
 
-  // The feedback writer: endorse a random tree of a random view, wait,
+  // The writer: endorse a random tree of a random view — or, with
+  // probability register_mix, register a brand-new disjoint source — wait,
   // repeat. Committed events are logged in order for the twin replay.
-  std::vector<FeedbackEvent> log;
+  std::vector<WriterEvent> log;
   std::uint64_t write_failures = 0;
+  std::uint64_t registrations = 0;
+  std::vector<double> register_ack_us;
   std::thread writer([&] {
     util::Rng rng(load.seed + 7);
+    std::size_t next_serial = 0;
     while (!go.load(std::memory_order_acquire)) {
     }
     while (!stop.load(std::memory_order_acquire)) {
-      const std::size_t view =
-          serving.view_ids[rng.Uniform(serving.view_ids.size())];
-      query::ViewResult read = q.ReadView(view);
-      if (read.state != nullptr && !read.state->trees.empty()) {
-        steiner::SteinerTree endorsed =
-            read.state->trees[rng.Uniform(read.state->trees.size())];
-        if (q.ApplyFeedback(view, endorsed).ok()) {
-          log.push_back(FeedbackEvent{view, std::move(endorsed)});
+      if (load.register_mix > 0.0 &&
+          rng.UniformDouble() < load.register_mix) {
+        WriterEvent event;
+        event.kind = WriterEvent::kRegister;
+        event.source_serial = next_serial++;
+        const auto t0 = Clock::now();
+        if (q.RegisterAndAlignSource(
+                 data::MakeDisjointSource(event.source_serial))
+                .ok()) {
+          register_ack_us.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - t0)
+                  .count());
+          ++registrations;
+          log.push_back(std::move(event));
         } else {
           ++write_failures;
+        }
+      } else {
+        const std::size_t view =
+            serving.view_ids[rng.Uniform(serving.view_ids.size())];
+        // Mixed mode endorses at quiescence, by index, so the twin can
+        // replay its own copy of the identical tree (see header comment).
+        if (load.register_mix > 0.0 && !q.DrainRefreshes().ok()) {
+          ++write_failures;
+          continue;
+        }
+        query::ViewResult read = q.ReadView(view);
+        if (read.state != nullptr && !read.state->trees.empty()) {
+          WriterEvent event;
+          event.view_id = view;
+          event.tree_index = rng.Uniform(read.state->trees.size());
+          event.endorsed = read.state->trees[event.tree_index];
+          if (q.ApplyFeedback(view, event.endorsed).ok()) {
+            log.push_back(std::move(event));
+          } else {
+            ++write_failures;
+          }
         }
       }
       if (load.writer_pause_ms > 0) {
@@ -323,6 +380,11 @@ int Run(const LoadConfig& load) {
       "readers=%d window_s=%.2f ops/sec=%.0f writes=%zu write_failures=%llu\n",
       load.readers, window_s, ops_per_sec, log.size(),
       static_cast<unsigned long long>(write_failures));
+  if (load.register_mix > 0.0) {
+    std::printf("registrations=%llu ack p50=%.1fus (register-mix=%.2f)\n",
+                static_cast<unsigned long long>(registrations),
+                Percentile(&register_ack_us, 0.50), load.register_mix);
+  }
   std::printf("query p50=%.1fus p95=%.1fus p99=%.1fus   read p99=%.1fus\n",
               q_p50, q_p95, q_p99, r_p99);
   if (total.query_ops == 0 || total.failures > 0) {
@@ -351,8 +413,30 @@ int Run(const LoadConfig& load) {
     if (!SameViewState(*fresh, *published.state, label.c_str())) return 2;
   }
   Serving twin(load, /*async=*/false);
-  for (const FeedbackEvent& event : log) {
-    if (!twin.q->ApplyFeedback(event.view_id, event.endorsed).ok()) {
+  for (const WriterEvent& event : log) {
+    if (event.kind == WriterEvent::kRegister) {
+      if (!twin.q
+               ->RegisterAndAlignSource(
+                   data::MakeDisjointSource(event.source_serial))
+               .ok()) {
+        std::fprintf(stderr, "serve_load: twin registration failed\n");
+        return 2;
+      }
+      continue;
+    }
+    steiner::SteinerTree endorsed = event.endorsed;
+    if (load.register_mix > 0.0) {
+      // Portable form: the twin endorses its own copy of the tree the
+      // live run endorsed at the matching quiescence point.
+      query::ViewResult read = twin.q->ReadView(event.view_id);
+      if (read.state == nullptr ||
+          event.tree_index >= read.state->trees.size()) {
+        std::fprintf(stderr, "serve_load: twin replay index out of range\n");
+        return 2;
+      }
+      endorsed = read.state->trees[event.tree_index];
+    }
+    if (!twin.q->ApplyFeedback(event.view_id, endorsed).ok()) {
       std::fprintf(stderr, "serve_load: twin replay failed\n");
       return 2;
     }
@@ -361,7 +445,8 @@ int Run(const LoadConfig& load) {
     std::string label = "async vs sync twin, view " + std::to_string(i);
     if (!SameViewState(*q.ReadView(serving.view_ids[i]).state,
                        *twin.q->ReadView(twin.view_ids[i]).state,
-                       label.c_str())) {
+                       label.c_str(),
+                       /*compare_edges=*/load.register_mix == 0.0)) {
       return 2;
     }
   }
@@ -409,6 +494,8 @@ int main(int argc, char** argv) {
       load.writer_pause_ms = std::atoi(arg + 18);
     } else if (std::strncmp(arg, "--read-mix=", 11) == 0) {
       load.read_mix = std::atof(arg + 11);
+    } else if (std::strncmp(arg, "--register-mix=", 15) == 0) {
+      load.register_mix = std::atof(arg + 15);
     } else if (std::strncmp(arg, "--views=", 8) == 0) {
       load.num_views = static_cast<std::size_t>(std::atoi(arg + 8));
     } else if (std::strncmp(arg, "--zipf-theta=", 13) == 0) {
@@ -421,7 +508,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--json=PATH] [--smoke] [--readers=N] "
                    "[--duration-ms=N] [--writer-pause-ms=N] [--read-mix=F] "
-                   "[--views=N] [--zipf-theta=F] [--seed=N] [--sources=N]\n",
+                   "[--register-mix=F] [--views=N] [--zipf-theta=F] "
+                   "[--seed=N] [--sources=N]\n",
                    argv[0]);
       return 1;
     }

@@ -247,6 +247,37 @@ then
   fi
 fi
 
+# --- streaming onboarding (async structural deltas) --------------------------
+# A disjoint-source registration stream acks against live query readers
+# (docs/benchmarks.md, "Streaming onboarding"). The binary is a
+# correctness gate first: it exits 2 when any registration fails to be
+# certificate-skipped by every view, replaces a served snapshot, or the
+# phase-B onboarded source never reaches the relevant view's top-k.
+# Latency gates: registration ack and time-to-first-appearance (lower is
+# better); throughput is gated inverted below (higher is better).
+./build/bench_onboarding --smoke --json=bench/out/BENCH_onboarding.json
+run_gate bench/baselines/BENCH_onboarding.json \
+         bench/out/BENCH_onboarding.json '*ack_us*'
+run_gate bench/baselines/BENCH_onboarding.json \
+         bench/out/BENCH_onboarding.json '*first_appearance*'
+if [[ "${BENCH_GATE}" == "1" && -f bench/baselines/BENCH_onboarding.json ]]
+then
+  base_src="$(awk "${parse}" bench/baselines/BENCH_onboarding.json | \
+              awk '$1 == "onboarding_sources_per_sec" { print $2 }')"
+  fresh_src="$(awk "${parse}" bench/out/BENCH_onboarding.json | \
+               awk '$1 == "onboarding_sources_per_sec" { print $2 }')"
+  if [[ -n "${base_src}" && -n "${fresh_src}" ]]; then
+    verdict="$(awk -v f="${fresh_src}" -v b="${base_src}" \
+               'BEGIN { print (f * 1.25 < b) ? "REGRESSED" : "ok" }')"
+    printf 'perf gate: %-34s baseline=%12.1f fresh=%12.1f %s\n' \
+      "onboarding_sources_per_sec (higher=ok)" "${base_src}" \
+      "${fresh_src}" "${verdict}"
+    if [[ "${verdict}" == "REGRESSED" ]]; then
+      gate_failed=1
+    fi
+  fi
+fi
+
 if [[ "${gate_failed}" == "1" ]]; then
   echo "check.sh: FAIL — gated kernel regressed >25% vs committed baseline"
   exit 1
@@ -262,6 +293,8 @@ if [[ "${BENCH_UPDATE_BASELINE:-0}" == "1" ]]; then
      bench/baselines/BENCH_warm_restart.json
   cp bench/out/BENCH_serve_load.json \
      bench/baselines/BENCH_serve_load.json
+  cp bench/out/BENCH_onboarding.json \
+     bench/baselines/BENCH_onboarding.json
   cp bench/out/BENCH_graph_scale.json \
      bench/baselines/BENCH_graph_scale.json
   cp bench/out/BENCH_fig8_scaling.json \

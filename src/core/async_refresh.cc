@@ -54,7 +54,8 @@ void AsyncRefreshScheduler::NotifyBaseChanged() {
         repairs.push_back(slot);
         continue;
       }
-      switch (engine_->ClassifyViewForAsync(slot, *base_, *weights_)) {
+      switch (engine_->ClassifyViewForAsync(slot, *base_, *index_,
+                                            *weights_)) {
         case AsyncViewClass::kUpToDate:
           validated_[slot] = epoch_;
           break;
@@ -63,6 +64,14 @@ void AsyncRefreshScheduler::NotifyBaseChanged() {
           // is provably what a fresh search would return, so the view is
           // fresh at this epoch without running one.
           ++stats_.validations_without_search;
+          validated_[slot] = epoch_;
+          break;
+        case AsyncViewClass::kSkippedIrrelevant:
+          // Structural certificate proved a pending registration cannot
+          // affect this view (possible here when feedback lands while a
+          // gated registration's journals are still unreplayed).
+          ++stats_.validations_without_search;
+          ++stats_.structural_skips;
           validated_[slot] = epoch_;
           break;
         case AsyncViewClass::kRepair:
@@ -122,6 +131,107 @@ void AsyncRefreshScheduler::NotifyBaseChanged() {
       queue_.Submit(slot, [this, slot] { RepairOne(slot); });
     }
   }
+}
+
+util::Status AsyncRefreshScheduler::NotifyStructuralChange() {
+  std::vector<std::size_t> repairs;
+  std::vector<std::size_t> rebuilds;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.structural_rounds;
+    ++epoch_;
+    engine_->BeginAsyncRound(*base_, *weights_);
+    for (std::size_t slot = 0; slot < views_.size(); ++slot) {
+      if (queue_.Busy(slot)) {
+        // The caller quiesced before mutating the base, so this should
+        // not happen; routed to the serial rebuild list for safety (a
+        // busy slot's engine state cannot be classified from here).
+        rebuilds.push_back(slot);
+        continue;
+      }
+      switch (engine_->ClassifyViewForAsync(slot, *base_, *index_,
+                                            *weights_)) {
+        case AsyncViewClass::kUpToDate:
+          validated_[slot] = epoch_;
+          break;
+        case AsyncViewClass::kValidatedWithoutSearch:
+          ++stats_.validations_without_search;
+          validated_[slot] = epoch_;
+          break;
+        case AsyncViewClass::kSkippedIrrelevant:
+          // The whole point of the structural gate: this view's serving
+          // state is untouched by the registration — no rebuild, no
+          // search, not even a snapshot copy.
+          ++stats_.validations_without_search;
+          ++stats_.structural_skips;
+          validated_[slot] = epoch_;
+          break;
+        case AsyncViewClass::kRepair:
+          // Not produced by a graph-moved slot today (the structural
+          // branch returns skip or serial), but handled like any repair
+          // so a future classification refinement cannot strand a view.
+          repairs.push_back(slot);
+          break;
+        case AsyncViewClass::kSerialOnly:
+          rebuilds.push_back(slot);
+          break;
+      }
+    }
+  }
+  cv_.notify_all();
+
+  util::Status prepare_status = util::Status::OK();
+  std::vector<std::size_t> searches;
+  if (!rebuilds.empty()) {
+    // The synchronous half of each failed-certificate view's repair:
+    // query-graph re-expansion mutates the shared feature space and
+    // replaces slot engines, so it runs here — queue drained (defensive;
+    // the caller already quiesced), exclusive serving gate held. The
+    // searches are NOT run here: PrepareStructuralRepair leaves each
+    // slot dirty with its prepared revision recorded, and the ordinary
+    // RepairOne task finishes it in place on the keyed queue (per-slot
+    // ordering serializes it against any later repair of the same view).
+    queue_.Drain();
+    std::unique_lock<util::SharedMutex> serve_lock;
+    if (serve_gate_ != nullptr) {
+      serve_lock = std::unique_lock<util::SharedMutex>(*serve_gate_);
+    }
+    for (std::size_t slot : rebuilds) {
+      auto need_search = engine_->PrepareStructuralRepair(
+          slot, *base_, *index_, model_, *weights_);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.structural_rebuilds;
+      if (!need_search.ok()) {
+        if (repair_error_.ok()) repair_error_ = need_search.status();
+        if (prepare_status.ok()) prepare_status = need_search.status();
+      } else if (*need_search) {
+        searches.push_back(slot);
+      } else {
+        validated_[slot] = epoch_;
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!repairs.empty() || !searches.empty()) {
+      // Freeze for the queued repairs (see NotifyBaseChanged). The
+      // feedback lock is held by our caller, so the live vector cannot
+      // move between the prepares above and this copy.
+      frozen_weights_ =
+          std::make_shared<const graph::WeightVector>(*weights_);
+    }
+    for (std::size_t slot : searches) {
+      ++stats_.repairs_scheduled;
+      queue_.Submit(slot, [this, slot] { RepairOne(slot); });
+    }
+    for (std::size_t slot : repairs) {
+      ++stats_.repairs_scheduled;
+      queue_.Submit(slot, [this, slot] { RepairOne(slot); });
+    }
+  }
+  cv_.notify_all();
+  return prepare_status;
 }
 
 void AsyncRefreshScheduler::RepairOne(std::size_t slot) {

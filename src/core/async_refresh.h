@@ -38,6 +38,18 @@ struct AsyncRefreshStats {
   std::size_t serial_repairs = 0;
   // SyncBarrier calls (structural changes, explicit full refreshes).
   std::size_t sync_barriers = 0;
+  // NotifyStructuralChange calls — one per acknowledged registration /
+  // association batch.
+  std::size_t structural_rounds = 0;
+  // Views a structural certificate proved a registration could not
+  // affect (kSkippedIrrelevant, from either notify path): validated at
+  // the new epoch with no rebuild, no search, and no quiesce of their
+  // serving state.
+  std::size_t structural_skips = 0;
+  // Views whose certificate failed a structural round: query graph +
+  // snapshot rebuilt synchronously inside the ack (searches still run
+  // async on the keyed queue).
+  std::size_t structural_rebuilds = 0;
 };
 
 // Async view refresh behind the feedback loop (docs/query_engine.md,
@@ -125,6 +137,22 @@ class AsyncRefreshScheduler {
   // quiescing the queue — the normal feedback loop (pure weight deltas
   // over weight-independent topologies) never takes that branch.
   void NotifyBaseChanged();
+
+  // The structural (onboarding) ack: like NotifyBaseChanged, but for
+  // RegisterSource/AddAssociations batches that appended to the graph
+  // journal. The caller (QSystem) must have quiesced the queue before
+  // mutating the base and must NOT hold the serving gate. Every tracked
+  // view is classified: views whose structural certificate proves the
+  // registration irrelevant (kSkippedIrrelevant) are validated at the
+  // new epoch untouched — no rebuild, no search, no quiesce of their
+  // serving state; views whose certificate fails get their query graph
+  // and CSR snapshot rebuilt synchronously here (under the exclusive
+  // serving gate — the shared-feature-space mutation), with the searches
+  // themselves running as ordinary repairs on the keyed task queue after
+  // the call returns. Returns the first synchronous prepare failure
+  // (also recorded sticky, like a failed async repair); async search
+  // failures surface through Drain/SyncBarrier as usual.
+  util::Status NotifyStructuralChange();
 
   // Epoch-tagged, never-blocking read of the view's last committed
   // output. The returned snapshot stays alive (and internally

@@ -229,7 +229,7 @@ util::Result<align::AlignerStats> QSystem::RegisterAndAlignSource(
   std::lock_guard<std::mutex> lock(feedback_mu_);
   Q_RETURN_NOT_OK(RegisterSourceLocked(source));
   Q_ASSIGN_OR_RETURN(align::AlignerStats stats, AlignAgainstViews(*source));
-  Q_RETURN_NOT_OK(RefreshAllViewsLocked());
+  Q_RETURN_NOT_OK(RefreshAfterStructuralLocked());
   return stats;
 }
 
@@ -283,6 +283,17 @@ util::Status QSystem::RefreshAfterFeedbackLocked() {
     // queues repairs, and feedback returns without waiting for searches.
     scheduler_->NotifyBaseChanged();
     return util::Status::OK();
+  }
+  return RefreshAllViewsLocked();
+}
+
+util::Status QSystem::RefreshAfterStructuralLocked() {
+  if (scheduler_ != nullptr) {
+    // The onboarding ack path: certificate-skipped views are never
+    // touched, failed views rebuild now with searches queued async.
+    // NotifyStructuralChange takes the serving gate itself around the
+    // rebuilds, so this caller must hold only feedback_mu_ here.
+    return scheduler_->NotifyStructuralChange();
   }
   return RefreshAllViewsLocked();
 }

@@ -274,6 +274,13 @@ class QSystem {
   // Post-MIRA refresh: async mode acks via the scheduler, sync mode
   // refreshes in line.
   util::Status RefreshAfterFeedbackLocked();
+  // Post-registration refresh: async mode acks at the classification
+  // boundary (scheduler->NotifyStructuralChange — views whose structural
+  // certificate proves the registration irrelevant are never touched,
+  // failed-certificate views rebuild with searches queued async); sync
+  // mode refreshes everything in line. Caller holds feedback_mu_ only
+  // (the scheduler takes the serving gate itself around rebuilds).
+  util::Status RefreshAfterStructuralLocked();
   // Adds/removes per-matcher missing-vote penalty features so every
   // association edge carries, for each enabled matcher, either its
   // confidence bin or the missing penalty (see Sec. 3.4 discussion in

@@ -1,6 +1,7 @@
 #include "core/refresh_engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <utility>
 
@@ -52,6 +53,47 @@ RelevanceDecision ClassifyDeltaRelevance(
   return decision;
 }
 
+StructuralDecision ClassifyStructuralRelevance(
+    const steiner::RelevanceCertificate& cert,
+    const std::vector<graph::NodeId>& attachments, double net_decrease) {
+  StructuralDecision decision;
+  if (attachments.empty()) {
+    // New topology nowhere touches the old graph (an isolated new
+    // source): no tree over old terminals can use it at any cost.
+    decision.skip = true;
+    return decision;
+  }
+  if (!std::isfinite(cert.kth_cost)) {
+    // Fewer than k answers: any reachable new tree could enter the
+    // top-k, so nothing with attachments may skip.
+    decision.attachment_reachable = true;
+    return decision;
+  }
+  // A tree using new topology costs at least the baseline anchor
+  // distance of some attachment; concurrent weight decreases outside the
+  // certificate can shrink that distance by at most net_decrease, and
+  // (because they are outside the certificate) provably leave the k-th
+  // returned cost unchanged. Same margins, same safe direction, and the
+  // same strict inequality as the weight gate: an attachment landing
+  // exactly on the threshold falls through.
+  const double threshold = cert.kth_cost + net_decrease;
+  for (graph::NodeId a : attachments) {
+    auto it =
+        std::lower_bound(cert.alpha_nodes.begin(), cert.alpha_nodes.end(), a);
+    const double dist =
+        (it != cert.alpha_nodes.end() && *it == a)
+            ? cert.alpha_dist[static_cast<std::size_t>(
+                  it - cert.alpha_nodes.begin())]
+            : cert.alpha_radius;
+    if (!(threshold + kSlackAbsMargin < dist * (1.0 - kSlackRelMargin))) {
+      decision.attachment_reachable = true;
+      return decision;
+    }
+  }
+  decision.skip = true;
+  return decision;
+}
+
 std::size_t RefreshEngine::RegisterView(query::TopKView* view) {
   Slot slot;
   slot.view = view;
@@ -90,6 +132,9 @@ void RefreshEngine::MergeStats(const RefreshEngineStats& delta) {
   stats_.structural_edges_propagated += delta.structural_edges_propagated;
   stats_.sp_cache_entries_retained += delta.sp_cache_entries_retained;
   stats_.sp_cache_entries_dropped += delta.sp_cache_entries_dropped;
+  stats_.structural_gate_checks += delta.structural_gate_checks;
+  stats_.structural_gate_fallthroughs += delta.structural_gate_fallthroughs;
+  stats_.views_skipped_structural += delta.views_skipped_structural;
 }
 
 RefreshEngine::GateOutcome RefreshEngine::RunRelevanceGate(
@@ -158,8 +203,15 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
 
   // --- classify the structural delta ------------------------------------
   bool rebuild = !slot->built || !weight_independent_topology;
+  // A prepared-but-unsearched slot: PrepareStructuralRepair (or an
+  // earlier attempt whose search failed) already brought the cached
+  // query graph and engine topology to this exact base revision, so only
+  // reconciliation + search remain — work the async repair path can run.
+  const bool already_prepared =
+      !rebuild && slot->dirty &&
+      slot->prepared_graph_revision == base.revision();
   std::vector<graph::EdgeId> mutated_edges;
-  if ((rebuild || graph_moved) && !allow_rebuild) {
+  if ((rebuild || graph_moved) && !allow_rebuild && !already_prepared) {
     // Async repairs handle pure weight deltas only: a rebuild mutates the
     // shared feature space and a structural propagation mutates the
     // cached query graph other threads may be reading. The scheduler
@@ -167,7 +219,7 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
     return util::Status::Internal(
         "view needs the serial refresh path (rebuild or structural delta)");
   }
-  if (!rebuild && graph_moved) {
+  if (!rebuild && graph_moved && !already_prepared) {
     std::vector<graph::GraphDelta> graph_deltas;
     if (!base.DeltaSince(slot->graph_revision, &graph_deltas)) {
       rebuild = true;  // journal truncated: assume arbitrary change
@@ -196,6 +248,7 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
         stats->structural_edges_propagated += mutated_edges.size();
         slot->engine->InvalidateFeatureIndex();
         slot->dirty = true;
+        slot->prepared_graph_revision = base.revision();
       } else {
         rebuild = true;
       }
@@ -216,6 +269,7 @@ util::Result<RefreshEngine::PrepareOutcome> RefreshEngine::PrepareSlot(
     }
     ++stats->snapshots_built;
     slot->dirty = true;
+    slot->prepared_graph_revision = base.revision();
     outcome.run_search = true;
     return outcome;
   }
@@ -475,7 +529,7 @@ util::Status RefreshEngine::RefreshView(std::size_t slot_id,
 
 AsyncViewClass RefreshEngine::ClassifyViewForAsync(
     std::size_t slot_id, const graph::SearchGraph& base,
-    const graph::WeightVector& weights) {
+    const text::TextIndex& index, const graph::WeightVector& weights) {
   Slot& slot = slots_[slot_id];
   query::TopKView& view = *slot.view;
   RefreshEngineStats local;
@@ -497,10 +551,12 @@ AsyncViewClass RefreshEngine::ClassifyViewForAsync(
     ++local.refreshes_skipped;
     result = AsyncViewClass::kUpToDate;
   } else if (graph_moved) {
-    // Structural deltas (even in-place edge mutations) patch the cached
-    // query graph, which the feedback thread reads for MIRA updates:
-    // serial path only.
-    result = AsyncViewClass::kSerialOnly;
+    // Structural delta pending. The structural gate can prove a
+    // registration irrelevant to this view (kSkippedIrrelevant, no
+    // repair at all); everything else — including in-place edge
+    // mutations, which patch the cached query graph the feedback thread
+    // reads for MIRA updates — needs the serial path.
+    result = ClassifyStructural(&slot, base, index, weights, &local);
   } else if (slot.dirty) {
     // A previous repair mutated the snapshot without its search landing;
     // the gate's baseline is gone, but the in-place repair path replays
@@ -540,6 +596,172 @@ AsyncViewClass RefreshEngine::ClassifyViewForAsync(
   }
   MergeStats(local);
   return result;
+}
+
+AsyncViewClass RefreshEngine::ClassifyStructural(
+    Slot* slot, const graph::SearchGraph& base, const text::TextIndex& index,
+    const graph::WeightVector& weights, RefreshEngineStats* stats) {
+  query::TopKView& view = *slot->view;
+  const steiner::RelevanceCertificate& cert = view.certificate();
+  // Eligibility mirrors the weight gate: a clean, refreshed slot whose
+  // certificate (a) is valid with the structural half populated and (b)
+  // was stamped by the last search this engine committed. Ineligible
+  // slots are not counted as gate checks.
+  if (!relevance_gating_ || slot->dirty || !view.refreshed() || !cert.valid ||
+      !cert.structural_valid || cert.serial != slot->certificate_serial) {
+    return AsyncViewClass::kSerialOnly;
+  }
+  ++stats->structural_gate_checks;
+  const auto fall_through = [stats] {
+    ++stats->structural_gate_fallthroughs;
+    return AsyncViewClass::kSerialOnly;
+  };
+
+  // --- decode the structural window --------------------------------------
+  // Admissible records: node/edge additions, plus mutations of entities
+  // added in the SAME window (AddAssociations re-features freshly added
+  // association edges via ReconcileMissingMatcherFeatures; journal
+  // records are chronological, so an admissible mutated id has already
+  // been collected). Any mutation of a pre-existing node or edge can
+  // change labels, value text, or certificate-baseline costs in ways
+  // this gate cannot bound: fall through.
+  std::vector<graph::GraphDelta> graph_deltas;
+  if (!base.DeltaSince(slot->graph_revision, &graph_deltas)) {
+    return fall_through();
+  }
+  std::vector<std::uint32_t> added_nodes;
+  std::vector<std::uint32_t> added_edges;
+  for (const graph::GraphDelta& d : graph_deltas) {
+    switch (d.kind) {
+      case graph::GraphDeltaKind::kNodeAdded:
+        added_nodes.push_back(d.id);  // ids are assigned in order: sorted
+        break;
+      case graph::GraphDeltaKind::kEdgeAdded:
+        added_edges.push_back(d.id);
+        break;
+      case graph::GraphDeltaKind::kNodeMutated:
+        if (!std::binary_search(added_nodes.begin(), added_nodes.end(),
+                                d.id)) {
+          return fall_through();
+        }
+        break;
+      case graph::GraphDeltaKind::kEdgeMutated:
+        if (!std::binary_search(added_edges.begin(), added_edges.end(),
+                                d.id)) {
+          return fall_through();
+        }
+        break;
+    }
+  }
+
+  // --- keyword-match fingerprint ------------------------------------------
+  // TF-IDF is corpus-wide, so a registration can move existing match
+  // scores (idf shifts with the document count) or admit new matches.
+  // Exact equality proves a rebuilt query graph would be the old one
+  // plus the new base nodes/edges only.
+  if (query::KeywordMatchFingerprint(index, view.keywords(),
+                                     view.config().query_graph) !=
+      cert.keyword_fingerprint) {
+    return fall_through();
+  }
+
+  // --- concurrent weight delta --------------------------------------------
+  // Any weight movement since the slot's baseline must itself pass the
+  // weight gate (so old trees and the k-th cost are provably unchanged);
+  // its net decrease then widens the structural threshold below.
+  double net_decrease = 0.0;
+  if (slot->weight_revision != weights.revision()) {
+    std::vector<graph::FeatureDelta> weight_deltas;
+    if (!weights.DeltaSince(slot->weight_revision, &weight_deltas)) {
+      return fall_through();
+    }
+    graph::CoalesceFeatureDeltas(&weight_deltas);
+    std::vector<steiner::RepricedEdge> preview;
+    if (!slot->engine->PreviewDelta(view.query_graph().graph, weights,
+                                    weight_deltas, &preview)) {
+      return fall_through();
+    }
+    RelevanceDecision weight_decision = ClassifyDeltaRelevance(cert, preview);
+    if (!weight_decision.skip) return fall_through();
+    net_decrease = weight_decision.net_decrease;
+  }
+
+  // --- attachment set -----------------------------------------------------
+  // Old endpoints of new edges: where new topology meets the graph the
+  // certificate describes. Base node ids are preserved id-for-id in the
+  // cached query graph (infinite association threshold), so attachments
+  // live in both id spaces.
+  std::vector<graph::NodeId> attachments;
+  for (std::uint32_t e : added_edges) {
+    const graph::EdgeView edge = base.edge(e);
+    if (!std::binary_search(added_nodes.begin(), added_nodes.end(), edge.u)) {
+      attachments.push_back(edge.u);
+    }
+    if (!std::binary_search(added_nodes.begin(), added_nodes.end(), edge.v)) {
+      attachments.push_back(edge.v);
+    }
+  }
+  std::sort(attachments.begin(), attachments.end());
+  attachments.erase(std::unique(attachments.begin(), attachments.end()),
+                    attachments.end());
+
+  // Contact check: a new edge incident to a node of the certificate
+  // neighborhood can change the ranked union's column folding
+  // (FindCompatibleColumn walks edges incident to select-list
+  // attributes) without moving any cost, so distance alone is not a
+  // safety argument there. Every neighborhood node has at least one old
+  // incident edge in cert.edges, so intersecting each attachment's old
+  // incident edges against the certificate detects contact exactly.
+  const graph::SearchGraph& old_query_graph = view.query_graph().graph;
+  for (graph::NodeId a : attachments) {
+    if (a >= old_query_graph.num_nodes()) return fall_through();
+    for (graph::EdgeId e : old_query_graph.edges_of(a)) {
+      if (std::binary_search(cert.edges.begin(), cert.edges.end(), e)) {
+        return fall_through();
+      }
+    }
+  }
+
+  StructuralDecision decision =
+      ClassifyStructuralRelevance(cert, attachments, net_decrease);
+  if (!decision.skip) return fall_through();
+  // Lazy repair, like the weight gate's kSkip: no commit, the journals
+  // replay from the same baseline until a delta defeats the certificate
+  // (or the serial quiescence path rebuilds the slot).
+  ++stats->views_skipped_structural;
+  ++stats->refreshes_skipped;
+  return AsyncViewClass::kSkippedIrrelevant;
+}
+
+util::Result<bool> RefreshEngine::PrepareStructuralRepair(
+    std::size_t slot_id, const graph::SearchGraph& base,
+    const text::TextIndex& index, graph::CostModel* model,
+    const graph::WeightVector& weights) {
+  if (slot_id >= slots_.size()) {
+    return util::Status::InvalidArgument("no such view slot");
+  }
+  Slot& slot = slots_[slot_id];
+  RefreshEngineStats local;
+  auto prepared = PrepareSlot(&slot, base, &index, model, weights,
+                              /*allow_rebuild=*/true, /*run_gate=*/true,
+                              &local);
+  if (!prepared.ok()) {
+    MergeStats(local);
+    return prepared.status();
+  }
+  if (!prepared->run_search) {
+    ++local.refreshes_skipped;
+    MergeStats(local);
+    if (prepared->commit_without_search) {
+      CommitSlot(&slot, base, weights, /*searched=*/false);
+    }
+    return false;
+  }
+  // The search itself is the caller's (asynchronous) half: the slot is
+  // left dirty with prepared_graph_revision recorded, so RepairViewAsync
+  // finishes it in place on the keyed task queue.
+  MergeStats(local);
+  return true;
 }
 
 util::Status RefreshEngine::RepairViewAsync(std::size_t slot_id,

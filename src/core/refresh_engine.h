@@ -45,6 +45,38 @@ RelevanceDecision ClassifyDeltaRelevance(
     const steiner::RelevanceCertificate& cert,
     const std::vector<steiner::RepricedEdge>& repriced);
 
+// Outcome of testing one structural delta's attachment set (the
+// pre-existing nodes where new topology meets the old graph) against a
+// view's structural certificate (see ClassifyStructuralRelevance).
+struct StructuralDecision {
+  // Every attachment is provably too far from the anchor terminal for
+  // any tree using new topology to enter the view's top-k: the
+  // registration may skip this view without touching it.
+  bool skip = false;
+  // Some attachment sits within (or on the float margin of) the
+  // reachable threshold kth_cost + net_decrease.
+  bool attachment_reachable = false;
+};
+
+// Applies the structural certificate's safety rule: any candidate tree
+// that uses new topology must walk from the anchor terminal to some
+// attachment node over old edges first, so its cost is bounded below by
+// the baseline anchor distance of that attachment (alpha_dist inside the
+// ball, alpha_radius outside it). The view may skip iff EVERY attachment
+// satisfies kth_cost + net_decrease < distance with the same slack
+// margins as the weight gate — an attachment landing exactly on the
+// boundary falls through (a tie at the k-th cost could re-rank under the
+// deterministic tie-break). `net_decrease` is the concurrent weight
+// delta's total decrease outside the certificate (0.0 when the weights
+// did not move); with fewer than k answers (kth_cost == +inf) only an
+// empty attachment set may skip. The caller must have checked
+// cert.valid && cert.structural_valid and the keyword-match fingerprint;
+// pure function, exposed for the boundary tests in
+// tests/onboarding_test.cc.
+StructuralDecision ClassifyStructuralRelevance(
+    const steiner::RelevanceCertificate& cert,
+    const std::vector<graph::NodeId>& attachments, double net_decrease);
+
 // Aggregate counters for observability and the perf benches; cumulative
 // over the engine's lifetime.
 struct RefreshEngineStats {
@@ -92,6 +124,21 @@ struct RefreshEngineStats {
   // invalidation across delta re-costs.
   std::size_t sp_cache_entries_retained = 0;
   std::size_t sp_cache_entries_dropped = 0;
+
+  // --- structural gate (streaming source onboarding) ---------------------
+  // Structural-certificate evaluations that ran (eligible slot: clean,
+  // refreshed, certificate valid with structural half populated).
+  std::size_t structural_gate_checks = 0;
+  // Evaluations that fell through to the serial rebuild path (journal
+  // truncated or polluted by old-entity mutations, fingerprint moved,
+  // attachment contact with the certificate neighborhood, or an
+  // attachment inside the reachable threshold).
+  std::size_t structural_gate_fallthroughs = 0;
+  // Views a registration provably could not affect (the structural
+  // kSkippedIrrelevant class): like views_skipped_irrelevant the slot is
+  // deliberately left stale, replaying the journals from the same
+  // baseline until a delta defeats the certificate.
+  std::size_t views_skipped_structural = 0;
 };
 
 // Read-only classification of one view against the current base state,
@@ -108,6 +155,14 @@ enum class AsyncViewClass {
   // left stale, the lazy-repair rule). Either way the published output is
   // valid for the new epoch without a search.
   kValidatedWithoutSearch,
+  // A structural delta (new base nodes/edges from source onboarding) was
+  // proven irrelevant by the view's structural certificate: every
+  // attachment point is provably outside the view's reachable
+  // alpha-neighborhood, so a rebuilt-and-researched view would publish
+  // bit-identical output. The published output stays valid; the slot is
+  // deliberately NOT committed (lazy repair — the journals replay from
+  // the same baseline until a delta defeats the certificate).
+  kSkippedIrrelevant,
   // A weight-only reconcile is needed and is safe to run as a background
   // repair task (RepairViewAsync): re-cost in place + re-search, no
   // query-graph rebuild, no shared-feature-space mutation.
@@ -269,10 +324,29 @@ class RefreshEngine {
 
   // Classifies `slot` against the base state without running any search.
   // kValidatedWithoutSearch may commit the slot (the delta-proven no-op
-  // case); no other class mutates it beyond engine scratch.
+  // case); no other class mutates it beyond engine scratch. `index` is
+  // the live text index, read (never mutated) to recompute the
+  // keyword-match fingerprint when a structural delta is pending.
   AsyncViewClass ClassifyViewForAsync(std::size_t slot,
                                       const graph::SearchGraph& base,
+                                      const text::TextIndex& index,
                                       const graph::WeightVector& weights);
+
+  // The synchronous half of one structural (onboarding) repair: rebuilds
+  // `slot`'s query graph + CSR snapshot against the current base state
+  // (PrepareSlot with rebuilds allowed) WITHOUT running the search, and
+  // returns whether a search is still needed. Mutates the shared feature
+  // space and replaces the slot engine, so the caller must hold its
+  // exclusive serving gate (no SearchView in flight). On `true` the slot
+  // is left dirty with its prepared revision recorded, so a subsequent
+  // RepairViewAsync — the asynchronous half, running on the keyed task
+  // queue — finishes it in place (reconcile + search + commit) without
+  // needing the serial path.
+  util::Result<bool> PrepareStructuralRepair(std::size_t slot,
+                                             const graph::SearchGraph& base,
+                                             const text::TextIndex& index,
+                                             graph::CostModel* model,
+                                             const graph::WeightVector& weights);
 
   // Brings one view up to date in place — delta or full re-cost of its
   // snapshot plus RunSearch — against `weights`, which is typically the
@@ -303,6 +377,14 @@ class RefreshEngine {
     // otherwise commit the view's stale pre-failure results as up to
     // date. The retry must re-run the search instead.
     bool dirty = false;
+    // Base revision the cached query graph (and engine topology) was
+    // last brought to, even when the rebuild's search has not committed
+    // yet (CommitSlot records graph_revision only after a successful
+    // search). Only meaningful while `dirty`: a dirty slot whose
+    // prepared revision equals the current base revision needs no
+    // rebuild/propagation — just reconciliation + search — which lets
+    // the async repair path finish a prepared structural rebuild.
+    std::uint64_t prepared_graph_revision = 0;
     // Serial of the view certificate produced by the last search this
     // engine committed. The relevance gate requires the view's current
     // certificate to carry this serial: an out-of-band TopKView::Refresh
@@ -345,6 +427,26 @@ class RefreshEngine {
                                const graph::WeightVector& weights,
                                const std::vector<graph::FeatureDelta>& deltas,
                                RefreshEngineStats* stats);
+
+  // Structural gate: classifies a pending structural delta against
+  // `slot`'s structural certificate (ClassifyViewForAsync's graph-moved
+  // branch). Decodes the graph journal window — admissible records are
+  // node/edge additions plus mutations of entities added in the same
+  // window (AddAssociations re-features freshly added association
+  // edges); any mutation of a pre-existing entity, or a truncated
+  // journal, defeats the certificate — recomputes the keyword-match
+  // fingerprint against `index`, previews any concurrent weight delta
+  // through the weight gate for its net decrease, then applies
+  // ClassifyStructuralRelevance to the attachment set (with a contact
+  // check: an attachment whose old incident edges intersect the
+  // certificate neighborhood falls through, since a new edge there can
+  // change the ranked union's column folding without moving any cost).
+  // Returns kSkippedIrrelevant or kSerialOnly.
+  AsyncViewClass ClassifyStructural(Slot* slot,
+                                    const graph::SearchGraph& base,
+                                    const text::TextIndex& index,
+                                    const graph::WeightVector& weights,
+                                    RefreshEngineStats* stats);
 
   // Brings `slot`'s query graph + CSR snapshot up to date with (base,
   // weights), classifying the change as rebuild / full re-cost / delta

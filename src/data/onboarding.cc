@@ -1,0 +1,119 @@
+#include "data/onboarding.h"
+
+#include "util/logging.h"
+
+namespace q::data {
+namespace {
+
+using relational::AttributeDef;
+using relational::DataSource;
+using relational::ForeignKey;
+using relational::RelationSchema;
+using relational::Row;
+using relational::Table;
+using relational::Value;
+
+// Row r of community i carries join value "j<i><r>" in both link
+// columns: rows pair one-to-one across the declared FK joins, so every
+// view's executed queries return actual tuples.
+std::string JoinValue(std::size_t community, std::size_t row) {
+  return "j" + OnboardingCode(community) + OnboardingCode(row);
+}
+
+// The qa-column value shared between rela<i> and an overlapping source
+// targeting community i (the MAD matcher's alignment signal).
+std::string QaValue(std::size_t community, std::size_t row) {
+  return "w" + OnboardingCode(community) + "a" + OnboardingCode(row);
+}
+
+std::shared_ptr<Table> MakeCommunityTable(std::size_t community, bool is_a,
+                                          std::size_t rows) {
+  const std::string code = OnboardingCode(community);
+  const std::string relation = (is_a ? "rela" : "relb") + code;
+  const std::string query_attr = (is_a ? "qa" : "qb") + code;
+  RelationSchema schema("src" + code, relation,
+                        {AttributeDef{query_attr},
+                         AttributeDef{"lka"},
+                         AttributeDef{"lkb"}});
+  if (is_a) {
+    schema.AddForeignKey(
+        ForeignKey{"lka", "src" + code, "relb" + code, "lka"});
+    schema.AddForeignKey(
+        ForeignKey{"lkb", "src" + code, "relb" + code, "lkb"});
+  }
+  auto table = std::make_shared<Table>(std::move(schema));
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::string text = is_a ? QaValue(community, r)
+                            : "w" + code + "b" + OnboardingCode(r);
+    Q_CHECK_OK(table->AppendRow(Row{Value(std::move(text)),
+                                    Value(JoinValue(community, r)),
+                                    Value(JoinValue(community, r))}));
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string OnboardingCode(std::size_t n) {
+  std::string code(3, 'a');
+  for (int i = 2; i >= 0; --i) {
+    code[static_cast<std::size_t>(i)] =
+        static_cast<char>('a' + static_cast<char>(n % 26));
+    n /= 26;
+  }
+  return code;
+}
+
+OnboardingDataset BuildOnboardingDataset(std::size_t num_communities,
+                                         std::size_t rows_per_table) {
+  OnboardingDataset dataset;
+  for (std::size_t i = 0; i < num_communities; ++i) {
+    const std::string code = OnboardingCode(i);
+    auto source = std::make_shared<DataSource>("src" + code);
+    Q_CHECK_OK(source->AddTable(
+        MakeCommunityTable(i, /*is_a=*/true, rows_per_table)));
+    Q_CHECK_OK(source->AddTable(
+        MakeCommunityTable(i, /*is_a=*/false, rows_per_table)));
+    dataset.sources.push_back(std::move(source));
+    dataset.keyword_queries.push_back({"qa" + code, "qb" + code});
+  }
+  return dataset;
+}
+
+std::shared_ptr<DataSource> MakeDisjointSource(std::size_t serial,
+                                               std::size_t rows_per_table) {
+  const std::string code = OnboardingCode(serial);
+  auto source = std::make_shared<DataSource>("zsrc" + code);
+  auto table = std::make_shared<Table>(
+      RelationSchema("zsrc" + code, "zrel" + code,
+                     {AttributeDef{"zaa" + code}, AttributeDef{"zab" + code}}));
+  for (std::size_t r = 0; r < rows_per_table; ++r) {
+    Q_CHECK_OK(table->AppendRow(
+        Row{Value("zv" + code + "a" + OnboardingCode(r)),
+            Value("zv" + code + "b" + OnboardingCode(r))}));
+  }
+  Q_CHECK_OK(source->AddTable(std::move(table)));
+  return source;
+}
+
+std::shared_ptr<DataSource> MakeOverlappingSource(std::size_t serial,
+                                                  std::size_t target,
+                                                  std::size_t rows_per_table) {
+  const std::string code = OnboardingCode(serial);
+  auto source = std::make_shared<DataSource>("osrc" + code);
+  auto table = std::make_shared<Table>(RelationSchema(
+      "osrc" + code, "orel" + code,
+      // First attribute named after the target community's view keyword:
+      // the rebuilt query graph matches it, and its values (copied from
+      // rela<target>.qa<target>) make the MAD matcher align the two.
+      {AttributeDef{"qa" + OnboardingCode(target)},
+       AttributeDef{"olk" + code}}));
+  for (std::size_t r = 0; r < rows_per_table; ++r) {
+    Q_CHECK_OK(table->AppendRow(Row{Value(QaValue(target, r)),
+                                    Value("ov" + code + OnboardingCode(r))}));
+  }
+  Q_CHECK_OK(source->AddTable(std::move(table)));
+  return source;
+}
+
+}  // namespace q::data

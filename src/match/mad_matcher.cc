@@ -18,6 +18,48 @@ struct AttributeEntry {
 
 }  // namespace
 
+const MadMatcher::TableValueCache& MadMatcher::CachedValues(
+    const relational::Table& table) {
+  const std::string key = table.schema().QualifiedName();
+  auto it = value_cache_.find(key);
+  if (it != value_cache_.end() && it->second.rows == table.rows().size()) {
+    ++last_run_.value_cache_hits;
+    return it->second;
+  }
+  TableValueCache cache;
+  cache.rows = table.rows().size();
+  cache.columns.resize(table.schema().num_attributes());
+  for (std::size_t c = 0; c < table.schema().num_attributes(); ++c) {
+    std::unordered_set<std::string> seen;
+    for (const auto& row : table.rows()) {
+      const relational::Value& v = row[c];
+      if (v.is_null()) continue;
+      std::string text = v.ToText();
+      if (text.empty()) continue;
+      if (config_.drop_numeric_values && util::IsNumericLiteral(text)) {
+        continue;
+      }
+      // Mirrors the historical scan exactly, cap semantics included: the
+      // cap+1-th distinct value trips the break without being kept.
+      if (!seen.insert(text).second) continue;
+      if (config_.max_values_per_attribute > 0 &&
+          seen.size() > config_.max_values_per_attribute) {
+        break;
+      }
+      cache.columns[c].push_back(std::move(text));
+    }
+  }
+  for (const auto& col : cache.columns) {
+    cache.sorted_values.insert(cache.sorted_values.end(), col.begin(),
+                               col.end());
+  }
+  std::sort(cache.sorted_values.begin(), cache.sorted_values.end());
+  cache.sorted_values.erase(
+      std::unique(cache.sorted_values.begin(), cache.sorted_values.end()),
+      cache.sorted_values.end());
+  return value_cache_.insert_or_assign(key, std::move(cache)).first->second;
+}
+
 util::Result<std::vector<AlignmentCandidate>> MadMatcher::InduceAlignments(
     const std::vector<const relational::Table*>& tables, int top_y) {
   // --- Collect attributes (one MAD label each) ---------------------------
@@ -29,24 +71,20 @@ util::Result<std::vector<AlignmentCandidate>> MadMatcher::InduceAlignments(
   }
 
   // --- Gather distinct value texts per attribute -------------------------
-  // value text -> set of attribute indices containing it
+  // value text -> set of attribute indices containing it. Replayed from
+  // the per-table cache: `attrs` is laid out table-major, so walking
+  // tables and columns in order issues the exact value_attrs insertion
+  // sequence the original per-row scan did (bit-identical map order).
   std::unordered_map<std::string, std::vector<std::size_t>> value_attrs;
-  for (std::size_t a = 0; a < attrs.size(); ++a) {
-    std::unordered_set<std::string> seen;
-    for (const auto& row : attrs[a].table->rows()) {
-      const relational::Value& v = row[attrs[a].column];
-      if (v.is_null()) continue;
-      std::string text = v.ToText();
-      if (text.empty()) continue;
-      if (config_.drop_numeric_values && util::IsNumericLiteral(text)) {
-        continue;
+  {
+    std::size_t a = 0;
+    for (const relational::Table* t : tables) {
+      const TableValueCache& cache = CachedValues(*t);
+      for (std::size_t c = 0; c < t->schema().num_attributes(); ++c, ++a) {
+        for (const std::string& text : cache.columns[c]) {
+          value_attrs[text].push_back(a);
+        }
       }
-      if (!seen.insert(text).second) continue;
-      if (config_.max_values_per_attribute > 0 &&
-          seen.size() > config_.max_values_per_attribute) {
-        break;
-      }
-      value_attrs[text].push_back(a);
     }
   }
 
@@ -93,6 +131,28 @@ util::Result<std::vector<AlignmentCandidate>> MadMatcher::AlignPair(
     const relational::Table& existing, const relational::Table& incoming,
     int top_y) {
   CountPairAlignment();
+  // Overlap early-exit: with no shared value text between the tables,
+  // every value node's owners live in one relation, so the attribute-
+  // value graph has no path between the two relations' components and
+  // propagation cannot move label mass across them — the cross-relation
+  // output below is provably empty. Skip the propagation entirely.
+  // (References into value_cache_ are stable across the second lookup.)
+  const TableValueCache& lhs = CachedValues(existing);
+  const TableValueCache& rhs = CachedValues(incoming);
+  bool overlap = false;
+  for (std::size_t i = 0, j = 0;
+       i < lhs.sorted_values.size() && j < rhs.sorted_values.size();) {
+    int cmp = lhs.sorted_values[i].compare(rhs.sorted_values[j]);
+    if (cmp == 0) {
+      overlap = true;
+      break;
+    }
+    (cmp < 0 ? i : j)++;
+  }
+  if (!overlap) {
+    ++last_run_.pairs_skipped_no_overlap;
+    return std::vector<AlignmentCandidate>{};
+  }
   // MAD needs no pairwise attribute comparisons (Sec. 3.2.2), so no
   // comparison counting here: the propagation is global over both tables.
   std::vector<const relational::Table*> pair{&existing, &incoming};

@@ -1,7 +1,10 @@
 #ifndef Q_MATCH_MAD_MATCHER_H_
 #define Q_MATCH_MAD_MATCHER_H_
 
+#include <cstddef>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "match/mad.h"
@@ -48,17 +51,50 @@ class MadMatcher final : public Matcher {
       const std::vector<const relational::Table*>& tables,
       int top_y) override;
 
-  // Statistics of the last propagation run (graph size, iterations).
+  // Statistics of the last propagation run (graph size, iterations),
+  // plus two cumulative counters for the streaming-onboarding fast path.
   struct RunInfo {
     std::size_t graph_nodes = 0;
     std::size_t graph_edges = 0;
     int iterations = 0;
+    // Cumulative: tables whose distinct-value extraction was served from
+    // the per-table cache instead of a full row scan.
+    std::size_t value_cache_hits = 0;
+    // Cumulative: AlignPair calls short-circuited because the two tables
+    // share no value text — the attribute-value graph is disconnected
+    // across them, so propagation cannot move any label mass between the
+    // relations and the cross-relation output is provably empty.
+    std::size_t pairs_skipped_no_overlap = 0;
   };
   const RunInfo& last_run() const { return last_run_; }
 
  private:
+  // Distinct-value extraction cache. Onboarding a source re-aligns it
+  // against every existing view context, and each AlignPair used to
+  // re-scan both tables' rows; with the cache a table is scanned once
+  // per row-count (tables are append-only, so the count identifies the
+  // content). Keyed by the relation's qualified name.
+  struct TableValueCache {
+    std::size_t rows = 0;
+    // Per column: distinct filtered value texts in first-seen row order.
+    // Replaying these reproduces the original row-scan loop
+    // bit-identically — same value->attribute insertion order, same
+    // per-value owner order — so cached and uncached runs build the
+    // exact same propagation graph.
+    std::vector<std::vector<std::string>> columns;
+    // Union of all columns' values, sorted and deduped, for the
+    // AlignPair cross-table overlap early-exit.
+    std::vector<std::string> sorted_values;
+  };
+
+  // Returns the cache entry for `table`, rebuilding it if the row count
+  // moved. The returned reference stays valid across later calls
+  // (unordered_map never moves its elements).
+  const TableValueCache& CachedValues(const relational::Table& table);
+
   MadMatcherConfig config_;
   RunInfo last_run_;
+  std::unordered_map<std::string, TableValueCache> value_cache_;
 };
 
 }  // namespace q::match

@@ -1,11 +1,38 @@
 #include "query/query_graph.h"
 
+#include <cstring>
 #include <optional>
 
 #include "util/logging.h"
 
 namespace q::query {
 namespace {
+
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void MixFingerprint(std::uint64_t* h, std::uint64_t v) {
+  *h ^= v;
+  *h *= kFnvPrime;
+}
+
+// One keyword's contribution: the keyword text, a separator, then every
+// (doc_index, score-bit-pattern) pair in ranked order. Must stay in
+// lockstep with how BuildQueryGraph consumes index.Search results.
+void MixKeywordMatches(std::uint64_t* h, const std::string& keyword,
+                       const std::vector<text::ScoredDoc>& matches) {
+  for (char c : keyword) {
+    MixFingerprint(h, static_cast<unsigned char>(c));
+  }
+  MixFingerprint(h, 0xffu);
+  for (const text::ScoredDoc& match : matches) {
+    MixFingerprint(h, static_cast<std::uint64_t>(match.doc_index));
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(match.score));
+    std::memcpy(&bits, &match.score, sizeof(bits));
+    MixFingerprint(h, bits);
+  }
+}
 
 // Copies `base` into `out`, dropping association edges whose current cost
 // exceeds the threshold. Node ids are preserved; edge ids may shift.
@@ -32,12 +59,25 @@ void CopyGraphFiltered(const graph::SearchGraph& base,
 
 }  // namespace
 
+std::uint64_t KeywordMatchFingerprint(const text::TextIndex& index,
+                                      const std::vector<std::string>& keywords,
+                                      const QueryGraphOptions& options) {
+  std::uint64_t h = kFnvOffsetBasis;
+  for (const std::string& keyword : keywords) {
+    MixKeywordMatches(&h, keyword,
+                      index.Search(keyword, options.min_similarity,
+                                   options.max_matches_per_keyword));
+  }
+  return h;
+}
+
 util::Result<QueryGraph> BuildQueryGraph(
     const graph::SearchGraph& base, const text::TextIndex& index,
     const std::vector<std::string>& keywords, graph::CostModel* model,
     const graph::WeightVector& weights, const QueryGraphOptions& options) {
   QueryGraph qg;
   qg.keywords = keywords;
+  qg.keyword_fingerprint = kFnvOffsetBasis;
   // Only the base graph's delta journal is ever read (the RefreshEngine
   // classifies views from base.DeltaSince); a query-graph copy would just
   // buffer one record per copied node/edge, so keep its journal capacity
@@ -53,6 +93,7 @@ util::Result<QueryGraph> BuildQueryGraph(
 
     auto matches = index.Search(keyword, options.min_similarity,
                                 options.max_matches_per_keyword);
+    MixKeywordMatches(&qg.keyword_fingerprint, keyword, matches);
     std::size_t edges_added = 0;
     for (const text::ScoredDoc& match : matches) {
       const text::Document& doc = index.documents()[match.doc_index];

@@ -1,6 +1,7 @@
 #ifndef Q_QUERY_QUERY_GRAPH_H_
 #define Q_QUERY_QUERY_GRAPH_H_
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -32,7 +33,22 @@ struct QueryGraph {
   graph::SearchGraph graph;
   std::vector<std::string> keywords;
   std::vector<graph::NodeId> keyword_nodes;  // parallel to `keywords`
+  // Fingerprint of the keyword->match expansion this graph was built
+  // from (see KeywordMatchFingerprint below).
+  std::uint64_t keyword_fingerprint = 0;
 };
+
+// Order-sensitive FNV-1a style hash over exactly the match sets
+// BuildQueryGraph would expand for `keywords` against `index`: per
+// keyword, the keyword text followed by every (doc_index, score) pair
+// returned by index.Search at the options' similarity floor and match
+// cap, with the score hashed by bit pattern. TF-IDF is corpus-wide
+// (idf moves with the document count), so after the catalog changes the
+// only way to prove a rebuilt query graph equals the old one plus new
+// base nodes/edges is to recompute this and compare for exact equality.
+std::uint64_t KeywordMatchFingerprint(const text::TextIndex& index,
+                                      const std::vector<std::string>& keywords,
+                                      const QueryGraphOptions& options);
 
 // Builds the query graph. Fails with NotFound if any keyword matches
 // nothing at or above min_similarity.

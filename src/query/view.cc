@@ -1,6 +1,7 @@
 #include "query/view.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -101,6 +102,36 @@ util::Result<ViewSnapshot> TopKView::BuildSearchSnapshot(
     certificate.edges.erase(
         std::unique(certificate.edges.begin(), certificate.edges.end()),
         certificate.edges.end());
+    // Structural half: an alpha-neighborhood ball around the first
+    // terminal, used by core::ClassifyStructuralRelevance to prove that a
+    // newly registered source cannot enter this view's top-k. Any tree
+    // using new topology walks from the anchor terminal to an attachment
+    // node over old edges first, so its cost is at least the baseline
+    // anchor distance recorded here. The 2*kth+1 radius leaves room for
+    // the weight-gate's net_decrease before out-of-ball attachments stop
+    // skipping.
+    certificate.kth_cost =
+        trees.size() == static_cast<std::size_t>(config_.top_k.k)
+            ? trees.back().cost
+            : std::numeric_limits<double>::infinity();
+    certificate.keyword_fingerprint = query_graph_.keyword_fingerprint;
+    certificate.alpha_radius = 0.0;
+    if (std::isfinite(certificate.kth_cost) &&
+        !query_graph_.keyword_nodes.empty()) {
+      certificate.alpha_radius = 2.0 * certificate.kth_cost + 1.0;
+      graph::DistanceField field;
+      query_graph_.graph.Dijkstra(
+          {{query_graph_.keyword_nodes.front(), 0.0}}, weights,
+          certificate.alpha_radius, &field);
+      certificate.alpha_nodes.assign(field.reached().begin(),
+                                     field.reached().end());
+      std::sort(certificate.alpha_nodes.begin(), certificate.alpha_nodes.end());
+      certificate.alpha_dist.resize(certificate.alpha_nodes.size());
+      for (std::size_t i = 0; i < certificate.alpha_nodes.size(); ++i) {
+        certificate.alpha_dist[i] = field.At(certificate.alpha_nodes[i]);
+      }
+    }
+    certificate.structural_valid = true;
   }
   snapshot.trees = std::move(trees);
   snapshot.queries = std::move(queries);

@@ -630,18 +630,27 @@ FastSteinerEngine::FastSteinerEngine(const graph::SearchGraph& graph,
 FastSteinerEngine::SnapshotPin FastSteinerEngine::Pin() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   SnapshotPin pin;
-  pin.csr = csr_;
+  // The handle owns a fresh control block whose deleter both keeps the
+  // pinned CsrGraph alive (`keep`) and retires the pin with a release
+  // decrement — the edge BeginMutation's acquire load pairs with.
+  pins_->fetch_add(1, std::memory_order_relaxed);
+  pin.csr = std::shared_ptr<const CsrGraph>(
+      csr_.get(), [keep = csr_, pins = pins_](const CsrGraph*) {
+        pins->fetch_sub(1, std::memory_order_release);
+      });
   pin.generation = generation_;
   pin.cache_generation = cache_ != nullptr ? cache_->generation() : 0;
   return pin;
 }
 
 bool FastSteinerEngine::BeginMutation() {
-  // Caller holds snapshot_mu_. use_count > 1 means some SnapshotPin is
-  // alive (every other owner is a pin — the engine holds exactly one
-  // reference itself): clone so the pinned holders keep reading their
-  // frozen costs while we patch the copy.
-  if (csr_.use_count() > 1) {
+  // Caller holds snapshot_mu_, so no new pin can appear mid-mutation;
+  // outstanding pins only drain. Observing zero with acquire ordering
+  // means every pinned reader's accesses happen-before this mutation
+  // (release decrement in the pin deleter), so patching in place is
+  // safe. Any live pin — even one on an already-replaced snapshot —
+  // forces a clone so the pinned holders keep reading frozen costs.
+  if (pins_->load(std::memory_order_acquire) > 0) {
     csr_ = std::make_shared<CsrGraph>(*csr_);
     return true;
   }

@@ -1,6 +1,7 @@
 #ifndef Q_STEINER_FAST_SOLVER_H_
 #define Q_STEINER_FAST_SOLVER_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -302,6 +303,15 @@ class FastSteinerEngine {
 
   // COW under snapshot_mu_: holders of a SnapshotPin share this pointer.
   std::shared_ptr<CsrGraph> csr_;
+  // Outstanding SnapshotPin count. Pin() increments under snapshot_mu_;
+  // the last copy of a pin's csr handle decrements with release ordering
+  // from its deleter. BeginMutation's acquire load of 0 is the
+  // happens-before edge that makes the in-place (un-pinned) mutation
+  // path safe — shared_ptr's use_count() is a relaxed load and cannot
+  // order the writer after a reader's final unpin. Heap-allocated so a
+  // pin outliving the engine decrements a still-live counter.
+  std::shared_ptr<std::atomic<std::int64_t>> pins_ =
+      std::make_shared<std::atomic<std::int64_t>>(0);
   mutable std::mutex snapshot_mu_;
   std::uint64_t generation_ = 0;
   std::unique_ptr<ShortestPathCache> cache_;  // null when caching disabled

@@ -110,6 +110,41 @@ struct RelevanceCertificate {
   // already in the output). Lower-bounds how far any non-returned tree
   // sits above the returned set.
   double gap = std::numeric_limits<double>::infinity();
+
+  // --- Structural half (streaming source onboarding) --------------------
+  //
+  // Everything below describes an alpha-neighborhood around the view's
+  // first terminal, measured in the baseline query graph under the
+  // baseline weights. A *structural* delta (new base nodes/edges from
+  // RegisterSource / AddAssociations) attaches to the old graph at a set
+  // of pre-existing "attachment" nodes; any candidate tree that uses new
+  // topology must reach one of them from the anchor terminal over old
+  // edges, so its cost is lower-bounded by the anchor distance to the
+  // nearest attachment. core::ClassifyStructuralRelevance applies the
+  // rule; TopKView::BuildSearchSnapshot fills these fields in.
+  //
+  // True iff the structural fields below were populated (exact search on
+  // a journal-coherent snapshot). Stays false for approximate runs.
+  bool structural_valid = false;
+  // Cost of the k-th returned tree when the search returned exactly k
+  // trees, +inf otherwise. With fewer than k answers any reachable new
+  // tree could enter the top-k, so only attachment-free deltas may skip.
+  double kth_cost = std::numeric_limits<double>::infinity();
+  // Explored radius of the anchor ball: nodes with anchor distance
+  // <= alpha_radius are listed in alpha_nodes; any node absent from
+  // alpha_nodes is provably farther than alpha_radius from the anchor.
+  double alpha_radius = 0.0;
+  // Sorted node ids (base-graph id space — the query-graph copy preserves
+  // base node ids) inside the anchor ball, with alpha_dist[i] holding the
+  // exact baseline anchor distance of alpha_nodes[i].
+  std::vector<graph::NodeId> alpha_nodes;
+  std::vector<double> alpha_dist;
+  // Fingerprint of the keyword->match expansion the query graph was built
+  // from (query::KeywordMatchFingerprint). TF-IDF scores are corpus-wide,
+  // so classification recomputes the fingerprint against the live text
+  // index: equality proves a rebuilt query graph would be the old one
+  // plus the new base nodes/edges only.
+  std::uint64_t keyword_fingerprint = 0;
 };
 
 // Same enumeration, but served from a caller-owned CSR snapshot instead of

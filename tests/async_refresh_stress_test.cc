@@ -279,7 +279,9 @@ TEST(AsyncRefreshStressTest, StructuralChangeQuiescesAndRebuilds) {
 
   // While repairs may still be in flight, register a brand-new source (a
   // clone of an existing relation) — the structural path must quiesce,
-  // then RefreshAllViews inside registration acts as the sync barrier.
+  // rebuild affected snapshots under the serving gate, and queue the
+  // searches async (the registration ack no longer waits for them:
+  // docs/query_engine.md, "Streaming onboarding contract").
   auto table = h.dataset.catalog.FindTable("interpro.pub");
   ASSERT_NE(table, nullptr);
   auto source = std::make_shared<relational::DataSource>("newsrc");
@@ -291,9 +293,14 @@ TEST(AsyncRefreshStressTest, StructuralChangeQuiescesAndRebuilds) {
   ASSERT_TRUE(source->AddTable(copy).ok());
   ASSERT_TRUE(h.q->RegisterAndAlignSource(source).ok());
 
+  // Every view converges to fresh once the queued structural searches
+  // drain; a reader is never blocked meanwhile.
   for (std::size_t id : h.view_ids) {
+    ASSERT_TRUE(h.q->WaitViewFresh(id, std::chrono::milliseconds(30000)))
+        << "view " << id;
     EXPECT_FALSE(h.q->ReadView(id).stale);
   }
+  ASSERT_TRUE(h.q->DrainRefreshes().ok());
 
   AsyncHarness twin(/*async=*/false);
   ASSERT_TRUE(

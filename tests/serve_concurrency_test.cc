@@ -32,6 +32,7 @@
 #include "core/q_system.h"
 #include "core/refresh_engine.h"
 #include "data/interpro_go.h"
+#include "data/onboarding.h"
 #include "graph/graph_builder.h"
 #include "steiner/sp_cache.h"
 #include "util/random.h"
@@ -363,6 +364,164 @@ TEST(ServeConcurrencyTest, QueryViewRacesWriterAndMatchesSyncTwin) {
     ExpectSameViewState(*h.q->ReadView(h.view_ids[i]).state,
                         *twin.q->ReadView(twin.view_ids[i]).state,
                         "quiescent twin view " + std::to_string(i));
+  }
+}
+
+// --- onboarding while serving: registrations race QueryView readers ------
+
+// Served-output comparator for onboarding runs: a structurally skipped
+// view keeps serving its pre-registration snapshot, whose keyword-overlay
+// edge ids were numbered off a smaller base graph — so tree edge ids are
+// not comparable against a twin that rebuilt, while tree costs, the
+// output schema, and every ranked tuple must still agree bit for bit.
+void ExpectSameServedOutput(const query::ViewSnapshot& a,
+                            const query::ViewSnapshot& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.trees.size(), b.trees.size()) << label;
+  for (std::size_t i = 0; i < a.trees.size(); ++i) {
+    EXPECT_EQ(a.trees[i].cost, b.trees[i].cost) << label << " tree " << i;
+  }
+  EXPECT_EQ(a.results.columns, b.results.columns) << label;
+  ASSERT_EQ(a.results.rows.size(), b.results.rows.size()) << label;
+  for (std::size_t i = 0; i < a.results.rows.size(); ++i) {
+    EXPECT_EQ(a.results.rows[i].cost, b.results.rows[i].cost)
+        << label << " row " << i;
+    EXPECT_EQ(a.results.rows[i].query_index, b.results.rows[i].query_index)
+        << label << " row " << i;
+    EXPECT_EQ(a.results.rows[i].values, b.results.rows[i].values)
+        << label << " row " << i;
+  }
+}
+
+// A registration writer streams new sources — alternating provably
+// irrelevant islands with sources relevant to one community — while
+// >= 4 reader threads run live QueryView searches and ReadView probes
+// throughout. Certificate-skipped acks never quiesce serving, so readers
+// stay live across every registration; the gate's classification is
+// deterministic (readers never move weights), so the skip/rebuild stats
+// come out exact; and at quiescence QueryView reproduces the published
+// snapshot bit for bit while a synchronous twin fed the same
+// registrations serves identical output.
+TEST(ServeConcurrencyTest, OnboardingRegistrationsRaceQueryReaders) {
+  constexpr std::size_t kCommunities = 8;
+  constexpr int kRegistrations = 8;
+  data::OnboardingDataset dataset =
+      data::BuildOnboardingDataset(kCommunities);
+
+  auto build_system = [&](bool async) {
+    QSystemConfig config = BaseConfig();
+    config.view.top_k.k = 2;
+    // MAD only: the metadata matcher would align the shared link-attribute
+    // names across communities and merge the islands.
+    config.use_metadata_matcher = false;
+    config.async_refresh = async;
+    config.async_repair_threads = async ? 2 : 0;
+    auto q = std::make_unique<QSystem>(config);
+    for (const auto& src : dataset.sources) {
+      Q_CHECK_OK(q->RegisterSource(src));
+    }
+    std::vector<std::size_t> ids;
+    for (const auto& keywords : dataset.keyword_queries) {
+      auto id = q->CreateView(keywords);
+      Q_CHECK_OK(id.status());
+      ids.push_back(*id);
+    }
+    return std::make_pair(std::move(q), std::move(ids));
+  };
+
+  auto [q, view_ids] = build_system(/*async=*/true);
+  ASSERT_TRUE(q->DrainRefreshes().ok());
+  const auto sched_before = q->async_scheduler()->stats();
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> searches_ok{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kQueryReaders; ++r) {
+    readers.emplace_back([&, r, &q = q, &view_ids = view_ids] {
+      util::Rng rng(9700 + r);
+      while (!done.load(std::memory_order_acquire)) {
+        std::size_t i = rng.Uniform(view_ids.size());
+        std::string label =
+            "reader " + std::to_string(r) + " view " + std::to_string(i);
+        auto result = q->QueryView(view_ids[i]);
+        ASSERT_TRUE(result.ok()) << label << ": "
+                                 << result.status().ToString();
+        ExpectInternallyConsistent(*result, label);
+        searches_ok.fetch_add(1, std::memory_order_relaxed);
+        if (rng.Uniform(4) == 0) {
+          query::ViewResult read = q->ReadView(view_ids[i]);
+          ASSERT_NE(read.state, nullptr) << label;
+          ExpectInternallyConsistent(*read.state, label + " (published)");
+        }
+      }
+    });
+  }
+
+  // The registration stream: even serials are vocabulary-disjoint islands
+  // (every view skips), odd serials overlap one community (that view
+  // rebuilds, the rest skip by distance).
+  for (int i = 0; i < kRegistrations; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_TRUE(q->RegisterAndAlignSource(
+                       data::MakeDisjointSource(static_cast<std::size_t>(i)))
+                      .ok());
+    } else {
+      ASSERT_TRUE(q->RegisterAndAlignSource(data::MakeOverlappingSource(
+                                                static_cast<std::size_t>(i),
+                                                static_cast<std::size_t>(i) %
+                                                    kCommunities))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(q->DrainRefreshes().ok());
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  EXPECT_GT(searches_ok.load(), 0u);
+
+  const auto sched_after = q->async_scheduler()->stats();
+  EXPECT_EQ(sched_after.structural_rounds,
+            sched_before.structural_rounds + kRegistrations);
+  EXPECT_EQ(sched_after.structural_skips,
+            sched_before.structural_skips +
+                (kRegistrations / 2) * kCommunities +
+                (kRegistrations / 2) * (kCommunities - 1));
+  EXPECT_EQ(sched_after.structural_rebuilds,
+            sched_before.structural_rebuilds + kRegistrations / 2);
+
+  // Quiescence: a live search against each pinned slot reproduces the
+  // published snapshot exactly (skipped slots kept their engine, so even
+  // edge ids agree here).
+  for (std::size_t id : view_ids) {
+    auto fresh = q->QueryView(id);
+    ASSERT_TRUE(fresh.ok()) << "view " << id;
+    query::ViewResult published = q->ReadView(id);
+    ASSERT_NE(published.state, nullptr);
+    ExpectSameViewState(*fresh, *published.state,
+                        "quiescent query-vs-published view " +
+                            std::to_string(id));
+  }
+
+  // And the synchronous twin — which quiesces and rebuilds at every
+  // registration — serves the same output.
+  auto [twin, twin_ids] = build_system(/*async=*/false);
+  for (int i = 0; i < kRegistrations; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_TRUE(twin->RegisterAndAlignSource(
+                         data::MakeDisjointSource(static_cast<std::size_t>(i)))
+                      .ok());
+    } else {
+      ASSERT_TRUE(twin->RegisterAndAlignSource(data::MakeOverlappingSource(
+                                                   static_cast<std::size_t>(i),
+                                                   static_cast<std::size_t>(
+                                                       i) %
+                                                       kCommunities))
+                      .ok());
+    }
+  }
+  for (std::size_t i = 0; i < view_ids.size(); ++i) {
+    ExpectSameServedOutput(*q->ReadView(view_ids[i]).state,
+                           *twin->ReadView(twin_ids[i]).state,
+                           "quiescent twin view " + std::to_string(i));
   }
 }
 
