@@ -24,6 +24,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <string>
@@ -164,12 +165,19 @@ bool RunScale(std::size_t sources, bool mirror_legacy, bool run_queries,
   // configurations run under the same cap, so the bit-identity check
   // still compares like with like).
   q::util::Rng qrng(1234);
-  const int num_queries = 24;
-  const int verify_queries = 4;  // also solved unsharded, must bit-match
+  // 48 samples per tier: the growth gate divides two p95 order
+  // statistics, and with fewer samples the quotient flaps past its own
+  // ceiling on hub-window sampling luck alone.
+  const int num_queries = 48;
+  // Verified queries are also solved by the uncompacted masked referee
+  // AND the unsharded engine; all three must bit-match.
+  const int verify_queries = 4;
   q::steiner::TopKConfig sharded;
   sharded.k = 3;
   sharded.max_subproblems = 300;
   sharded.sharded.enabled = true;
+  q::steiner::TopKConfig referee = sharded;
+  referee.sharded.compact_local_ids = false;
   q::steiner::TopKConfig plain = sharded;
   plain.sharded.enabled = false;
 
@@ -177,6 +185,7 @@ bool RunScale(std::size_t sources, bool mirror_legacy, bool run_queries,
   // the serving-path shape (RefreshEngine keeps an engine per view), so
   // the per-query numbers measure search work, not repeated CSR builds.
   q::steiner::FastSteinerEngine sharded_engine(graph, weights, true);
+  q::steiner::FastSteinerEngine referee_engine(graph, weights, true);
   q::steiner::FastSteinerEngine plain_engine(graph, weights, true);
 
   // Untimed warmup: the first query against a fresh engine pays one-time
@@ -202,23 +211,53 @@ bool RunScale(std::size_t sources, bool mirror_legacy, bool run_queries,
       std::fprintf(stderr, "FAIL: no queryable neighborhood found\n");
       return false;
     }
-    q::util::WallTimer timer;
-    auto trees = q::steiner::TopKSteinerTrees(graph, weights, terminals,
+    // Best-of-2 per query: each run builds a fresh localizer and mask
+    // (mask uids are monotone, so the local-tree cache is cold both
+    // times) — the repeat preserves the cold-query semantics and sheds
+    // only OS noise, which otherwise dominates a 24-sample p95 and
+    // makes the cross-tier growth ratio flap.
+    std::vector<q::steiner::SteinerTree> trees;
+    double best_us = 0.0;
+    for (int rep = 0; rep < 2; ++rep) {
+      q::util::WallTimer timer;
+      auto run = q::steiner::TopKSteinerTrees(graph, weights, terminals,
                                               sharded, &sharded_engine);
-    latencies_us.push_back(timer.ElapsedMicros());
+      const double us = timer.ElapsedMicros();
+      if (rep == 0 || us < best_us) best_us = us;
+      trees = std::move(run);
+    }
+    latencies_us.push_back(best_us);
+    if (std::getenv("Q_BENCH_DEBUG") != nullptr) {
+      q::steiner::FastSolveStats st = sharded_engine.stats();
+      std::fprintf(stderr,
+                   "%-8s query %2d  %4zu terminals  %10.1f us  "
+                   "hits=%zu misses=%zu ghits=%zu gmisses=%zu bypass=%zu\n",
+                   suffix, query, terminals.size(), latencies_us.back(),
+                   st.sp_local_hits, st.sp_local_misses, st.sp_cache_hits,
+                   st.sp_cache_misses, st.masked_bypasses);
+    }
     if (query < verify_queries) {
+      auto check_same = [&](const std::vector<q::steiner::SteinerTree>& other,
+                            const char* what) {
+        bool same = trees.size() == other.size();
+        for (std::size_t i = 0; same && i < trees.size(); ++i) {
+          same = trees[i].edges == other[i].edges &&
+                 trees[i].cost == other[i].cost;
+        }
+        if (!same) {
+          std::fprintf(stderr,
+                       "FAIL: compacted sharded top-k diverged from %s at "
+                       "%zu sources (query %d)\n",
+                       what, sources, query);
+        }
+        return same;
+      };
+      auto masked_ref = q::steiner::TopKSteinerTrees(
+          graph, weights, terminals, referee, &referee_engine);
       auto reference = q::steiner::TopKSteinerTrees(graph, weights, terminals,
                                                     plain, &plain_engine);
-      bool same = trees.size() == reference.size();
-      for (std::size_t i = 0; same && i < trees.size(); ++i) {
-        same = trees[i].edges == reference[i].edges &&
-               trees[i].cost == reference[i].cost;
-      }
-      if (!same) {
-        std::fprintf(stderr,
-                     "FAIL: sharded top-k diverged from unsharded at %zu "
-                     "sources (query %d)\n",
-                     sources, query);
+      if (!check_same(masked_ref, "the uncompacted masked referee") ||
+          !check_same(reference, "the unsharded engine")) {
         return false;
       }
     }
@@ -242,6 +281,23 @@ bool RunScale(std::size_t sources, bool mirror_legacy, bool run_queries,
                  "\"median_us\":%.1f}\n",
                  suffix, sources, query_p50_us);
   }
+  // Local-tree cache traffic of the compacted configuration. Bypasses
+  // count masked solves that fell back to the uncompacted referee path —
+  // with compaction enabled and localizer-built masks this should stay 0.
+  q::steiner::FastSolveStats stats = sharded_engine.stats();
+  std::printf("%-8s local sp-cache: %zu hits / %zu misses, "
+              "%zu masked bypasses\n",
+              suffix, stats.sp_local_hits, stats.sp_local_misses,
+              stats.masked_bypasses);
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\"kernel\":\"graph_scale_local_cache_%s\",\"n\":%zu,"
+                 "\"median_us\":%.1f,\"local_hits\":%zu,\"local_misses\":%zu,"
+                 "\"masked_bypasses\":%zu}\n",
+                 suffix, sources, static_cast<double>(stats.sp_local_hits),
+                 stats.sp_local_hits, stats.sp_local_misses,
+                 stats.masked_bypasses);
+  }
   return true;
 }
 
@@ -249,10 +305,19 @@ bool RunScale(std::size_t sources, bool mirror_legacy, bool run_queries,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  // Hard ceiling on p95 growth 10k -> 100k. Sources grow 10x across the
+  // tier; local-id mask compaction keeps per-solve state mask-sized, so
+  // the tail must grow sub-linearly. Exceeding the ceiling exits 2 —
+  // this is a gate, not a warning (scripts/check.sh enforces the same
+  // ceiling from the committed baseline).
+  double max_growth = 5.0;
   std::string json_path = "bench/out/BENCH_graph_scale.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    if (std::strncmp(argv[i], "--max-growth=", 13) == 0) {
+      max_growth = std::atof(argv[i] + 13);
+    }
   }
   q::bench::PrintHeader(
       "Graph scale — compact storage + sharded terminal-local search",
@@ -271,12 +336,21 @@ int main(int argc, char** argv) {
     double growth = r10k.query_p95_us > 0.0
                         ? r100k.query_p95_us / r10k.query_p95_us
                         : 0.0;
-    std::printf("p95 growth 10k -> 100k: %.2fx (sources grew 10.00x)\n",
-                growth);
+    std::printf("p95 growth 10k -> 100k: %.2fx (sources grew 10.00x, "
+                "ceiling %.2fx)\n",
+                growth, max_growth);
     if (json != nullptr) {
       std::fprintf(json,
-                   "{\"kernel\":\"graph_scale_p95_growth\",\"ratio\":%.3f}\n",
-                   growth);
+                   "{\"kernel\":\"graph_scale_p95_growth\",\"ratio\":%.3f,"
+                   "\"max_ratio\":%.3f}\n",
+                   growth, max_growth);
+    }
+    if (growth > max_growth) {
+      std::fprintf(stderr,
+                   "FAIL: sharded query p95 grew %.2fx from 10k to 100k "
+                   "sources (gate: <= %.2fx)\n",
+                   growth, max_growth);
+      ok = false;
     }
   }
   if (ok && !smoke) {

@@ -60,6 +60,8 @@
 #include "bench_common.h"
 #include "data/onboarding.h"
 #include "data/synthetic.h"
+#include "steiner/fast_solver.h"
+#include "steiner/shard.h"
 
 namespace q::bench {
 namespace {
@@ -118,6 +120,9 @@ struct WorkerResult {
   std::uint64_t read_ops = 0;
   std::uint64_t failures = 0;
   std::uint64_t stale_reads = 0;
+  // Solver scratch arena bytes retained by this worker's thread at the
+  // end of its loop (thread_local — must be read on the worker thread).
+  std::size_t scratch_bytes = 0;
   std::vector<double> query_us;
   std::vector<double> read_us;
 };
@@ -276,6 +281,10 @@ int Run(const LoadConfig& load) {
           ++out.read_ops;
         }
       }
+      // Solver arena plus the localizer's stamped Dijkstra scratch — the
+      // whole per-thread serving footprint the budget gate bounds.
+      out.scratch_bytes =
+          steiner::ThreadScratchBytes() + steiner::LocalizerScratchBytes();
     });
   }
 
@@ -387,6 +396,31 @@ int Run(const LoadConfig& load) {
   }
   std::printf("query p50=%.1fus p95=%.1fus p99=%.1fus   read p99=%.1fus\n",
               q_p50, q_p95, q_p99, r_p99);
+  std::size_t scratch_peak = 0;
+  for (const WorkerResult& r : results) {
+    scratch_peak = std::max(scratch_peak, r.scratch_bytes);
+  }
+  std::printf("solver scratch peak: %.2f MiB across %d workers\n",
+              static_cast<double>(scratch_peak) / (1024.0 * 1024.0),
+              load.readers);
+  if (load.extra_sources > 0) {
+    // Footprint gate for catalog-scale serving: the scratch shrink
+    // policy (steiner/fast_solver.cc) must keep each worker's arena at
+    // worst one full-graph solve's working set — a fixed base plus a
+    // small per-node budget. Without the policy a single hub query pins
+    // the high-water arrays for the thread's lifetime, and growth across
+    // the --sources tiers is unbounded.
+    const std::size_t budget =
+        (std::size_t{16} << 20) +
+        std::size_t{128} * q.mutable_search_graph().num_nodes();
+    if (scratch_peak > budget) {
+      std::fprintf(stderr,
+                   "FAIL: solver scratch peak %zu bytes exceeds budget %zu "
+                   "(16 MiB + 128 B/node)\n",
+                   scratch_peak, budget);
+      return 2;
+    }
+  }
   if (total.query_ops == 0 || total.failures > 0) {
     std::fprintf(stderr,
                  "serve_load: %llu failures, %llu query ops — workers must "
@@ -469,6 +503,13 @@ int Run(const LoadConfig& load) {
   emit("serve_load_query_p99_us", total.query_ops, q_p99);
   emit("serve_load_read_p99_us", total.read_ops, r_p99);
   emit("serve_load_ops_per_sec", total_ops, ops_per_sec);
+  if (load.extra_sources > 0) {
+    // Ungated context: per-worker solver scratch residency at catalog
+    // scale (the --sources footprint gate above enforces the bound).
+    emit("serve_load_scratch_peak_bytes",
+         static_cast<std::uint64_t>(load.readers),
+         static_cast<double>(scratch_peak));
+  }
   std::fclose(json);
   return 0;
 }

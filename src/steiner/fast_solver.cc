@@ -78,8 +78,21 @@ struct Back {
   graph::EdgeId grow_edge = graph::kInvalidEdge;
 };
 
+template <typename T>
+std::size_t VecBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+std::size_t SpTreeBytes(const SpTree& sp) {
+  return VecBytes(sp.dist) + VecBytes(sp.pred_node) + VecBytes(sp.pred_edge) +
+         VecBytes(sp.settled) + VecBytes(sp.tree_edges) + VecBytes(sp.touched);
+}
+
 // Per-thread arena: every vector below is reused across solves, so the
-// steady-state kernel allocates only on cache-entry creation.
+// steady-state kernel allocates only on cache-entry creation. A
+// shrink-after-oversized-solve policy (NoteSolveExtent below) keeps one
+// full-graph solve on a huge snapshot from pinning the high-water arrays
+// for the thread's lifetime.
 struct SolverScratch {
   util::DaryHeap heap;
   VersionedUf uf;          // forced-edge contraction
@@ -87,10 +100,16 @@ struct SolverScratch {
   std::vector<graph::EdgeId> forced_sorted;
   std::vector<graph::EdgeId> banned_sorted;
   std::vector<std::uint32_t> terminals;  // deduped, one per supernode
+  // Local ids of `terminals` under the active compact mask view (only
+  // meaningful during a compacted masked solve).
+  std::vector<std::uint32_t> terminals_local;
   // All-zero between solves; OverlayGuard sets and restores them. The
   // flat arrays make the per-arc overlay test a single byte load.
   std::vector<std::uint8_t> edge_flag;  // kFree / kBanned / kForced
   std::vector<std::uint8_t> is_target;  // terminal markers for early stop
+  // Local-id twin of is_target, sized to the mask; set and cleared by
+  // AcquireSpTreesLocal (all-zero between solves).
+  std::vector<std::uint8_t> is_target_local;
 
   std::vector<SpTree> sp_slots;  // holds fresh trees when cache is off/full
   std::vector<std::shared_ptr<const SpTree>> sp_refs;
@@ -122,6 +141,9 @@ struct SolverScratch {
 
   // Exact DP: eligible-subgraph mini CSR and flat (2^t) x n_e tables.
   std::vector<std::uint32_t> elig_nodes;  // ascending node id = mini id order
+  // Mask-local id of each eligible node (compacted masked solves only;
+  // parallel to elig_nodes — the DP reads local trees through it).
+  std::vector<std::uint32_t> elig_local;
   std::vector<std::uint32_t> mini_offsets;
   std::vector<std::uint32_t> mini_head;
   std::vector<graph::EdgeId> mini_edge;
@@ -130,6 +152,114 @@ struct SolverScratch {
   std::vector<double> dp;
   std::vector<Back> back;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> rebuild_stack;
+
+  // --- shrink-after-oversized-solve policy ------------------------------
+  // A solve notes how many nodes it actually spanned (the mask size for
+  // compacted masked solves, num_nodes otherwise). After a streak of
+  // solves at most 1/4 of the retained capacity, the oversized arrays
+  // are released down to the streak's peak need — the next big solve
+  // pays one regrow, which is the right trade against every serving
+  // thread pinning full-graph arrays forever after one hub query.
+  static constexpr int kShrinkStreak = 16;
+  static constexpr std::size_t kShrinkFactor = 4;
+  static constexpr std::size_t kMinShrinkNodes = std::size_t{1} << 14;
+  int small_streak = 0;
+  std::size_t streak_peak_nodes = 0;
+
+  // Only arrays whose size tracks the SOLVE extent participate in the
+  // shrink policy. Global-domain arrays — the stamped union-finds, the
+  // KMB remap (local_stamp/local_of), edge_flag, is_target — are indexed
+  // by global node/edge id, so even a mask-compacted solve addresses them
+  // at catalog size: shrinking them below num_nodes just forces an O(n)
+  // regrow on the very next solve, which oscillates (regrow re-inflates
+  // the capacity, re-arming the streak) and puts an O(catalog) term back
+  // into every masked solve. They are lazily stamped, so their steady
+  // cost per solve is O(touched) regardless of length; they stay sized to
+  // the largest catalog served and are excluded from both the capacity
+  // measure and the release.
+  std::size_t CapacityNodes() const {
+    std::size_t cap = heap.capacity_ids();
+    for (const SpTree& slot : sp_slots) cap = std::max(cap, slot.dist.size());
+    cap = std::max(cap, is_target_local.size());
+    return cap;
+  }
+
+  // Reallocates extent-sized node arrays at `keep_nodes` and sheds the
+  // per-solve work lists and DP tables wholesale (they regrow lazily,
+  // re-zeroing as they do). Precondition: between solves —
+  // edge_flag/is_target are all-zero and no SpTree slot is borrowed.
+  void ReleaseOversized(std::size_t keep_nodes) {
+    for (SpTree& slot : sp_slots) {
+      if (slot.dist.size() > keep_nodes) slot = SpTree{};
+    }
+    if (heap.capacity_ids() > keep_nodes) heap.ShrinkTo(keep_nodes);
+    if (is_target_local.size() > keep_nodes) {
+      std::vector<std::uint8_t>(keep_nodes, 0).swap(is_target_local);
+    }
+    std::vector<graph::EdgeId>().swap(collected);
+    std::vector<graph::EdgeId>().swap(mst);
+    std::vector<std::uint32_t>().swap(ep_u);
+    std::vector<std::uint32_t>().swap(ep_v);
+    std::vector<std::uint8_t>().swap(is_terminal_local);
+    std::vector<std::uint32_t>().swap(leaf_queue);
+    std::vector<double>().swap(dp);
+    std::vector<Back>().swap(back);
+    std::vector<std::uint32_t>().swap(elig_nodes);
+    std::vector<std::uint32_t>().swap(elig_local);
+    std::vector<std::uint32_t>().swap(mini_offsets);
+    std::vector<std::uint32_t>().swap(mini_head);
+    std::vector<graph::EdgeId>().swap(mini_edge);
+    std::vector<double>().swap(mini_cost);
+    std::vector<std::uint32_t>().swap(incidence);
+    std::vector<std::uint32_t>().swap(inc_offset);
+    std::vector<std::uint32_t>().swap(degree);
+    std::vector<std::uint8_t>().swap(removed);
+  }
+
+  void NoteSolveExtent(std::size_t extent_nodes) {
+    const std::size_t cap = CapacityNodes();
+    if (cap <= kMinShrinkNodes || extent_nodes > cap / kShrinkFactor) {
+      small_streak = 0;
+      streak_peak_nodes = 0;
+      return;
+    }
+    streak_peak_nodes = std::max(streak_peak_nodes, extent_nodes);
+    if (++small_streak < kShrinkStreak) return;
+    ReleaseOversized(streak_peak_nodes);
+    small_streak = 0;
+    streak_peak_nodes = 0;
+  }
+
+  std::size_t FootprintBytes() const {
+    std::size_t b = heap.MemoryBytes();
+    for (const SpTree& slot : sp_slots) b += SpTreeBytes(slot);
+    b += VecBytes(forced_sorted) + VecBytes(banned_sorted) +
+         VecBytes(terminals) + VecBytes(terminals_local);
+    b += VecBytes(edge_flag) + VecBytes(is_target) + VecBytes(is_target_local);
+    b += VecBytes(uf.parent) + VecBytes(uf.version) +
+         VecBytes(kruskal_uf.parent) + VecBytes(kruskal_uf.version);
+    b += VecBytes(in_mst) + VecBytes(best) + VecBytes(cert_floor) +
+         VecBytes(best_from) + VecBytes(closure);
+    b += VecBytes(collected) + VecBytes(mst) + VecBytes(ep_u) + VecBytes(ep_v);
+    b += VecBytes(local_of) + VecBytes(local_stamp) + VecBytes(degree) +
+         VecBytes(is_terminal_local) + VecBytes(inc_offset) +
+         VecBytes(incidence) + VecBytes(leaf_queue) + VecBytes(removed);
+    b += VecBytes(elig_nodes) + VecBytes(elig_local) + VecBytes(mini_offsets) +
+         VecBytes(mini_head) + VecBytes(mini_edge) + VecBytes(mini_cost) +
+         VecBytes(mini_terms);
+    b += VecBytes(dp) + VecBytes(back) + VecBytes(rebuild_stack);
+    return b;
+  }
+};
+
+// Feeds a solve's node extent into the scratch's shrink policy on every
+// exit path. Construct BEFORE the OverlayGuard: destructors run in
+// reverse order, so the guard restores the all-zero overlay invariant
+// first and the release (which may reallocate those arrays) runs last.
+struct ExtentGuard {
+  SolverScratch& s;
+  std::size_t nodes;
+  ~ExtentGuard() { s.NoteSolveExtent(nodes); }
 };
 
 SolverScratch& GetScratch() {
@@ -269,6 +399,101 @@ void ComputeSpTree(const CsrGraph& csr,
       out->tree_edges.end());
 }
 
+// Local-id twin of ComputeSpTree over a mask's compact sub-CSR (see
+// shard.h): every per-node array spans the mask's L nodes instead of
+// num_nodes and the heap drains at local capacity, which is what keeps
+// masked Dijkstras cache-resident on million-source catalogs. Arcs whose
+// head left the mask carry the kExternal sentinel and feed mask_min_clip
+// exactly where the uncompacted scan would clip (banned arcs are skipped
+// first, in the same order, so they never contribute a clip offer).
+// Bit-identity argument: mask->nodes is ascending, so global->local is
+// order-preserving and local (dist, id) tie order is isomorphic to the
+// global canonical (dist, id) order; with per-node arc order preserved by
+// the compact view, settle order, predecessor selection, the clipped
+// offer set — hence every stored value and the clip floor — are
+// byte-equal to the uncompacted masked run, merely re-indexed.
+// dist/pred_node/settled/touched are local-indexed; pred_edge and
+// tree_edges stay global edge ids.
+void ComputeSpTreeLocal(const ShardMask& m,
+                        const std::vector<std::uint8_t>& edge_flag,
+                        const std::vector<std::uint8_t>& is_target_local,
+                        std::size_t num_targets, bool stop_at_targets,
+                        std::uint32_t source_local, util::DaryHeap& heap,
+                        SpTree* out) {
+  const std::uint32_t n = static_cast<std::uint32_t>(m.nodes.size());
+  if (out->dist.size() < n) {
+    out->dist.resize(n, kInf);
+    out->pred_node.resize(n, graph::kInvalidNode);
+    out->pred_edge.resize(n, graph::kInvalidEdge);
+    out->settled.resize(n, 0);
+  }
+  // The sparse reset is index-space agnostic: whatever index space the
+  // slot's previous run used, wiping its touched entries restores the
+  // all-default state this run starts from.
+  for (std::uint32_t v : out->touched) {
+    out->dist[v] = kInf;
+    out->pred_node[v] = graph::kInvalidNode;
+    out->pred_edge[v] = graph::kInvalidEdge;
+    out->settled[v] = 0;
+  }
+  out->touched.clear();
+  out->mask_min_clip = kInf;
+  heap.Drain(n);
+  out->dist[source_local] = 0.0;
+  out->touched.push_back(source_local);
+  heap.PushOrDecrease(source_local, 0.0);
+  std::size_t remaining = num_targets;
+  bool stopped_early = false;
+  while (!heap.empty()) {
+    auto [d, v] = heap.PopMin();
+    out->settled[v] = 1;
+    if (stop_at_targets && is_target_local[v] && --remaining == 0) {
+      stopped_early = !heap.empty();
+      break;
+    }
+    const std::uint32_t end = m.local_offsets[v + 1];
+    for (std::uint32_t a = m.local_offsets[v]; a < end; ++a) {
+      graph::EdgeId e = m.local_arc_edge[a];
+      std::uint8_t flag = edge_flag[e];
+      if (flag == kBanned) continue;
+      std::uint32_t to = m.local_arc_head[a];
+      double next = d + (flag == kForced ? 0.0 : m.local_arc_cost[a]);
+      if (to == ShardMask::kExternal) {
+        if (next < out->mask_min_clip) out->mask_min_clip = next;
+        continue;
+      }
+      double& dt = out->dist[to];
+      if (next < dt) {
+        if (dt == kInf) out->touched.push_back(to);
+        dt = next;
+        out->pred_node[to] = v;
+        out->pred_edge[to] = e;
+        heap.PushOrDecrease(to, next);
+      }
+    }
+  }
+  out->complete = !stopped_early;
+  out->tree_edges.clear();
+  std::size_t settled_count = 0;
+  for (std::uint32_t v : out->touched) {
+    if (!out->settled[v]) {
+      out->dist[v] = kInf;
+      out->pred_node[v] = graph::kInvalidNode;
+      out->pred_edge[v] = graph::kInvalidEdge;
+      continue;
+    }
+    out->touched[settled_count++] = v;
+    if (out->pred_edge[v] != graph::kInvalidEdge) {
+      out->tree_edges.push_back(out->pred_edge[v]);
+    }
+  }
+  out->touched.resize(settled_count);
+  std::sort(out->tree_edges.begin(), out->tree_edges.end());
+  out->tree_edges.erase(
+      std::unique(out->tree_edges.begin(), out->tree_edges.end()),
+      out->tree_edges.end());
+}
+
 // Shared preamble of both solvers: sort the edit sets, reject infeasible
 // subproblems, contract forced edges in the union-find, charge their cost,
 // and dedup terminals to one representative per supernode. Returns false
@@ -371,6 +596,100 @@ void AcquireSpTrees(const CsrGraph& csr, ShortestPathCache* cache,
   }
 }
 
+// Local-id twin of AcquireSpTrees over a compact mask view: fills s.sp
+// with per-terminal trees whose arrays are local-indexed, shared through
+// the cache's mask-uid-keyed local half. A uid names one immutable
+// compact view, so entries can never be matched across masks, epochs, or
+// enumerations. Reuse caveat (see sp_cache.h): a tree served under a
+// superset banned set may carry a mask_min_clip computed before the
+// extra ban removed a boundary offer — a floor at most the fresh one —
+// so certification against it is conservative (extra escalation at
+// worst), never unsound.
+void AcquireSpTreesLocal(const CsrGraph& csr, const ShardMask& m,
+                         ShortestPathCache* cache, SolverScratch& s,
+                         bool full) {
+  const std::size_t t = s.terminals.size();
+  const std::size_t n = m.nodes.size();
+  s.terminals_local.clear();
+  for (std::uint32_t term : s.terminals) {
+    s.terminals_local.push_back(m.local_of[term]);
+  }
+  if (s.is_target_local.size() < n) s.is_target_local.resize(n, 0);
+  for (std::uint32_t lt : s.terminals_local) s.is_target_local[lt] = 1;
+  s.sp.clear();
+  s.sp_refs.clear();
+  if (s.sp_slots.size() < t) s.sp_slots.resize(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    std::shared_ptr<const SpTree> ref;
+    bool computed_in_slot = false;
+    if (cache != nullptr) {
+      ref = cache->LookupLocal(m.mask_uid, s.terminals[i], s.forced_sorted,
+                               s.banned_sorted, csr.edge_cost,
+                               s.terminals_local, full);
+      if (ref == nullptr) {
+        ComputeSpTreeLocal(m, s.edge_flag, s.is_target_local, t, !full,
+                           s.terminals_local[i], s.heap, &s.sp_slots[i]);
+        computed_in_slot = true;
+        // Materialize only clean-overlay trees. A ({}, {}) entry is
+        // re-served every time the enumeration re-acquires this mask and
+        // terminal, so it earns its footprint; an overlay tree can only
+        // hit again on a compatible (F, B) recurrence, which Lawler
+        // partitioning makes vanishingly rare — and the insert would
+        // steal the pooled slot, forcing the next miss to reallocate and
+        // refill O(L) arrays instead of sparse-resetting its touched
+        // entries. Keeping overlay misses slot-resident is what holds the
+        // per-solve cost at O(ball) as the catalog grows.
+        //
+        // The copy is rebuilt at the mask's local extent rather than
+        // copied wholesale from the slot: a pooled slot keeps the high-
+        // water arrays of every solve the thread ever ran (an unmasked
+        // verify pass leaves them at catalog size), and a full copy of
+        // that is an O(catalog) stall on the first acquire of every new
+        // mask. The slot's invariant — every entry off the touched list
+        // is at its (inf, invalid, 0) default — makes the right-sized
+        // rebuild byte-identical for all local ids the cache can serve.
+        // The capacity race is handled inside InsertLocal (wholesale
+        // clear), so no HasRoom gate here.
+        if (s.forced_sorted.empty() && s.banned_sorted.empty()) {
+          const SpTree& slot = s.sp_slots[i];
+          auto fresh = std::make_shared<SpTree>();
+          fresh->dist.assign(n, kInf);
+          fresh->pred_node.assign(n, graph::kInvalidNode);
+          fresh->pred_edge.assign(n, graph::kInvalidEdge);
+          fresh->settled.assign(n, 0);
+          for (std::uint32_t v : slot.touched) {
+            fresh->dist[v] = slot.dist[v];
+            fresh->pred_node[v] = slot.pred_node[v];
+            fresh->pred_edge[v] = slot.pred_edge[v];
+            fresh->settled[v] = slot.settled[v];
+          }
+          fresh->touched = slot.touched;
+          fresh->tree_edges = slot.tree_edges;
+          fresh->complete = slot.complete;
+          fresh->mask_min_clip = slot.mask_min_clip;
+          cache->InsertLocal(m.mask_uid, s.terminals[i], s.forced_sorted,
+                             s.banned_sorted, fresh);
+          ref = std::move(fresh);
+        }
+      }
+    }
+    if (ref != nullptr) {
+      s.sp.push_back(ref.get());
+      s.sp_refs.push_back(std::move(ref));
+    } else {
+      if (!computed_in_slot) {
+        ComputeSpTreeLocal(m, s.edge_flag, s.is_target_local, t, !full,
+                           s.terminals_local[i], s.heap, &s.sp_slots[i]);
+      }
+      s.sp.push_back(&s.sp_slots[i]);
+    }
+  }
+  // Restore the all-zero invariant now: nothing downstream reads the
+  // local target marks, and the shrink policy may reallocate the array
+  // between solves.
+  for (std::uint32_t lt : s.terminals_local) s.is_target_local[lt] = 0;
+}
+
 // Boundary certificate shared by both masked solvers. A masked tree's
 // settled prefix is bit-identical to the unmasked run's whenever the
 // cheapest offer it clipped at the mask boundary strictly exceeds the
@@ -384,7 +703,11 @@ void AcquireSpTrees(const CsrGraph& csr, ShortestPathCache* cache,
 // max_j dist[t_j] per tree. A terminal unreachable within the mask
 // certifies only when nothing was clipped at all — then the mask
 // exhausted the component and the infeasible verdict is exact.
+// `term_idx` holds the terminals in whatever index space s.sp uses —
+// s.terminals for global/uncompacted trees, s.terminals_local for
+// compacted ones — so the certificate itself is index-space agnostic.
 MaskedOutcome CertifyPairwiseReads(SolverScratch& s,
+                                   const std::vector<std::uint32_t>& term_idx,
                                    double* overlay_lower_bound) {
   const std::size_t t = s.terminals.size();
   MaskedOutcome verdict = MaskedOutcome::kOk;
@@ -403,7 +726,7 @@ MaskedOutcome CertifyPairwiseReads(SolverScratch& s,
     const SpTree& sp = *s.sp[i];
     double max_read = 0.0;
     for (std::size_t j = 0; j < t; ++j) {
-      double d = sp.dist[s.terminals[j]];
+      double d = sp.dist[term_idx[j]];
       max_read = std::max(max_read, d);
       const double floor = std::min(d, sp.mask_min_clip);
       pairwise_lb = std::max(pairwise_lb, floor);
@@ -461,12 +784,32 @@ double SubspaceCostBound(double forced_cost, double overlay_lb) {
   return std::max(0.0, bound - (bound * 1e-12 + 1e-12));
 }
 
+// Picks the compact local-id view for a masked solve, or null to run the
+// uncompacted referee path. The view must exist, be built (covers_all
+// masks skip BuildCompact), span the pinned snapshot's node count, and
+// contain every deduped terminal — hand-built test masks may omit one,
+// which the uncompacted path tolerates by construction.
+const ShardMask* ResolveCompact(const MaskView* mask, const CsrGraph& csr,
+                                const SolverScratch& s) {
+  if (mask == nullptr || mask->compact == nullptr) return nullptr;
+  const ShardMask& m = *mask->compact;
+  if (!m.HasCompact() || m.local_of.size() != csr.num_nodes) return nullptr;
+  for (std::uint32_t term : s.terminals) {
+    if (m.local_of[term] == ShardMask::kExternal) return nullptr;
+  }
+  return &m;
+}
+
 // KMB steps 2-5 over the trees in s.sp. Expects PrepareSubproblem done, an
 // OverlayGuard active, and t >= 2 deduped terminals; `result` carries the
-// forced prefix and base cost. Safe to call concurrently (cache is
+// forced prefix and base cost. `sp_terms` names the terminals in the
+// trees' own index space (local ids for compacted masked solves) — only
+// reads of sp.dist/pred_node go through it; collected pred_edge values
+// are global edge ids in either space, so everything from Kruskal on is
+// index-space independent. Safe to call concurrently (cache is
 // synchronized, scratch is per-thread).
-std::optional<SteinerTree> KmbFromTrees(const CsrGraph& csr,
-                                        SolverScratch& s,
+std::optional<SteinerTree> KmbFromTrees(const CsrGraph& csr, SolverScratch& s,
+                                        const std::vector<std::uint32_t>& sp_terms,
                                         SteinerTree result) {
   const std::size_t t = s.terminals.size();
 
@@ -487,7 +830,7 @@ std::optional<SteinerTree> KmbFromTrees(const CsrGraph& csr,
     const SpTree& sp = *s.sp[pick];
     for (std::size_t i = 0; i < t; ++i) {
       if (s.in_mst[i]) continue;
-      double d = sp.dist[s.terminals[i]];
+      double d = sp.dist[sp_terms[i]];
       if (d < s.best[i]) {
         s.best[i] = d;
         s.best_from[i] = pick;
@@ -499,8 +842,8 @@ std::optional<SteinerTree> KmbFromTrees(const CsrGraph& csr,
   // predecessor trees (forced edges are already part of the result).
   s.collected.clear();
   for (auto [a, b] : s.closure) {
-    std::uint32_t v = s.terminals[b];
-    const std::uint32_t src = s.terminals[a];
+    std::uint32_t v = sp_terms[b];
+    const std::uint32_t src = sp_terms[a];
     const SpTree& sp = *s.sp[a];
     while (v != src) {
       graph::EdgeId e = sp.pred_edge[v];
@@ -765,6 +1108,10 @@ FastSolveStats FastSteinerEngine::stats() const {
     st.sp_cache_hits = cache_->hits();
     st.sp_cache_misses = cache_->misses();
     st.sp_cache_entries = cache_->size();
+    st.sp_local_hits = cache_->local_hits();
+    st.sp_local_misses = cache_->local_misses();
+    st.sp_local_entries = cache_->local_size();
+    st.masked_bypasses = cache_->masked_bypasses();
   }
   return st;
 }
@@ -832,19 +1179,34 @@ std::optional<SteinerTree> FastSteinerEngine::SolveKmbImpl(
     result.Canonicalize();
     return result;
   }
+  const ShardMask* compact = ResolveCompact(mask, csr, s);
+  // Before the overlay guard: destructors run in reverse order, so the
+  // guard restores the all-zero invariant before a shrink may reallocate.
+  ExtentGuard extent{
+      s, compact != nullptr ? compact->nodes.size() : csr.num_nodes};
   OverlayGuard overlay(s, csr);
-  // Masked solves run uncached: their Dijkstras stop inside the mask, so
-  // recomputing them beats materializing graph-spanning cache copies.
-  ShortestPathCache* cache = mask != nullptr ? nullptr : cache_.get();
-  AcquireSpTrees(csr, cache, pin.cache_generation, s, /*full=*/false,
-                 mask != nullptr ? mask->in_mask : nullptr);
+  if (compact != nullptr) {
+    AcquireSpTreesLocal(csr, *compact, cache_.get(), s, /*full=*/false);
+  } else {
+    if (mask != nullptr && cache_ != nullptr) {
+      cache_->NoteMaskedBypass(s.terminals.size());
+    }
+    // Uncompacted masked solves (the referee path) run uncached: their
+    // Dijkstras stop inside the mask, so recomputing them beats
+    // materializing graph-spanning cache copies.
+    ShortestPathCache* cache = mask != nullptr ? nullptr : cache_.get();
+    AcquireSpTrees(csr, cache, pin.cache_generation, s, /*full=*/false,
+                   mask != nullptr ? mask->in_mask : nullptr);
+  }
+  const std::vector<std::uint32_t>& sp_terms =
+      compact != nullptr ? s.terminals_local : s.terminals;
   if (mask != nullptr) {
     // Every value KMB reads must sit strictly below the clipped-offer
     // horizon, or the masked trees are not certified prefixes of the
     // full runs. No verdict otherwise — but the clip floor still bounds
     // the subspace cost from below, which the caller may keep.
     double overlay_lb = 0.0;
-    MaskedOutcome verdict = CertifyPairwiseReads(s, &overlay_lb);
+    MaskedOutcome verdict = CertifyPairwiseReads(s, sp_terms, &overlay_lb);
     if (verdict != MaskedOutcome::kOk) {
       *outcome = verdict;
       if (escalate_bound != nullptr) {
@@ -853,7 +1215,7 @@ std::optional<SteinerTree> FastSteinerEngine::SolveKmbImpl(
       return std::nullopt;
     }
   }
-  return KmbFromTrees(csr, s, std::move(result));
+  return KmbFromTrees(csr, s, sp_terms, std::move(result));
 }
 
 std::optional<SteinerTree> FastSteinerEngine::SolveExact(
@@ -889,6 +1251,9 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExactImpl(
     result.Canonicalize();
     return result;
   }
+  const ShardMask* compact = ResolveCompact(mask, csr, s);
+  ExtentGuard extent{
+      s, compact != nullptr ? compact->nodes.size() : csr.num_nodes};
   OverlayGuard overlay(s, csr);
 
   // Acquire complete per-terminal shortest-path trees once; they serve
@@ -896,14 +1261,23 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExactImpl(
   // iff the DP would fail), the eligibility filter, and the DP's singleton
   // slices dp[{i}] = dist(t_i, .) — so those 2^0-subsets need no grow pass
   // at all.
-  ShortestPathCache* cache = mask != nullptr ? nullptr : cache_.get();
-  AcquireSpTrees(csr, cache, pin.cache_generation, s, /*full=*/true,
-                 mask != nullptr ? mask->in_mask : nullptr);
+  if (compact != nullptr) {
+    AcquireSpTreesLocal(csr, *compact, cache_.get(), s, /*full=*/true);
+  } else {
+    if (mask != nullptr && cache_ != nullptr) {
+      cache_->NoteMaskedBypass(s.terminals.size());
+    }
+    ShortestPathCache* cache = mask != nullptr ? nullptr : cache_.get();
+    AcquireSpTrees(csr, cache, pin.cache_generation, s, /*full=*/true,
+                   mask != nullptr ? mask->in_mask : nullptr);
+  }
+  const std::vector<std::uint32_t>& sp_terms =
+      compact != nullptr ? s.terminals_local : s.terminals;
   if (mask != nullptr) {
     // Guarantees the KMB upper bound below (and its infeasibility
     // verdict) is the unmasked one before we derive a threshold from it.
     double overlay_lb = 0.0;
-    MaskedOutcome verdict = CertifyPairwiseReads(s, &overlay_lb);
+    MaskedOutcome verdict = CertifyPairwiseReads(s, sp_terms, &overlay_lb);
     if (verdict != MaskedOutcome::kOk) {
       *outcome = verdict;
       if (escalate_bound != nullptr) {
@@ -912,7 +1286,7 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExactImpl(
       return std::nullopt;
     }
   }
-  auto kmb = KmbFromTrees(csr, s, result);
+  auto kmb = KmbFromTrees(csr, s, sp_terms, result);
   if (!kmb.has_value()) return std::nullopt;
   double bound = kmb->cost - result.cost;  // overlay-space upper bound
   // Relative slack absorbs float summation-order differences between the
@@ -934,7 +1308,7 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExactImpl(
           double pairwise = 0.0;
           for (std::size_t a = 0; a < t; ++a) {
             for (std::size_t b = 0; b < t; ++b) {
-              pairwise = std::max(pairwise, s.sp[a]->dist[s.terminals[b]]);
+              pairwise = std::max(pairwise, s.sp[a]->dist[sp_terms[b]]);
             }
           }
           *escalate_bound = SubspaceCostBound(result.cost, pairwise);
@@ -960,7 +1334,29 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExactImpl(
        ++attempt) {
     double threshold = attempt == 0 ? bound : kInf;
     s.elig_nodes.clear();
-    if (mask != nullptr) {
+    s.elig_local.clear();
+    if (compact != nullptr) {
+      // Local ids ascend with the (ascending) mask node list, so this
+      // scan visits candidates in the same order as the uncompacted
+      // masked branch below — the eligible list (and hence the mini-id
+      // assignment) comes out identical, merely read through local
+      // distance arrays.
+      const std::uint32_t num_local =
+          static_cast<std::uint32_t>(compact->nodes.size());
+      for (std::uint32_t lv = 0; lv < num_local; ++lv) {
+        bool ok = true;
+        for (std::size_t i = 0; i < t; ++i) {
+          if (s.sp[i]->dist[lv] > threshold) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          s.elig_nodes.push_back(compact->nodes[lv]);
+          s.elig_local.push_back(lv);
+        }
+      }
+    } else if (mask != nullptr) {
       // Below-bound nodes all live inside the mask (the clipped-offer
       // floor exceeds the bound, so any node whose true distance fits
       // the threshold was settled — identically — by the masked runs),
@@ -1038,6 +1434,12 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExactImpl(
     s.mini_offsets[i + 1] = static_cast<std::uint32_t>(s.mini_head.size());
   }
 
+  // Eligible nodes in the trees' own index space: local ids under a
+  // compact view, global node ids otherwise. Parallel to elig_nodes, so
+  // mini id mv reads the same node either way.
+  const std::vector<std::uint32_t>& elig_idx =
+      compact != nullptr ? s.elig_local : s.elig_nodes;
+
   const std::uint32_t full = (1u << t) - 1;
   const std::size_t states = static_cast<std::size_t>(full + 1) * n_e;
   s.dp.assign(states, kInf);
@@ -1048,7 +1450,7 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExactImpl(
     double* dps = &s.dp[(std::size_t{1} << i) * n_e];
     const SpTree& sp = *s.sp[i];
     for (std::uint32_t mv = 0; mv < n_e; ++mv) {
-      double d = sp.dist[s.elig_nodes[mv]];
+      double d = sp.dist[elig_idx[mv]];
       if (d <= bound) dps[mv] = d;
     }
   }
@@ -1116,8 +1518,8 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExactImpl(
       // cost ties — still a min-cost attachment path).
       const std::size_t i = static_cast<std::size_t>(__builtin_ctz(subset));
       const SpTree& sp = *s.sp[i];
-      std::uint32_t cur = s.elig_nodes[v];
-      const std::uint32_t src = s.terminals[i];
+      std::uint32_t cur = elig_idx[v];
+      const std::uint32_t src = sp_terms[i];
       while (cur != src) {
         graph::EdgeId e = sp.pred_edge[cur];
         if (e == graph::kInvalidEdge) break;
@@ -1145,6 +1547,78 @@ std::optional<SteinerTree> FastSteinerEngine::SolveExactImpl(
   result.cost += s.dp[root_idx];
   result.Canonicalize();
   return result;
+}
+
+std::size_t ThreadScratchBytes() { return GetScratch().FootprintBytes(); }
+
+MaskedSpProbe ComputeMaskedSpTreeForTest(
+    const CsrGraph& csr, const MaskView& mask, std::uint32_t source,
+    const std::vector<graph::NodeId>& targets, bool stop_at_targets,
+    const std::vector<graph::EdgeId>& forced,
+    const std::vector<graph::EdgeId>& banned) {
+  SolverScratch& s = GetScratch();
+  s.forced_sorted.assign(forced.begin(), forced.end());
+  std::sort(s.forced_sorted.begin(), s.forced_sorted.end());
+  s.banned_sorted.assign(banned.begin(), banned.end());
+  std::sort(s.banned_sorted.begin(), s.banned_sorted.end());
+  s.terminals.assign(targets.begin(), targets.end());
+  OverlayGuard overlay(s, csr);
+
+  // Both paths project into global-indexed arrays so callers diff them
+  // element-for-element without knowing which path ran.
+  MaskedSpProbe probe;
+  probe.dist.assign(csr.num_nodes, kInf);
+  probe.pred_node.assign(csr.num_nodes, graph::kInvalidNode);
+  probe.pred_edge.assign(csr.num_nodes, graph::kInvalidEdge);
+  probe.settled.assign(csr.num_nodes, 0);
+
+  SpTree tree;
+  const ShardMask* compact =
+      mask.compact != nullptr && mask.compact->HasCompact() &&
+              mask.compact->local_of.size() == csr.num_nodes &&
+              mask.compact->local_of[source] != ShardMask::kExternal
+          ? mask.compact
+          : nullptr;
+  if (compact != nullptr) {
+    const std::size_t n = compact->nodes.size();
+    if (s.is_target_local.size() < n) s.is_target_local.resize(n, 0);
+    for (std::uint32_t t : targets) {
+      const std::uint32_t lt = compact->local_of[t];
+      if (lt != ShardMask::kExternal) s.is_target_local[lt] = 1;
+    }
+    // The stop threshold mirrors the global path's s.terminals.size():
+    // a target outside the mask (or a duplicate) never settles, so both
+    // paths keep exploring identically instead of stopping early.
+    ComputeSpTreeLocal(*compact, s.edge_flag, s.is_target_local,
+                       targets.size(), stop_at_targets,
+                       compact->local_of[source], s.heap, &tree);
+    for (std::uint32_t t : targets) {
+      const std::uint32_t lt = compact->local_of[t];
+      if (lt != ShardMask::kExternal) s.is_target_local[lt] = 0;
+    }
+    for (std::uint32_t lv : tree.touched) {  // settled survivors only
+      const std::uint32_t v = compact->nodes[lv];
+      probe.dist[v] = tree.dist[lv];
+      probe.pred_node[v] = tree.pred_node[lv] == graph::kInvalidNode
+                               ? graph::kInvalidNode
+                               : compact->nodes[tree.pred_node[lv]];
+      probe.pred_edge[v] = tree.pred_edge[lv];
+      probe.settled[v] = 1;
+    }
+  } else {
+    ComputeSpTree(csr, s.edge_flag, s.is_target, s.terminals.size(),
+                  stop_at_targets, source, mask.in_mask, s.heap, &tree);
+    for (std::uint32_t v : tree.touched) {
+      probe.dist[v] = tree.dist[v];
+      probe.pred_node[v] = tree.pred_node[v];
+      probe.pred_edge[v] = tree.pred_edge[v];
+      probe.settled[v] = 1;
+    }
+  }
+  probe.tree_edges = std::move(tree.tree_edges);
+  probe.mask_min_clip = tree.mask_min_clip;
+  probe.complete = tree.complete;
+  return probe;
 }
 
 }  // namespace q::steiner

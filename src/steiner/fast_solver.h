@@ -17,12 +17,27 @@
 namespace q::steiner {
 
 struct ShardPartition;
+struct ShardMask;
 
 struct FastSolveStats {
   std::size_t sp_cache_hits = 0;
   std::size_t sp_cache_misses = 0;
   std::size_t sp_cache_entries = 0;
+  // Masked-solve cache traffic (compacted local trees, mask-uid keyed;
+  // see sp_cache.h) and the bypass counter for masked solves that ran
+  // with no cache at all (the uncompacted referee path).
+  std::size_t sp_local_hits = 0;
+  std::size_t sp_local_misses = 0;
+  std::size_t sp_local_entries = 0;
+  std::size_t masked_bypasses = 0;
 };
+
+// Bytes currently retained by the calling thread's solver scratch arena
+// (heap, per-terminal tree slots, overlay flags, DP tables). The arena
+// shrinks itself after a sustained streak of solves much smaller than its
+// high-water capacity — one oversized solve no longer pins tens of MB per
+// serving thread forever; bench_serve_load asserts this stays bounded.
+std::size_t ThreadScratchBytes();
 
 // A pinned read handle on a FastSteinerEngine's current CSR snapshot.
 // While any pin is alive, mutators copy-on-write instead of patching in
@@ -49,6 +64,14 @@ struct SnapshotPin {
 struct MaskView {
   const std::vector<std::uint8_t>* in_mask = nullptr;  // node bitmap
   const std::vector<std::uint32_t>* nodes = nullptr;   // ascending node ids
+  // Compact local-id view (the ShardMask owning the vectors above, which
+  // also carries the local sub-CSR — see shard.h). When set, masked
+  // Dijkstras run over dense local ids with every per-node array sized to
+  // the mask, translating back to global ids only where results feed the
+  // metric closure, the certificates, the exact-DP eligibility scan, and
+  // tree extraction. Null runs the uncompacted masked path — kept as the
+  // bit-identity referee (ShardedSearchConfig::compact_local_ids).
+  const ShardMask* compact = nullptr;
   // Real-cost radius around the terminals the mask provably covers. The
   // solvers certify each solve from its own clipped-frontier offers
   // rather than from this radius; it remains the localizer's growth
@@ -242,11 +265,19 @@ class FastSteinerEngine {
   // (≥ the clip floor). Lawler enumeration uses this to park
   // uncertified children in its heap by bound and only pay for mask
   // escalation if a child surfaces before k trees are emitted (see
-  // top_k.cc). Masked solves never touch the engine's shared
-  // shortest-path cache (its entries describe the unmasked graph) and
-  // do not cache at all: their Dijkstras are bounded by the mask, so
-  // recomputing them into the per-thread scratch slots is cheaper than
-  // materializing cacheable copies whose arrays span the whole graph.
+  // top_k.cc).
+  //
+  // Caching: masked solves never touch the unmasked (generation-keyed)
+  // half of the shortest-path cache — those entries describe the full
+  // graph. Compacted masked solves (mask.compact set) share *local*
+  // trees through the cache's mask-uid-keyed half instead: arrays are
+  // mask-sized, so materializing them is cheap, and the uid pins both
+  // the mask and the cost snapshot its view baked in. A served tree's
+  // mask_min_clip can understate a fresh run's under a superset banned
+  // set (see sp_cache.h) — certification is then conservative, never
+  // unsound, and certified output is still bit-identical. The
+  // uncompacted referee path keeps the original behavior — no caching
+  // at all — and counts toward FastSolveStats::masked_bypasses.
   std::optional<SteinerTree> SolveKmbMasked(
       const SnapshotPin& pin, const std::vector<graph::NodeId>& terminals,
       const std::vector<graph::EdgeId>& forced,
@@ -325,6 +356,25 @@ class FastSteinerEngine {
   std::shared_ptr<const ShardPartition> shards_;
   std::uint32_t shard_target_ = 0;
 };
+
+// Test-only probe: one masked single-source Dijkstra through either the
+// compacted (mask.compact set) or uncompacted path, projected to global
+// node ids so the stress suite can assert the two are byte-equal —
+// distances, predecessors, settled sets, tree edges, and mask_min_clip.
+struct MaskedSpProbe {
+  std::vector<double> dist;                // per global node; +inf outside
+  std::vector<std::uint32_t> pred_node;    // global ids
+  std::vector<graph::EdgeId> pred_edge;    // global edge ids
+  std::vector<std::uint8_t> settled;       // per global node
+  std::vector<graph::EdgeId> tree_edges;   // sorted unique global edges
+  double mask_min_clip = 0.0;
+  bool complete = false;
+};
+MaskedSpProbe ComputeMaskedSpTreeForTest(
+    const CsrGraph& csr, const MaskView& mask, std::uint32_t source,
+    const std::vector<graph::NodeId>& targets, bool stop_at_targets,
+    const std::vector<graph::EdgeId>& forced,
+    const std::vector<graph::EdgeId>& banned);
 
 }  // namespace q::steiner
 

@@ -1,6 +1,7 @@
 #include "steiner/shard.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "util/dary_heap.h"
@@ -11,13 +12,96 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr std::uint32_t kUnassigned = std::numeric_limits<std::uint32_t>::max();
 
+// Monotone across every localizer in the process, so a mask-uid-keyed
+// cache entry can never be matched by a different (or regrown) mask.
+std::atomic<std::uint64_t> next_mask_uid{0};
+
+// Per-thread scratch for the localizer's bootstrap and ball Dijkstras.
+// Distances are stamp-validated (stamp[v] != cur reads as +inf), so a
+// run touches only its own neighborhood instead of re-initializing
+// num_nodes-sized arrays — the per-query localizer cost is O(ball), not
+// O(catalog), which is what keeps query latency from growing linearly
+// with sources. The arrays grow to the largest snapshot the thread has
+// localized and are reused across queries.
+struct LocalizerScratch {
+  util::DaryHeap heap;
+  std::vector<double> dist;
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t cur = 0;
+  std::vector<std::uint8_t> is_target;  // sparsely set, cleared per run
+
+  // Starts a run: bumps the stamp (wholesale re-zero on the ~4-billion-run
+  // wrap) and drains heap leftovers from an early-stopped prior run.
+  void Begin(std::size_t n) {
+    if (dist.size() < n) {
+      dist.resize(n, kInf);
+      stamp.resize(n, 0);
+    }
+    if (is_target.size() < n) is_target.resize(n, 0);
+    if (++cur == 0) {
+      std::fill(stamp.begin(), stamp.end(), 0);
+      cur = 1;
+    }
+    heap.Drain(n);
+  }
+
+  double Dist(std::uint32_t v) const {
+    return stamp[v] == cur ? dist[v] : kInf;
+  }
+  void SetDist(std::uint32_t v, double d) {
+    dist[v] = d;
+    stamp[v] = cur;
+  }
+
+  std::size_t MemoryBytes() const {
+    return heap.MemoryBytes() + dist.capacity() * sizeof(double) +
+           stamp.capacity() * sizeof(std::uint32_t) +
+           is_target.capacity() * sizeof(std::uint8_t);
+  }
+};
+
+LocalizerScratch& GetLocalizerScratch() {
+  thread_local LocalizerScratch scratch;
+  return scratch;
+}
+
 }  // namespace
+
+std::size_t LocalizerScratchBytes() {
+  return GetLocalizerScratch().MemoryBytes();
+}
+
+void ShardMask::BuildCompact(const CsrGraph& csr) {
+  const std::uint32_t num_local = static_cast<std::uint32_t>(nodes.size());
+  local_of.assign(csr.num_nodes, kExternal);
+  for (std::uint32_t l = 0; l < num_local; ++l) local_of[nodes[l]] = l;
+  local_offsets.assign(num_local + 1, 0);
+  local_arc_head.clear();
+  local_arc_edge.clear();
+  local_arc_cost.clear();
+  for (std::uint32_t l = 0; l < num_local; ++l) {
+    const std::uint32_t v = nodes[l];
+    const std::uint32_t end = csr.offsets[v + 1];
+    for (std::uint32_t a = csr.offsets[v]; a < end; ++a) {
+      // Per-node arc order preserved from the global CSR; out-of-mask
+      // heads stay visible as kExternal so the masked Dijkstra records
+      // the exact same clipped-offer set as the uncompacted scan.
+      local_arc_head.push_back(local_of[csr.arc_head[a]]);
+      local_arc_edge.push_back(csr.arc_edge[a]);
+      local_arc_cost.push_back(csr.arc_cost[a]);
+    }
+    local_offsets[l + 1] = static_cast<std::uint32_t>(local_arc_head.size());
+  }
+  mask_uid = next_mask_uid.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 ShardPartition ShardPartition::Build(const CsrGraph& csr,
                                      std::uint32_t target_nodes) {
   if (target_nodes == 0) target_nodes = 1;
   ShardPartition p;
   p.shard_of.assign(csr.num_nodes, kUnassigned);
+  p.shard_offsets.clear();
+  p.shard_nodes.clear();
   std::vector<std::uint32_t> queue;
   for (std::uint32_t seed = 0; seed < csr.num_nodes; ++seed) {
     if (p.shard_of[seed] != kUnassigned) continue;
@@ -39,6 +123,22 @@ ShardPartition ShardPartition::Build(const CsrGraph& csr,
       }
     }
   }
+  // Shard -> node-id CSR (each shard's list ascending): lets a mask build
+  // enumerate exactly the nodes of its touched shards instead of scanning
+  // the whole catalog per query.
+  p.shard_offsets.assign(p.num_shards + 1, 0);
+  for (std::uint32_t v = 0; v < csr.num_nodes; ++v) {
+    ++p.shard_offsets[p.shard_of[v] + 1];
+  }
+  for (std::uint32_t i = 1; i <= p.num_shards; ++i) {
+    p.shard_offsets[i] += p.shard_offsets[i - 1];
+  }
+  p.shard_nodes.resize(csr.num_nodes);
+  std::vector<std::uint32_t> cursor(p.shard_offsets.begin(),
+                                    p.shard_offsets.end() - 1);
+  for (std::uint32_t v = 0; v < csr.num_nodes; ++v) {
+    p.shard_nodes[cursor[p.shard_of[v]]++] = v;
+  }
   return p;
 }
 
@@ -54,40 +154,44 @@ TerminalLocalizer::TerminalLocalizer(
   double star = 0.0;
   if (!terminals_.empty()) {
     // Star heuristic: real-cost single-source Dijkstra from t0, stopped
-    // once every distinct terminal is settled.
-    std::vector<double> dist(g.num_nodes, kInf);
-    std::vector<std::uint8_t> is_target(g.num_nodes, 0);
+    // once every distinct terminal is settled. Runs on the thread's
+    // stamped scratch, so the cost is the settled neighborhood — one
+    // full-array initialization per query would itself grow linearly
+    // with the catalog and dominate small-ball queries.
+    LocalizerScratch& s = GetLocalizerScratch();
+    s.Begin(g.num_nodes);
     std::size_t remaining = 0;
     for (graph::NodeId t : terminals_) {
-      if (!is_target[t]) {
-        is_target[t] = 1;
+      if (!s.is_target[t]) {
+        s.is_target[t] = 1;
         ++remaining;
       }
     }
-    util::DaryHeap heap;
-    heap.Reset(g.num_nodes);
-    dist[terminals_[0]] = 0.0;
-    heap.PushOrDecrease(terminals_[0], 0.0);
-    while (!heap.empty() && remaining > 0) {
-      auto [d, v] = heap.PopMin();
-      if (is_target[v]) {
-        is_target[v] = 0;
+    s.SetDist(terminals_[0], 0.0);
+    s.heap.PushOrDecrease(terminals_[0], 0.0);
+    while (!s.heap.empty() && remaining > 0) {
+      auto [d, v] = s.heap.PopMin();
+      if (s.is_target[v]) {
+        s.is_target[v] = 0;
         --remaining;
       }
       const std::uint32_t end = g.offsets[v + 1];
       for (std::uint32_t a = g.offsets[v]; a < end; ++a) {
         const std::uint32_t to = g.arc_head[a];
         const double next = d + g.arc_cost[a];
-        if (next < dist[to]) {
-          dist[to] = next;
-          heap.PushOrDecrease(to, next);
+        if (next < s.Dist(to)) {
+          s.SetDist(to, next);
+          s.heap.PushOrDecrease(to, next);
         }
       }
     }
     all_reachable = remaining == 0;
     if (all_reachable) {
-      for (graph::NodeId t : terminals_) star += dist[t];
+      for (graph::NodeId t : terminals_) star += s.Dist(t);
     }
+    // Restore the all-zero target-mark invariant (early stop may leave
+    // unsettled terminals marked).
+    for (graph::NodeId t : terminals_) s.is_target[t] = 0;
   }
   if (!all_reachable) {
     // Some terminal is unreachable (or there are none): no finite radius
@@ -121,47 +225,61 @@ std::shared_ptr<const ShardMask> TerminalLocalizer::Rebuild() const {
   auto mask = std::make_shared<ShardMask>();
 
   // Multi-source real-cost Dijkstra from the terminals, bounded by
-  // r_proof_. `clipped` records whether the radius excluded anything; if
-  // not, the ball already holds every reachable node and no escalation
-  // can ever grow it.
-  std::vector<double> dist(g.num_nodes, kInf);
-  util::DaryHeap heap;
-  heap.Reset(g.num_nodes);
+  // r_proof_ and run on the thread's stamped scratch (O(ball), not
+  // O(catalog) — see LocalizerScratch). `clipped` records whether the
+  // radius excluded anything; if not, the ball already holds every
+  // reachable node and no escalation can ever grow it.
+  LocalizerScratch& s = GetLocalizerScratch();
+  s.Begin(g.num_nodes);
   for (graph::NodeId t : terminals_) {
-    if (dist[t] > 0.0) {
-      dist[t] = 0.0;
-      heap.PushOrDecrease(t, 0.0);
+    if (s.Dist(t) > 0.0) {
+      s.SetDist(t, 0.0);
+      s.heap.PushOrDecrease(t, 0.0);
     }
   }
-  std::vector<std::uint8_t> shard_touched(parts.num_shards, 0);
+  std::vector<std::uint32_t> touched_shards;
   bool clipped = false;
-  while (!heap.empty()) {
-    auto [d, v] = heap.PopMin();
-    shard_touched[parts.shard_of[v]] = 1;
+  while (!s.heap.empty()) {
+    auto [d, v] = s.heap.PopMin();
+    touched_shards.push_back(parts.shard_of[v]);
     const std::uint32_t end = g.offsets[v + 1];
     for (std::uint32_t a = g.offsets[v]; a < end; ++a) {
       const std::uint32_t to = g.arc_head[a];
       const double next = d + g.arc_cost[a];
       if (next > r_proof_) {
-        if (next < dist[to]) clipped = true;
+        if (next < s.Dist(to)) clipped = true;
         continue;
       }
-      if (next < dist[to]) {
-        dist[to] = next;
-        heap.PushOrDecrease(to, next);
+      if (next < s.Dist(to)) {
+        s.SetDist(to, next);
+        s.heap.PushOrDecrease(to, next);
       }
     }
   }
 
-  mask->in_mask.assign(g.num_nodes, 0);
+  // Expand touched shards to their node lists through the partition's
+  // shard->nodes index, then sort: BFS-grown shards interleave in node-id
+  // space, and ascending mask->nodes is the canonical order the compact
+  // view's tie-order isomorphism rests on. O(mask log mask) — no
+  // whole-catalog scan.
+  std::sort(touched_shards.begin(), touched_shards.end());
+  touched_shards.erase(
+      std::unique(touched_shards.begin(), touched_shards.end()),
+      touched_shards.end());
   mask->nodes.clear();
-  for (std::uint32_t v = 0; v < g.num_nodes; ++v) {
-    if (shard_touched[parts.shard_of[v]]) {
-      mask->in_mask[v] = 1;
-      mask->nodes.push_back(v);
-    }
+  for (std::uint32_t shard : touched_shards) {
+    const std::uint32_t end = parts.shard_offsets[shard + 1];
+    mask->nodes.insert(mask->nodes.end(),
+                       parts.shard_nodes.begin() + parts.shard_offsets[shard],
+                       parts.shard_nodes.begin() + end);
   }
+  std::sort(mask->nodes.begin(), mask->nodes.end());
+  mask->in_mask.assign(g.num_nodes, 0);
+  for (std::uint32_t v : mask->nodes) mask->in_mask[v] = 1;
   mask->covers_all = !clipped || mask->nodes.size() == g.num_nodes;
+  // Materialize the compact local-id view once per epoch; covers_all
+  // masks skip it (callers solve unmasked).
+  if (!mask->covers_all) mask->BuildCompact(g);
   return mask;
 }
 

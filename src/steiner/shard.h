@@ -1,6 +1,7 @@
 #ifndef Q_STEINER_SHARD_H_
 #define Q_STEINER_SHARD_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,12 @@
 
 namespace q::steiner {
 
+// Bytes retained by the calling thread's localizer scratch (the stamped
+// distance arrays and heap the bootstrap/ball Dijkstras reuse across
+// queries). Counted into steiner::ThreadScratchBytes so the serving
+// footprint gate covers it.
+std::size_t LocalizerScratchBytes();
+
 // Topology-only partition of a CSR snapshot into connected node clusters
 // of roughly `target_nodes` each, grown by BFS in ascending seed order so
 // the assignment is a pure function of the arc structure. Costs play no
@@ -20,6 +27,11 @@ namespace q::steiner {
 struct ShardPartition {
   std::vector<std::uint32_t> shard_of;  // node id -> shard id
   std::uint32_t num_shards = 0;
+  // Inverse index as a CSR: shard id -> its node ids in ascending order.
+  // Mask builds expand touched shards through it in O(mask) instead of
+  // scanning every catalog node per query.
+  std::vector<std::uint32_t> shard_offsets;  // size num_shards + 1
+  std::vector<std::uint32_t> shard_nodes;    // size num_nodes
 
   static ShardPartition Build(const CsrGraph& csr, std::uint32_t target_nodes);
 };
@@ -27,13 +39,51 @@ struct ShardPartition {
 // A set of whole shards, materialized as a node bitmap plus the sorted
 // node-id list (ascending — the exact-DP eligibility scan relies on the
 // order matching the unmasked 0..n-1 scan).
+//
+// Alongside the bitmap, a mask built by TerminalLocalizer carries a
+// *compact local-id view*: mask nodes remapped to dense ids 0..L-1 (in
+// ascending global order, so local (dist, id) tie order is isomorphic to
+// the global canonical order) plus a materialized sub-CSR whose arc heads
+// are translated to local ids. Arcs leaving the mask keep a kExternal
+// head so a masked Dijkstra still sees every clipped boundary offer —
+// mask_min_clip certificates stay byte-equal to the uncompacted path.
+// Arc costs are baked from the CSR the view was built against (the
+// localizer's pinned snapshot; one enumeration never mixes generations),
+// and per-node arc order is preserved, so predecessor selection matches
+// the global scan arc for arc. The view is immutable after Rebuild and
+// shared with the mask itself; solvers size every per-node array to L
+// instead of num_nodes, which is the whole point (cache residency on
+// million-source catalogs).
 struct ShardMask {
+  // Local-id sentinel for arc heads outside the mask (and for
+  // local_of[v] of nodes outside it).
+  static constexpr std::uint32_t kExternal = 0xFFFFFFFFu;
+
   std::vector<std::uint8_t> in_mask;   // size num_nodes
   std::vector<std::uint32_t> nodes;    // ascending node ids with in_mask=1
   // True when no escalation can grow the mask further (every node the
   // terminals can reach is already inside, or the mask spans the whole
   // graph). Callers then solve unmasked.
   bool covers_all = false;
+
+  // --- compact local-id view (see the class comment above) -------------
+  std::vector<std::uint32_t> local_of;        // global -> local, kExternal outside
+  std::vector<std::uint32_t> local_offsets;   // size nodes.size() + 1
+  std::vector<std::uint32_t> local_arc_head;  // local id, or kExternal
+  std::vector<graph::EdgeId> local_arc_edge;  // global edge ids (overlay flags)
+  std::vector<double> local_arc_cost;         // baked from the pinned CSR
+  // Process-unique id stamped per built view; the shortest-path cache
+  // keys masked local trees by it (mask-epoch keying — a grown or
+  // unrelated mask can never serve a stale local tree).
+  std::uint64_t mask_uid = 0;
+
+  bool HasCompact() const {
+    return local_offsets.size() == nodes.size() + 1 && !local_of.empty();
+  }
+
+  // Fills the compact view from `csr` (must be the snapshot in_mask/nodes
+  // were computed over). Called once per mask epoch by the localizer.
+  void BuildCompact(const CsrGraph& csr);
 };
 
 // Per-enumeration state for sharded terminal-local search: owns the

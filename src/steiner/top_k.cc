@@ -150,6 +150,7 @@ std::vector<SteinerTree> TopKSteinerTrees(
           enumeration_pin.csr,
           engine->Shards(config.sharded.target_shard_nodes), terminals);
       attempt = [engine, &enumeration_pin, &terminals, use_kmb,
+                 compact_ids = config.sharded.compact_local_ids,
                  loc = localizer.get()](
                     const std::vector<graph::EdgeId>& forced,
                     const std::vector<graph::EdgeId>& banned,
@@ -168,6 +169,8 @@ std::vector<SteinerTree> TopKSteinerTrees(
           view.nodes = &snap.mask->nodes;
           view.r_proof = snap.r_proof;
           view.epoch = snap.epoch;
+          // Null keeps the uncompacted masked path as the referee.
+          view.compact = compact_ids ? snap.mask.get() : nullptr;
           MaskedOutcome outcome;
           double bound = 0.0;
           auto tree = use_kmb

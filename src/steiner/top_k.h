@@ -36,7 +36,23 @@ enum class SteinerEngine { kFast = 0, kLegacy = 1 };
 // legacy engine.
 struct ShardedSearchConfig {
   bool enabled = false;
-  std::uint32_t target_shard_nodes = 4096;
+  // Shard granularity trades mask padding for escalation risk: a mask is
+  // the union of whole shards touching the proof ball, so the shard size
+  // bounds how much dead weight a masked solve carries beyond the ball
+  // itself. 512 keeps a typical mask's per-node arrays (dist + parent +
+  // heap slots) inside L2 even when the ball spans several shards —
+  // masked solve cost then tracks the ball, not the catalog or the shard
+  // grid. Certification depends only on the proof radius, so smaller
+  // shards never change results; at worst a query pays an extra
+  // escalation that coarser padding would have absorbed.
+  std::uint32_t target_shard_nodes = 512;
+  // Solve masked subproblems over the mask's dense local-id sub-CSR
+  // (fast_solver.h, "Local-id mask compaction"): per-node state spans the
+  // mask instead of the whole graph, which is what keeps masked solves
+  // cache-resident on million-source catalogs. Bit-identical to the
+  // uncompacted masked path by construction; disabling it selects that
+  // path as a referee (bench_graph_scale --no-compact diffs the two).
+  bool compact_local_ids = true;
 };
 
 struct TopKConfig {

@@ -45,6 +45,28 @@ class DaryHeap {
     if (pos_.size() < n) pos_.resize(n, kAbsent);
   }
 
+  // Releases capacity down to `n` ids: any queued ids are dropped and the
+  // index arrays are reallocated at exactly n. One oversized run (a
+  // full-graph Dijkstra on a million-node snapshot) otherwise pins the
+  // high-water arrays for the thread's lifetime; scratch arenas call this
+  // after a streak of much smaller (masked, local-id) solves.
+  void ShrinkTo(std::size_t n) {
+    heap_.clear();
+    heap_.shrink_to_fit();
+    std::vector<double>(n).swap(key_);
+    std::vector<std::uint32_t>(n, kAbsent).swap(pos_);
+  }
+
+  std::size_t capacity_ids() const { return pos_.size(); }
+
+  // Bytes currently retained across the three arrays (footprint
+  // accounting for the scratch-shrink policy).
+  std::size_t MemoryBytes() const {
+    return heap_.capacity() * sizeof(std::uint32_t) +
+           key_.capacity() * sizeof(double) +
+           pos_.capacity() * sizeof(std::uint32_t);
+  }
+
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
